@@ -1,0 +1,44 @@
+"""Ablation: MEA map size for the Cross-Counters performance unit.
+
+The paper uses a 32-entry MEA map (from MemPod).  Larger maps track
+more of the hot set per interval; this sweep shows the diminishing
+returns that justify the small map.
+"""
+
+from repro.core.migration import CrossCountersMigration
+from repro.core.placement import BalancedPlacement
+from repro.harness.experiments import DEFAULT_INTERVALS
+from repro.harness.reporting import gmean, print_table
+from repro.sim.system import evaluate_migration
+
+WORKLOADS = ("mcf", "libquantum", "mix1")
+
+
+def run_sweep(cache):
+    rows = []
+    for capacity in (4, 16, 32, 64):
+        ipcs, sers, migs = [], [], []
+        for wl in WORKLOADS:
+            prep = cache.get(wl)
+            res = evaluate_migration(
+                prep, CrossCountersMigration(mea_capacity=capacity),
+                num_intervals=DEFAULT_INTERVALS,
+                initial_policy=BalancedPlacement(),
+            )
+            ipcs.append(res.ipc_vs_ddr)
+            sers.append(res.ser_vs_ddr)
+            migs.append(res.migrations)
+        rows.append([capacity, gmean(ipcs), gmean(sers),
+                     int(sum(migs) / len(migs))])
+    return rows
+
+
+def test_ablation_mea_capacity(cache, run_once):
+    rows = run_once(run_sweep, cache)
+    print_table(["MEA entries", "IPC vs DDR", "SER vs DDR", "migrations"],
+                rows, title="Ablation: MEA map size")
+    ipc_by_cap = {row[0]: row[1] for row in rows}
+    # A tiny map underperforms; 32 entries captures most of the win.
+    assert ipc_by_cap[32] >= ipc_by_cap[4] * 0.98
+    # Going to 64 entries buys little over 32 (diminishing returns).
+    assert ipc_by_cap[64] <= ipc_by_cap[32] * 1.1

@@ -1,0 +1,55 @@
+"""Extension: lifetime study — permanent-fault attrition meets
+transient-fault placement.
+
+The paper's related work [16] (same authors) handles permanent-fault
+aging; the HPCA paper handles transient SER.  This extension combines
+them: as the die-stacked memory ages and pages retire, the usable HBM
+shrinks, which degrades the IPC of every placement while the SER
+picture stays reliability-ordered.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.placement import PerformanceFocusedPlacement, Wr2RatioPlacement
+from repro.faults.aging import AgingModel
+from repro.harness.reporting import print_table
+from repro.sim.system import evaluate_static
+
+
+def run(cache):
+    prep = cache.get("milc")
+    model = AgingModel(prep.config.fast_memory)
+    rows = []
+    ipcs = []
+    for years in (0.0, 2.0, 5.0, 10.0):
+        frac = model.usable_fraction(years)
+        usable_pages = max(1, int(prep.capacity_pages * frac))
+        aged_fast = replace(prep.config.fast_memory,
+                            capacity_bytes=usable_pages * 4096)
+        aged_config = replace(prep.config, fast_memory=aged_fast)
+        from dataclasses import replace as dc_replace
+
+        aged_prep = dc_replace(prep, config=aged_config)
+        perf = evaluate_static(aged_prep, PerformanceFocusedPlacement())
+        wr2 = evaluate_static(aged_prep, Wr2RatioPlacement())
+        ipcs.append(perf.ipc_vs_ddr)
+        rows.append([f"{years:.0f}y", f"{frac * 100:.1f}%",
+                     f"{perf.ipc_vs_ddr:.2f}x", f"{perf.ser_vs_ddr:.0f}x",
+                     f"{wr2.ipc_vs_ddr:.2f}x", f"{wr2.ser_vs_ddr:.0f}x"])
+    return rows, ipcs
+
+
+def test_ext_aging(cache, run_once):
+    rows, ipcs = run_once(run, cache)
+    print_table(
+        ["age", "usable HBM", "perf IPC", "perf SER", "wr2 IPC", "wr2 SER"],
+        rows, title="Extension: HBM aging (permanent-fault page retirement)",
+    )
+    # Usable capacity only shrinks, so the HMA speedup can only erode —
+    # at this (scaled) FIT rate the fast memory is fully retired by
+    # year 10 and the system degrades gracefully to DDR-only behaviour.
+    assert ipcs[0] > 1.1
+    assert ipcs == sorted(ipcs, reverse=True)
+    assert ipcs[-1] == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,55 @@
+"""Extension: annotations + reliability-aware migration combined.
+
+The paper's Section 7 closes with: "Supplementing such an annotation-
+driven static data placement scheme with a reliability-aware migration
+mechanism could potentially further improve the overall reliability."
+This benchmark implements and confirms the hypothesis: pinning the
+annotated hot & low-risk structures into half the HBM and letting the
+FC mechanism manage the rest beats annotations alone on SER.
+"""
+
+from repro.core.migration import ReliabilityAwareFCMigration
+from repro.core.placement import PerformanceFocusedPlacement
+from repro.harness.reporting import gmean, print_table
+from repro.sim.system import (
+    evaluate_annotation_migration,
+    evaluate_annotations,
+    evaluate_static,
+)
+
+WORKLOADS = ("mcf", "milc", "cactusADM", "mix1")
+
+
+def run(cache):
+    rows = []
+    ann_red, comb_red, ann_ipc, comb_ipc = [], [], [], []
+    for wl in WORKLOADS:
+        prep = cache.get(wl)
+        perf = evaluate_static(prep, PerformanceFocusedPlacement())
+        ann, _plan = evaluate_annotations(prep)
+        comb, _plan = evaluate_annotation_migration(
+            prep, ReliabilityAwareFCMigration(), num_intervals=16,
+        )
+        ann_red.append(perf.ser / ann.ser)
+        comb_red.append(perf.ser / comb.ser)
+        ann_ipc.append(ann.ipc / perf.ipc)
+        comb_ipc.append(comb.ipc / perf.ipc)
+        rows.append([wl, f"{ann_red[-1]:.2f}x", f"{comb_red[-1]:.2f}x",
+                     f"{ann_ipc[-1]:.2f}", f"{comb_ipc[-1]:.2f}",
+                     comb.migrations])
+    return rows, (gmean(ann_red), gmean(comb_red),
+                  gmean(ann_ipc), gmean(comb_ipc))
+
+
+def test_ext_annotations_plus_migration(cache, run_once):
+    rows, (ann_red, comb_red, ann_ipc, comb_ipc) = run_once(run, cache)
+    print_table(
+        ["workload", "annotations SER cut", "combined SER cut",
+         "annotations IPC", "combined IPC", "migrations"],
+        rows,
+        title="Extension: annotations + FC migration (Sec. 7 hypothesis)",
+    )
+    # The combination strictly improves reliability over annotations
+    # alone, at a bounded extra performance cost.
+    assert comb_red > ann_red
+    assert comb_ipc > 0.65

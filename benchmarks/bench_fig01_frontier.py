@@ -1,0 +1,19 @@
+"""Figure 1: reliability vs performance frontier.
+
+Sweeping the fraction of hot pages placed in the fast memory traces
+the frontier the paper's intro plots: performance rises monotonically
+while reliability collapses by orders of magnitude.
+"""
+
+from repro.harness.experiments import SWEEP_WORKLOADS, fig01_frontier
+
+
+def test_fig01_frontier(cache, run_once):
+    result = run_once(fig01_frontier, workloads=SWEEP_WORKLOADS, cache=cache)
+    result.print()
+    ipcs = [row[1] for row in result.rows]
+    sers = [row[2] for row in result.rows]
+    # Performance grows with the hot fraction...
+    assert ipcs[-1] > ipcs[0] * 1.1
+    # ...while the soft error rate explodes.
+    assert sers[-1] > 20 * max(sers[0], 1.0)

@@ -1,0 +1,14 @@
+"""Figure 2: average memory AVF per workload (paper: 1.7% - 22.5%)."""
+
+from repro.harness.experiments import fig02_avf
+
+
+def test_fig02_avf(cache, run_once):
+    result = run_once(fig02_avf, cache=cache)
+    result.print()
+    # Wide spread, astar lowest, milc near the top (paper ordering).
+    assert result.rows[0][0] == "astar"
+    assert result.summary["min_avf_pct"] < 3.0
+    assert result.summary["max_avf_pct"] > 10.0
+    top3 = [row[0] for row in result.rows[-4:]]
+    assert "milc" in top3

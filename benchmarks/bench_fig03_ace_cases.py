@@ -1,0 +1,15 @@
+"""Figure 3: the didactic ACE-interval cases (masking, early/late reads)."""
+
+from repro.harness.experiments import fig03_ace_cases
+
+
+def test_fig03_ace_cases(run_once):
+    result = run_once(fig03_ace_cases)
+    result.print()
+    avfs = {row[0].split()[0]: float(row[2].rstrip("%")) for row in result.rows}
+    # (b): a strike between two writes is masked entirely.
+    assert avfs["(b)"] == 0.0
+    # (c) vs (d): same access counts, very different AVF.
+    assert avfs["(c)"] > 10 * max(avfs["(d)"], 1.0)
+    # (a): ACE spans write -> last read.
+    assert 40 <= avfs["(a)"] <= 80

@@ -1,0 +1,11 @@
+"""Figure 4: hotness-risk quadrants (hot & low-risk = 9-39%)."""
+
+from repro.harness.experiments import fig04_quadrants
+
+
+def test_fig04_quadrants(cache, run_once):
+    result = run_once(fig04_quadrants, cache=cache)
+    result.print()
+    # Meaningful hot & low-risk share across the suite (paper: 9-39%).
+    assert 2.0 < result.summary["hot_low_min_pct"] < 20.0
+    assert 15.0 < result.summary["hot_low_max_pct"] < 50.0

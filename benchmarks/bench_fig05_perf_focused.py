@@ -1,0 +1,10 @@
+"""Figure 5: performance-focused placement (paper: 1.6x IPC, 287x SER)."""
+
+from repro.harness.experiments import fig05_perf_focused
+
+
+def test_fig05_perf_focused(cache, run_once):
+    result = run_once(fig05_perf_focused, cache=cache)
+    result.print()
+    assert result.summary["mean_ipc_ratio"] > 1.2
+    assert result.summary["mean_ser_ratio"] > 50

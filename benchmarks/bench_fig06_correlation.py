@@ -1,0 +1,10 @@
+"""Figure 6: hotness vs AVF of the hottest pages (paper: rho = 0.08)."""
+
+from repro.harness.experiments import fig06_correlation
+
+
+def test_fig06_correlation(cache, run_once):
+    result = run_once(fig06_correlation, workload="mix1", cache=cache)
+    result.print()
+    # Weak correlation: neither strongly positive nor negative.
+    assert abs(result.summary["rho_hotness_avf"]) < 0.5

@@ -1,0 +1,11 @@
+"""Figure 7: reliability-focused placement (paper: SER/5 at -17% IPC)."""
+
+from repro.harness.experiments import fig07_rel_focused
+
+
+def test_fig07_rel_focused(cache, run_once):
+    result = run_once(fig07_rel_focused, cache=cache)
+    result.print()
+    # Large SER cut, significant IPC loss.
+    assert result.summary["mean_ser_ratio"] < 0.4
+    assert 0.6 < result.summary["mean_ipc_ratio"] < 0.95

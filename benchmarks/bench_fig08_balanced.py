@@ -1,0 +1,10 @@
+"""Figure 8: balanced placement (paper: SER/3 at -14% IPC)."""
+
+from repro.harness.experiments import fig08_balanced
+
+
+def test_fig08_balanced(cache, run_once):
+    result = run_once(fig08_balanced, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.6
+    assert result.summary["mean_ipc_ratio"] > 0.8

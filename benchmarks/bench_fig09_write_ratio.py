@@ -1,0 +1,14 @@
+"""Figure 9: write ratio vs AVF (paper: rho = -0.32, read-heavy bulk)."""
+
+from repro.harness.experiments import fig09_write_ratio
+
+
+def test_fig09_write_ratio(cache, run_once):
+    result = run_once(fig09_write_ratio, workload="mix1", cache=cache)
+    result.print()
+    assert -0.7 < result.summary["rho_write_ratio_avf"] < -0.1
+    # Most pages are read-heavy: the first bin dominates.
+    counts = [row[1] for row in result.rows]
+    assert counts[0] == max(counts)
+    # ...but a write-heavy tail exists (paper Fig. 9b's last bins).
+    assert sum(counts[-2:]) > 0

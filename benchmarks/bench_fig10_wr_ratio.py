@@ -1,0 +1,10 @@
+"""Figure 10: Wr-ratio placement (paper: SER/1.8 at -8.1% IPC)."""
+
+from repro.harness.experiments import fig10_wr_ratio
+
+
+def test_fig10_wr_ratio(cache, run_once):
+    result = run_once(fig10_wr_ratio, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.8
+    assert result.summary["mean_ipc_ratio"] > 0.8

@@ -1,0 +1,13 @@
+"""Figure 11: Wr^2-ratio placement (paper: SER/1.6 at only -1% IPC)."""
+
+from repro.harness.experiments import fig10_wr_ratio, fig11_wr2_ratio
+
+
+def test_fig11_wr2_ratio(cache, run_once):
+    result = run_once(fig11_wr2_ratio, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.8
+    assert result.summary["mean_ipc_ratio"] > 0.85
+    # Wr^2 trades a little SER for IPC relative to plain Wr ratio.
+    wr = fig10_wr_ratio(cache=cache)
+    assert result.summary["mean_ipc_ratio"] >= wr.summary["mean_ipc_ratio"] - 0.02

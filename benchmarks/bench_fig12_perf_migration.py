@@ -1,0 +1,12 @@
+"""Figure 12: performance-focused migration (paper: 1.52x IPC, 268x SER
+vs DDR-only; within ~6% of the static oracle)."""
+
+from repro.harness.experiments import fig12_perf_migration
+
+
+def test_fig12_perf_migration(cache, run_once):
+    result = run_once(fig12_perf_migration, cache=cache)
+    result.print()
+    assert result.summary["mean_ipc_vs_ddr"] > 1.15
+    assert result.summary["mean_ser_vs_ddr"] > 50
+    assert result.summary["ipc_vs_static_oracle"] > 0.85

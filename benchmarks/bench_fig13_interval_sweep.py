@@ -1,0 +1,21 @@
+"""Figure 13: migration interval sweep (paper: 100 ms optimum).
+
+The reproduced shape is the interior optimum: too-frequent migration
+pays copy bandwidth, too-rare migration reacts slowly to hot-set churn.
+"""
+
+from repro.harness.experiments import fig13_interval_sweep
+
+
+def test_fig13_interval_sweep(cache, run_once):
+    result = run_once(
+        fig13_interval_sweep, intervals=(2, 4, 8, 16, 32, 64), cache=cache
+    )
+    result.print()
+    ipcs = {int(row[0]): row[1] for row in result.rows}
+    best = int(result.summary["best_intervals"])
+    # The optimum is interior: neither the rarest nor the most
+    # frequent migration cadence wins.
+    assert best not in (2, 64)
+    assert ipcs[best] >= ipcs[2]
+    assert ipcs[best] >= ipcs[64]

@@ -1,0 +1,10 @@
+"""Figure 14: reliability-aware FC migration (paper: SER/1.8 at -6%)."""
+
+from repro.harness.experiments import fig14_fc_migration
+
+
+def test_fig14_fc_migration(cache, run_once):
+    result = run_once(fig14_fc_migration, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.7
+    assert result.summary["mean_ipc_ratio"] > 0.8

@@ -1,0 +1,15 @@
+"""Figure 15: Cross-Counters migration (paper: SER/1.5 at -4.9%,
+weaker SER cut but cheaper and faster than FC)."""
+
+from repro.harness.experiments import fig14_fc_migration, fig15_cc_migration
+
+
+def test_fig15_cc_migration(cache, run_once):
+    result = run_once(fig15_cc_migration, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.9
+    assert result.summary["mean_ipc_ratio"] > 0.85
+    fc = fig14_fc_migration(cache=cache)
+    # CC trades SER reduction for IPC relative to FC.
+    assert result.summary["mean_ipc_ratio"] >= fc.summary["mean_ipc_ratio"] - 0.02
+    assert result.summary["mean_ser_ratio"] >= fc.summary["mean_ser_ratio"] - 0.05

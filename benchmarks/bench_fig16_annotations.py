@@ -1,0 +1,10 @@
+"""Figure 16: program-annotation placement (paper: SER/1.3 at -1.1%)."""
+
+from repro.harness.experiments import fig16_annotations
+
+
+def test_fig16_annotations(cache, run_once):
+    result = run_once(fig16_annotations, cache=cache)
+    result.print()
+    assert result.summary["mean_ser_ratio"] < 0.9
+    assert result.summary["mean_ipc_ratio"] > 0.8

@@ -1,0 +1,16 @@
+"""Figure 17: annotated structures per workload (paper: 1-6 typical,
+tens for cactusADM/mixes, average ~8)."""
+
+from repro.harness.experiments import fig17_annotation_counts
+
+
+def test_fig17_annotation_counts(cache, run_once):
+    result = run_once(fig17_annotation_counts, cache=cache)
+    result.print()
+    counts = {row[0]: row[1] for row in result.rows}
+    assert 2 <= result.summary["mean_annotations"] <= 20
+    # Homogeneous workloads need only a handful of annotations...
+    assert counts["astar"] <= 6
+    assert counts["lbm"] <= 4
+    # ...while cactusADM and the mixes are the outliers.
+    assert result.summary["max_annotations"] >= 2 * counts["astar"]

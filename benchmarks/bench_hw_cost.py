@@ -1,0 +1,14 @@
+"""Sections 6.3/6.4: hardware cost (paper: FC 8.5 MB total / 4.25 MB
+additional; Cross Counters 676 KB)."""
+
+import pytest
+
+from repro.harness.experiments import hw_cost
+
+
+def test_hw_cost(run_once):
+    result = run_once(hw_cost)
+    result.print()
+    assert result.summary["fc_total_mb"] == pytest.approx(8.5, rel=0.02)
+    assert result.summary["fc_additional_mb"] == pytest.approx(4.25, rel=0.02)
+    assert result.summary["cc_total_kb"] <= 700

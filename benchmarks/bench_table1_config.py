@@ -1,0 +1,19 @@
+"""Table 1: system configuration (validated and printed)."""
+
+from repro.config import default_config
+from repro.harness.experiments import table1_config
+
+
+def test_table1_config(run_once):
+    result = run_once(table1_config)
+    result.print()
+    cfg = default_config()
+    assert cfg.num_cores == 16
+    assert cfg.fast_memory.capacity_bytes == 1 << 30
+    assert cfg.slow_memory.capacity_bytes == 16 << 30
+    assert cfg.fast_memory.ecc == "secded"
+    assert cfg.slow_memory.ecc == "chipkill"
+    # HBM: 8 ch x 128 bit @ 1 GT/s = 128 GiB/s-class bandwidth;
+    # DDR3: 2 ch x 64 bit @ 1.6 GT/s ~ 25.6 GB/s.
+    assert (cfg.fast_memory.peak_bandwidth_bytes_per_sec
+            > 4 * cfg.slow_memory.peak_bandwidth_bytes_per_sec)

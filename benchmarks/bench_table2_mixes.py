@@ -1,0 +1,11 @@
+"""Table 2: mixed workload composition."""
+
+from repro.harness.experiments import table2_mixes
+from repro.trace.mixes import MIX_TABLE
+
+
+def test_table2_mixes(run_once):
+    result = run_once(table2_mixes)
+    result.print()
+    assert sum(MIX_TABLE["mix1"].values()) == 16
+    assert len(result.rows) == 15

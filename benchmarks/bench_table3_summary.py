@@ -1,0 +1,29 @@
+"""Table 3: the paper's summary of every scheme, side by side with
+the paper's own numbers."""
+
+from repro.harness.experiments import table3_summary
+
+
+def test_table3_summary(cache, run_once):
+    result = run_once(table3_summary, cache=cache)
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {
+        "Reliability-focused", "Balanced", "Wr ratio", "Wr^2 ratio",
+        "Reliability-aware (FC)", "Reliability-aware (CC)",
+        "Program annotations",
+    }
+
+    def ser_gain(label):
+        return float(rows[label][2].rstrip("x"))
+
+    def ipc_loss(label):
+        return float(rows[label][1].rstrip("%"))
+
+    # Ordering of the static schemes, as in the paper's Table 3.
+    assert ser_gain("Reliability-focused") > ser_gain("Balanced")
+    assert ser_gain("Balanced") >= ser_gain("Wr^2 ratio") * 0.85
+    assert ipc_loss("Reliability-focused") > ipc_loss("Wr^2 ratio")
+    # Every scheme actually improves reliability.
+    for label in rows:
+        assert ser_gain(label) > 1.0

@@ -1,0 +1,40 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index), prints the reproduced rows, and
+asserts the qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs (for deeper, slower runs):
+
+* ``REPRO_BENCH_ACCESSES`` — memory accesses per core (default 8000)
+* ``REPRO_BENCH_SCALE``    — capacity scale (default 1/1024)
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import WorkloadCache
+
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "8000"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", str(1 / 1024)))
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Prepared workloads shared by every figure benchmark."""
+    return WorkloadCache(accesses_per_core=BENCH_ACCESSES,
+                         scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,72 @@
+"""Dynamic migration study: HMA vs FC vs Cross Counters.
+
+Runs the three migration mechanisms of paper Section 6 on a workload
+whose hot set churns across intervals, reporting performance,
+reliability, migration volume, and the tracking-hardware budget of
+each mechanism.
+
+    python examples/dynamic_migration.py [workload]
+"""
+
+import sys
+
+from repro.core.migration import (
+    CrossCountersMigration,
+    PerformanceFocusedMigration,
+    ReliabilityAwareFCMigration,
+)
+from repro.core.placement import BalancedPlacement
+from repro.harness.reporting import print_table
+from repro.sim.system import evaluate_migration, prepare_workload
+
+
+def main(workload: str = "mix1") -> None:
+    prep = prepare_workload(workload, accesses_per_core=20_000)
+    total_pages = prep.workload_trace.footprint_pages
+    fast_pages = prep.capacity_pages
+
+    runs = [
+        ("perf-focused (Meswani HMA)", PerformanceFocusedMigration(), None),
+        ("reliability-aware FC", ReliabilityAwareFCMigration(),
+         BalancedPlacement()),
+        ("Cross Counters (MEA + FC)", CrossCountersMigration(),
+         BalancedPlacement()),
+    ]
+
+    rows = []
+    baseline_ser = None
+    for label, mechanism, initial in runs:
+        res = evaluate_migration(prep, mechanism, num_intervals=16,
+                                 initial_policy=initial)
+        if baseline_ser is None:
+            baseline_ser = res.ser
+        hw = mechanism.hardware_cost_bytes(total_pages, fast_pages)
+        rows.append([
+            label,
+            f"{res.ipc_vs_ddr:.2f}x",
+            f"{baseline_ser / res.ser:.2f}x" if res.ser else "-",
+            res.migrations,
+            f"{hw / 1024:.0f} KB",
+        ])
+
+    print_table(
+        ["mechanism", "IPC vs DDR", "SER cut vs perf-migration",
+         "migrations", "tracking HW"],
+        rows,
+        title=f"{workload}: dynamic migration mechanisms (16 intervals)",
+    )
+    print("FC buys the largest reliability improvement but needs two")
+    print("full counters per page; Cross Counters keeps most of the")
+    print("benefit with an order of magnitude less tracking hardware,")
+    print("exactly the trade the paper's Section 6.4 argues for.")
+    print()
+    print("At the paper's full 17 GB scale the same mechanisms cost:")
+    full_total = (17 << 30) // 4096
+    full_fast = (1 << 30) // 4096
+    for label, mechanism, _ in runs:
+        hw = mechanism.hardware_cost_bytes(full_total, full_fast)
+        print(f"  {label:28s} {hw / (1 << 20):6.2f} MB")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mix1")

@@ -1,0 +1,70 @@
+"""Standalone reliability analysis with the FaultSim substrate.
+
+Uses the Monte-Carlo fault simulator directly — no traces, no CPU
+model — to study how ECC choice and raw FIT scaling set the
+uncorrected-error rates that drive every SER number in the paper.
+
+    python examples/fault_analysis.py
+"""
+
+from dataclasses import replace
+
+from repro.config import ddr3_config, hbm_config
+from repro.faults.faultsim import FaultSimulator, uncorrected_fit_per_page
+from repro.faults.fit import JAGUAR_TRANSIENT, FaultComponent
+from repro.harness.reporting import print_table
+
+
+def main() -> None:
+    # -- The field-study inputs --
+    print_table(
+        ["component", "transient FIT / device"],
+        [[c.value, JAGUAR_TRANSIENT.rate(c)] for c in FaultComponent],
+        title="Transient FIT rates (Jaguar-field-study shaped)",
+    )
+
+    # -- Monte-Carlo vs analytic for each memory --
+    rows = []
+    for memory in (hbm_config(), ddr3_config()):
+        sim = FaultSimulator(memory, seed=7)
+        mc = sim.run(trials=200_000)
+        analytic = sim.analytic_uncorrected_per_mission()
+        rows.append([
+            f"{memory.name} ({memory.ecc})",
+            f"{mc.corrected}",
+            f"{mc.detected}",
+            f"{mc.expected_uncorrected_per_mission:.2e}",
+            f"{analytic:.2e}",
+        ])
+    print_table(
+        ["memory", "corrected", "detected (DUE)",
+         "uncorrected / rank-mission (MC)", "analytic"],
+        rows,
+        title="FaultSim: 200K rank-mission simulations per memory",
+    )
+
+    # -- The reliability gap that motivates the whole paper --
+    fit_hbm = uncorrected_fit_per_page(hbm_config(), analytic=True)
+    fit_ddr = uncorrected_fit_per_page(ddr3_config(), analytic=True)
+    print(f"uncorrected FIT per 4 KB page:  HBM {fit_hbm:.2e}   "
+          f"DDR {fit_ddr:.2e}   ratio {fit_hbm / fit_ddr:.0f}x")
+    print()
+
+    # -- Sensitivity: how the gap scales with die-stacked raw FIT --
+    rows = []
+    for multiplier in (1, 2, 4, 7, 10):
+        hbm = replace(hbm_config(), fit_multiplier=float(multiplier))
+        ratio = (uncorrected_fit_per_page(hbm, analytic=True) / fit_ddr)
+        rows.append([multiplier, f"{ratio:.0f}x"])
+    print_table(
+        ["HBM raw-FIT multiplier", "per-page uncorrected-FIT ratio"],
+        rows,
+        title="Sensitivity: die-stacked raw FIT vs the reliability gap",
+    )
+    print("Even at equal raw FIT (multiplier 1) the SEC-DED vs ChipKill")
+    print("asymmetry leaves a large uncorrected-error gap; density and")
+    print("TSV failure modes widen it further — the paper's premise.")
+
+
+if __name__ == "__main__":
+    main()

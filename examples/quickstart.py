@@ -1,0 +1,53 @@
+"""Quickstart: profile a workload and compare two placements.
+
+Runs the 16-copy milc workload through the full pipeline — synthetic
+trace, AVF profiling, fault simulation, and trace replay — and compares
+a performance-focused placement against the paper's Wr^2-ratio
+reliability-aware placement.
+
+    python examples/quickstart.py
+"""
+
+from repro.core.placement import (
+    PerformanceFocusedPlacement,
+    Wr2RatioPlacement,
+)
+from repro.harness.reporting import print_table
+from repro.sim.system import evaluate_static, prepare_workload
+
+
+def main() -> None:
+    # Prepare: generate the trace, profile per-page hotness/AVF, run
+    # the fault simulator, and replay the DDR-only baseline.  The
+    # default scale is 1/1024 (1 MB "HBM" vs 16 MB "DDR3") so this
+    # finishes in seconds; pass scale=1.0 for the paper's full sizes.
+    prep = prepare_workload("milc", accesses_per_core=20_000)
+
+    print(f"workload: {prep.name}")
+    print(f"footprint: {prep.workload_trace.footprint_pages} pages, "
+          f"HBM capacity: {prep.capacity_pages} pages")
+    print(f"mean memory AVF: {prep.stats.mean_avf() * 100:.1f}%")
+    print(f"HBM/DDR uncorrected-FIT ratio: {prep.ser_model.fit_ratio:.0f}x")
+    print()
+
+    rows = []
+    for policy in (PerformanceFocusedPlacement(), Wr2RatioPlacement()):
+        res = evaluate_static(prep, policy)
+        rows.append([
+            policy.name,
+            f"{res.ipc:.2f}",
+            f"{res.ipc_vs_ddr:.2f}x",
+            f"{res.ser_vs_ddr:.0f}x",
+        ])
+    print_table(
+        ["placement", "IPC", "IPC vs DDR-only", "SER vs DDR-only"],
+        rows,
+        title="Static placement comparison (milc, 16 cores)",
+    )
+    print("The Wr^2-ratio placement keeps nearly all of the performance")
+    print("win while exposing far less vulnerable data to the weakly-")
+    print("protected fast memory.")
+
+
+if __name__ == "__main__":
+    main()

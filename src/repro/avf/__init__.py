@@ -1,0 +1,34 @@
+"""AVF engine: ACE tracking, page aggregation, and proxy heuristics."""
+
+from repro.avf.tracker import AceTracker, line_ace_times
+from repro.avf.page import (
+    IntervalProfile,
+    PageStats,
+    profile_intervals,
+    profile_trace,
+)
+from repro.avf.heuristics import (
+    WriteRatioHistogram,
+    hotness_avf_correlation,
+    pearson,
+    risk_from_write_ratio,
+    top_hot_pages,
+    write_ratio_avf_correlation,
+    write_ratio_histogram,
+)
+
+__all__ = [
+    "AceTracker",
+    "line_ace_times",
+    "PageStats",
+    "IntervalProfile",
+    "profile_trace",
+    "profile_intervals",
+    "pearson",
+    "hotness_avf_correlation",
+    "write_ratio_avf_correlation",
+    "top_hot_pages",
+    "write_ratio_histogram",
+    "WriteRatioHistogram",
+    "risk_from_write_ratio",
+]

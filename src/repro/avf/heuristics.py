@@ -1,0 +1,90 @@
+"""AVF-proxy heuristics and correlation analyses (paper Sections 4.2, 5.3).
+
+The paper's key observations, all reproduced here as functions over a
+:class:`~repro.avf.page.PageStats` profile:
+
+* page hotness and AVF correlate weakly (rho ~ 0.08 for mix1, Fig. 6),
+* the write ratio Wr/Rd correlates negatively with AVF (rho ~ -0.32,
+  Fig. 9a) because most dead intervals end in a write, and
+* the Wr^2/Rd ratio additionally weights absolute write volume, which
+  steers the heuristic away from cold pages (Sec. 5.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.avf.page import PageStats
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 for degenerate inputs."""
+    if len(x) != len(y):
+        raise ValueError("arrays must have equal length")
+    if len(x) < 2:
+        return 0.0
+    sx, sy = np.std(x), np.std(y)
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def hotness_avf_correlation(stats: PageStats) -> float:
+    """rho(hotness, AVF) over the touched footprint (paper: ~0.08)."""
+    return pearson(stats.hotness.astype(np.float64), stats.avf)
+
+
+def write_ratio_avf_correlation(stats: PageStats) -> float:
+    """rho(Wr ratio, AVF) over the touched footprint (paper: ~ -0.32)."""
+    return pearson(stats.write_ratio, stats.avf)
+
+
+def top_hot_pages(stats: PageStats, n: int) -> np.ndarray:
+    """Indices (into the profile arrays) of the ``n`` hottest pages,
+    hottest first — the x-axis of the paper's Figures 6 and 9a."""
+    order = np.argsort(stats.hotness, kind="stable")[::-1]
+    return order[: min(n, len(order))]
+
+
+@dataclass
+class WriteRatioHistogram:
+    """Figure 9b: pages bucketed by write ratio percentage."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    def __iter__(self):
+        for i, count in enumerate(self.counts):
+            yield (float(self.bin_edges[i]), float(self.bin_edges[i + 1]),
+                   int(count))
+
+
+def write_ratio_histogram(
+    stats: PageStats, num_bins: int = 5, max_ratio: float = 1.0
+) -> WriteRatioHistogram:
+    """Histogram of write ratios in ``num_bins`` equal bins.
+
+    The paper buckets write ratio *percentage* into 20%-wide bins
+    (1-20%, 21-40%, ...); ratios above ``max_ratio`` land in the last
+    bin.
+    """
+    ratio = np.minimum(stats.write_ratio, max_ratio)
+    edges = np.linspace(0.0, max_ratio, num_bins + 1)
+    counts, _ = np.histogram(ratio, bins=edges)
+    return WriteRatioHistogram(bin_edges=edges, counts=counts)
+
+
+def risk_from_write_ratio(stats: PageStats, threshold: "float | None" = None
+                          ) -> np.ndarray:
+    """Classify pages as high-risk (True) using the Wr-ratio heuristic.
+
+    Low writes relative to reads -> likely long live intervals ->
+    high risk.  The default threshold is the footprint's mean write
+    ratio, matching the dynamic mechanism of Section 6.2.
+    """
+    ratio = stats.write_ratio
+    if threshold is None:
+        threshold = float(ratio.mean())
+    return ratio < threshold

@@ -1,0 +1,177 @@
+"""Page-level AVF aggregation (paper Equation 1 / Section 4.1).
+
+The paper performs AVF analysis at cache-line granularity (memory is
+read and written in lines), sums the per-line ACE time over a page, and
+divides by the page's bit capacity and the window length — i.e. a page
+AVF is the mean AVF of its 64 lines, with never-touched lines
+contributing zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import LINES_PER_PAGE
+from repro.avf.tracker import line_ace_times
+from repro.trace.record import Trace
+
+
+@dataclass
+class PageStats:
+    """Per-page profile of a workload run on a flat (DDR-only) memory.
+
+    The struct-of-arrays layout keeps the policy layer vectorised.  All
+    arrays are parallel and sorted by ``pages``.
+    """
+
+    pages: np.ndarray
+    reads: np.ndarray
+    writes: np.ndarray
+    avf: np.ndarray
+    #: Total footprint in pages, including never-touched pages (used
+    #: for mean-AVF reporting against the full footprint as in Fig. 2).
+    footprint_pages: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.pages)
+        if not (len(self.reads) == len(self.writes) == len(self.avf) == n):
+            raise ValueError("PageStats arrays must be parallel")
+        if self.footprint_pages < n:
+            self.footprint_pages = n
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    @property
+    def hotness(self) -> np.ndarray:
+        """Raw access counts (reads + writes), the paper's hotness."""
+        return self.reads + self.writes
+
+    @property
+    def write_ratio(self) -> np.ndarray:
+        """Wr ratio = writes / reads (paper Sec. 5.3); inf-safe."""
+        return self.writes / np.maximum(self.reads, 1)
+
+    @property
+    def wr2_ratio(self) -> np.ndarray:
+        """Wr^2 ratio = writes^2 / reads (paper Sec. 5.4.2)."""
+        return self.writes.astype(np.float64) ** 2 / np.maximum(self.reads, 1)
+
+    def mean_avf(self) -> float:
+        """Mean AVF over the whole footprint (untouched pages are 0)."""
+        if self.footprint_pages == 0:
+            return 0.0
+        return float(self.avf.sum() / self.footprint_pages)
+
+    def index_of(self, pages) -> np.ndarray:
+        """Positions of ``pages`` within this profile's arrays."""
+        idx = np.searchsorted(self.pages, pages)
+        idx = np.clip(idx, 0, len(self.pages) - 1)
+        if not np.all(self.pages[idx] == pages):
+            raise KeyError("some pages are not in this profile")
+        return idx
+
+
+def profile_trace(
+    trace: Trace,
+    times: np.ndarray,
+    footprint_pages: int = 0,
+    assume_live_at_start: bool = True,
+) -> PageStats:
+    """Compute per-page hotness and AVF for a full trace.
+
+    ``times`` is the logical time of every request in ``[0, 1)``; the
+    window length is 1, so per-line ACE time is already a per-line AVF
+    and a page's AVF is the mean over its 64 lines.
+    """
+    lines = trace.lines.astype(np.int64)
+    uline, ace = line_ace_times(
+        lines, times, trace.is_write, assume_live_at_start=assume_live_at_start
+    )
+    line_pages = uline // LINES_PER_PAGE
+
+    pages_all = trace.pages.astype(np.int64)
+    unique_pages = np.unique(pages_all)
+
+    # Per-page read/write counts.
+    inverse = np.searchsorted(unique_pages, pages_all)
+    reads = np.zeros(len(unique_pages), dtype=np.int64)
+    writes = np.zeros(len(unique_pages), dtype=np.int64)
+    np.add.at(reads, inverse[~trace.is_write], 1)
+    np.add.at(writes, inverse[trace.is_write], 1)
+
+    # Per-page AVF: sum line ACE over the page / 64 lines / window(=1).
+    avf = np.zeros(len(unique_pages))
+    page_idx = np.searchsorted(unique_pages, line_pages)
+    np.add.at(avf, page_idx, ace)
+    avf /= LINES_PER_PAGE
+
+    return PageStats(
+        pages=unique_pages,
+        reads=reads,
+        writes=writes,
+        avf=np.clip(avf, 0.0, 1.0),
+        footprint_pages=max(footprint_pages, len(unique_pages)),
+    )
+
+
+@dataclass
+class IntervalProfile:
+    """Per-interval page statistics for dynamic SER accounting.
+
+    ``interval_avf[i]`` maps page -> AVF accumulated during interval
+    ``i`` (ACE time attributed to the interval containing the read).
+    """
+
+    num_intervals: int
+    interval_avf: "list[dict[int, float]]" = field(default_factory=list)
+
+    def total_avf(self, page: int) -> float:
+        return sum(iv.get(page, 0.0) for iv in self.interval_avf)
+
+
+def profile_intervals(
+    trace: Trace,
+    times: np.ndarray,
+    boundaries: np.ndarray,
+    assume_live_at_start: bool = True,
+) -> IntervalProfile:
+    """Split a trace at logical-time ``boundaries`` and compute each
+    interval's per-page AVF contribution.
+
+    ACE spans crossing a boundary are attributed to the interval in
+    which the read occurs — the same attribution the streaming
+    tracker's :meth:`~repro.avf.tracker.AceTracker.reset_window` makes.
+    """
+    lines = trace.lines.astype(np.int64)
+    is_write = trace.is_write
+
+    # Previous-access time per line (window start for first accesses).
+    order = np.argsort(lines, kind="stable")
+    sl, st, sw = lines[order], times[order], is_write[order]
+    first = np.empty(len(sl), dtype=bool)
+    if len(sl):
+        first[0] = True
+        first[1:] = sl[1:] != sl[:-1]
+    prev = np.empty_like(st)
+    if len(sl):
+        prev[1:] = st[:-1]
+        prev[0] = 0.0
+        prev[first] = 0.0
+    contrib = np.where(~sw, st - prev, 0.0)
+    if not assume_live_at_start:
+        contrib[first & ~sw] = 0.0
+
+    interval_of = np.searchsorted(boundaries, st, side="right")
+    n_intervals = len(boundaries) + 1
+    page_of = sl // LINES_PER_PAGE
+
+    profile = IntervalProfile(num_intervals=n_intervals,
+                              interval_avf=[{} for _ in range(n_intervals)])
+    active = contrib > 0
+    for iv, page, c in zip(interval_of[active], page_of[active], contrib[active]):
+        bucket = profile.interval_avf[iv]
+        bucket[int(page)] = bucket.get(int(page), 0.0) + c / LINES_PER_PAGE
+    return profile

@@ -1,0 +1,134 @@
+"""A set-associative cache with true-LRU replacement.
+
+This is the building block of the Moola-substitute cache filter
+(see ``repro.cache.hierarchy``): write-back, write-allocate by default,
+with hit/miss/write-back accounting.  The model is functional (no
+timing) because its only role in the reproduction — exactly as in the
+paper — is to decide which requests reach main memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    #: Line evicted to make room, or None.
+    evicted_line: "int | None" = None
+    #: True when the evicted line was dirty (a write-back is required).
+    writeback: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write-back counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One cache level, indexed by cache-line number.
+
+    Each set is an :class:`~collections.OrderedDict` from tag to a
+    dirty bit; insertion order encodes recency (last item = MRU).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._sets: "list[OrderedDict[int, bool]]" = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _index(self, line: int) -> "tuple[int, int]":
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Look up ``line``; allocate on miss (write-allocate policy).
+
+        Returns whether it hit and any eviction/write-back that the
+        allocation caused.
+        """
+        set_idx, tag = self._index(line)
+        cset = self._sets[set_idx]
+        self.stats.accesses += 1
+
+        if tag in cset:
+            self.stats.hits += 1
+            dirty = cset.pop(tag)
+            cset[tag] = dirty or is_write
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        if not (is_write and not self.config.write_allocate):
+            evicted_line = None
+            writeback = False
+            if len(cset) >= self.associativity:
+                victim_tag, victim_dirty = cset.popitem(last=False)
+                evicted_line = victim_tag * self.num_sets + set_idx
+                writeback = victim_dirty and self.config.write_back
+                if writeback:
+                    self.stats.writebacks += 1
+            cset[tag] = is_write
+            return AccessResult(
+                hit=False, evicted_line=evicted_line, writeback=writeback
+            )
+        return AccessResult(hit=False)
+
+    def contains(self, line: int) -> bool:
+        set_idx, tag = self._index(line)
+        return tag in self._sets[set_idx]
+
+    def is_dirty(self, line: int) -> bool:
+        set_idx, tag = self._index(line)
+        return self._sets[set_idx].get(tag, False)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line``; returns True if it was present and dirty."""
+        set_idx, tag = self._index(line)
+        cset = self._sets[set_idx]
+        if tag in cset:
+            return cset.pop(tag)
+        return False
+
+    def resident_lines(self) -> "list[int]":
+        """All lines currently cached (test/diagnostic helper)."""
+        lines = []
+        for set_idx, cset in enumerate(self._sets):
+            lines.extend(tag * self.num_sets + set_idx for tag in cset)
+        return lines
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> "list[int]":
+        """Empty the cache, returning the lines that needed write-back."""
+        dirty = []
+        for set_idx, cset in enumerate(self._sets):
+            for tag, is_dirty in cset.items():
+                if is_dirty and self.config.write_back:
+                    dirty.append(tag * self.num_sets + set_idx)
+            cset.clear()
+        self.stats.writebacks += len(dirty)
+        return dirty

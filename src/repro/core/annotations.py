@@ -1,0 +1,156 @@
+"""Program-annotation-based data placement (paper Section 7).
+
+A programmer (or profile-guided compiler) annotates a handful of
+program structures that are frequently accessed yet rarely live —
+hot & low-risk.  The ELF loader pins the annotated structures' pages
+into HBM and marks them exempt from migration.
+
+Structures here are the workload generator's named regions
+(:class:`~repro.trace.synthetic.RegionSpec`): each benchmark exposes
+its arrays/heaps/tables, and annotating one structure covers every
+process running that benchmark (as annotating the source does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.avf.page import PageStats
+from repro.trace.synthetic import RegionLayout
+from repro.trace.workloads import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Aggregate hotness/risk of one annotatable structure."""
+
+    name: str
+    pages: int
+    accesses: int
+    mean_hotness: float
+    mean_avf: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.accesses == 0
+
+
+@dataclass
+class AnnotationPlan:
+    """The chosen annotations and the placement they induce."""
+
+    workload: str
+    annotated: "list[StructureProfile]" = field(default_factory=list)
+    pinned_pages: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def num_annotations(self) -> int:
+        return len(self.annotated)
+
+    @property
+    def structure_names(self) -> "list[str]":
+        return [s.name for s in self.annotated]
+
+
+def profile_structures(
+    workload_trace: WorkloadTrace, stats: PageStats
+) -> "list[StructureProfile]":
+    """Aggregate page statistics up to named program structures.
+
+    Homogeneous copies of a benchmark share one structure per region
+    name, so their pages pool together (one annotation covers all
+    copies).
+    """
+    page_to_idx = {int(p): i for i, p in enumerate(stats.pages)}
+    hotness = stats.hotness
+    profiles = []
+    for name, layouts in workload_trace.structures().items():
+        total_pages = sum(l.num_pages for l in layouts)
+        accesses = 0
+        avf_sum = 0.0
+        for layout in layouts:
+            for page in range(layout.first_page, layout.first_page + layout.num_pages):
+                idx = page_to_idx.get(page)
+                if idx is None:
+                    continue
+                accesses += int(hotness[idx])
+                avf_sum += float(stats.avf[idx])
+        profiles.append(
+            StructureProfile(
+                name=name,
+                pages=total_pages,
+                accesses=accesses,
+                mean_hotness=accesses / total_pages if total_pages else 0.0,
+                mean_avf=avf_sum / total_pages if total_pages else 0.0,
+            )
+        )
+    return profiles
+
+
+def _structure_pages(layouts: "list[RegionLayout]") -> np.ndarray:
+    parts = [
+        np.arange(l.first_page, l.first_page + l.num_pages, dtype=np.int64)
+        for l in layouts
+    ]
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def plan_annotations(
+    workload_trace: WorkloadTrace,
+    stats: PageStats,
+    capacity_pages: int,
+    avf_quantile: float = 0.7,
+) -> AnnotationPlan:
+    """Choose structures to annotate until HBM capacity is covered.
+
+    Candidate structures are the hot & low-risk ones: mean structure
+    AVF below the ``avf_quantile`` of structure AVFs, ranked by mean
+    hotness (hottest first).  Structures are added until their combined
+    footprint fills the HBM capacity, mirroring Fig. 17's "1 GB of
+    potentially hot and low-risk pages".
+    """
+    if capacity_pages <= 0:
+        return AnnotationPlan(workload=workload_trace.workload_name)
+    structures = workload_trace.structures()
+    profiles = [p for p in profile_structures(workload_trace, stats)
+                if not p.is_empty]
+    if not profiles:
+        return AnnotationPlan(workload=workload_trace.workload_name)
+
+    avfs = np.array([p.mean_avf for p in profiles])
+    threshold = float(np.quantile(avfs, avf_quantile))
+    low_risk = [p for p in profiles if p.mean_avf <= threshold]
+    low_risk.sort(key=lambda p: -p.mean_hotness)
+
+    chosen: "list[StructureProfile]" = []
+    pinned: "list[np.ndarray]" = []
+    covered = 0
+    for profile in low_risk:
+        if covered >= capacity_pages:
+            break
+        pages = _structure_pages(structures[profile.name])
+        room = capacity_pages - covered
+        if len(pages) > room:
+            # Partial pin of the structure's hottest pages.
+            idx = stats.index_of(
+                np.intersect1d(pages, stats.pages, assume_unique=False)
+            )
+            order = np.argsort(-stats.hotness[idx], kind="stable")
+            pages = stats.pages[idx[order][:room]].astype(np.int64)
+        chosen.append(profile)
+        pinned.append(pages)
+        covered += len(pages)
+
+    pinned_pages = (
+        np.unique(np.concatenate(pinned)) if pinned
+        else np.empty(0, dtype=np.int64)
+    )
+    return AnnotationPlan(
+        workload=workload_trace.workload_name,
+        annotated=chosen,
+        pinned_pages=pinned_pages,
+    )

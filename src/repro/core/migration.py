@@ -1,0 +1,409 @@
+"""Dynamic migration mechanisms (paper Section 6).
+
+A migration mechanism observes the memory request stream through its
+hardware counters and, at interval boundaries, proposes page exchanges
+between the fast and slow memories.  The replay engine
+(:mod:`repro.sim.engine`) drives the mechanism: it feeds each interval's
+accesses to :meth:`MigrationMechanism.observe_chunk`, then asks
+:meth:`plan` (at coarse FC intervals) or :meth:`plan_sub` (at fine MEA
+intervals) for migration pairs and charges the copy bandwidth.
+
+Mechanisms:
+
+* :class:`PerformanceFocusedMigration` — the Meswani et al. HMA scheme:
+  one access counter per page, mean-hotness threshold, swap hot DDR
+  pages for cold HBM pages every interval (Sec. 6.1).
+* :class:`ReliabilityAwareFCMigration` — split counters into reads and
+  writes; exchange *cold or high-risk* HBM pages for *hot and low-risk*
+  DDR pages (Sec. 6.2).
+* :class:`CrossCountersMigration` — MEA hotness tracking system-wide
+  (fires every MEA interval) plus Full-Counter risk tracking for HBM
+  pages only (fires every FC interval) (Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.counters import FullCounters
+from repro.core.mea import MeaTracker
+from repro.dram.hma import FAST, HeterogeneousMemory
+
+MigrationPlan = "tuple[list[int], list[int]]"
+
+
+def _mean_threshold(values: "list[float]") -> float:
+    return float(np.mean(values)) if values else 0.0
+
+
+class MigrationMechanism(ABC):
+    """Interface between the replay engine and a migration policy."""
+
+    name: str = "base"
+    #: Fine-grained planning steps per coarse interval (1 = none).
+    subintervals_per_interval: int = 1
+
+    @abstractmethod
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        """Feed one chunk of the access stream into the counters.
+
+        ``times`` (logical time per request) is provided by the replay
+        engine for mechanisms that need temporal information — the
+        hardware-realisable mechanisms ignore it.
+        """
+
+    @abstractmethod
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        """Coarse-interval (FC) migration decision.
+
+        Returns ``(to_fast, to_slow)`` page lists; counters reset as
+        the hardware would at interval boundaries.
+        """
+
+    def plan_sub(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        """Fine-interval (MEA) migration decision; default: none."""
+        return [], []
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        """Additional tracking storage the mechanism needs."""
+        return 0
+
+
+class PerformanceFocusedMigration(MigrationMechanism):
+    """State-of-the-art hotness-only migration (Meswani et al. [40]).
+
+    A raw access counter per page; at each interval every slow-memory
+    page whose count exceeds the interval's mean page hotness is a
+    candidate, displacing the coldest pages currently in HBM.
+    """
+
+    name = "perf-migration"
+
+    def __init__(self, counter_bits: int = 8,
+                 max_swap_fraction: float = 0.1,
+                 fixed_threshold: "int | None" = None) -> None:
+        if not 0 < max_swap_fraction <= 1:
+            raise ValueError("max_swap_fraction must be in (0, 1]")
+        if fixed_threshold is not None and fixed_threshold < 0:
+            raise ValueError("fixed_threshold must be non-negative")
+        self.counters = FullCounters(counter_bits=counter_bits)
+        #: Bound on per-interval exchange volume, as a fraction of HBM
+        #: capacity — the migration engine cannot move more data per
+        #: interval than the slow memory's bandwidth absorbs.
+        self.max_swap_fraction = max_swap_fraction
+        #: Hardwired hotness threshold; None (the paper's choice) uses
+        #: the dynamic per-interval mean, which "serves every
+        #: application fairly" (Sec. 6.1).
+        self.fixed_threshold = fixed_threshold
+
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        self.counters.record_batch(pages, is_write)
+
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        counters = self.counters
+        touched = counters.touched_pages()
+        hotness = {p: counters.hotness(p) for p in touched}
+        if self.fixed_threshold is not None:
+            threshold = float(self.fixed_threshold)
+        else:
+            threshold = _mean_threshold(list(hotness.values()))
+
+        in_fast = set(hma.pages_in(FAST))
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+        # Hot pages currently off-package, hottest first.
+        candidates_in = sorted(
+            (p for p, h in hotness.items() if h > threshold and p not in in_fast),
+            key=lambda p: -hotness[p],
+        )[:budget]
+        # HBM pages ranked coldest first (untouched pages count 0);
+        # swaps stop once a victim would be hotter than its replacement.
+        eviction_order = iter(sorted(in_fast, key=lambda p: hotness.get(p, 0)))
+
+        free_slots = hma.fast_capacity_pages - len(in_fast)
+        to_fast: "list[int]" = []
+        to_slow: "list[int]" = []
+        for page in candidates_in:
+            if free_slots > 0:
+                to_fast.append(page)
+                free_slots -= 1
+                continue
+            victim = next(eviction_order, None)
+            if victim is None or hotness.get(victim, 0) >= hotness[page]:
+                break
+            to_slow.append(victim)
+            to_fast.append(page)
+
+        counters.reset()
+        return to_fast, to_slow
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        # One 8-bit counter per addressable page.
+        return FullCounters.storage_cost(
+            total_pages, counter_bits=self.counters.counter_bits,
+            counters_per_page=1,
+        ).total_bytes
+
+
+class ReliabilityAwareFCMigration(MigrationMechanism):
+    """Full-Counter reliability-aware migration (paper Section 6.2).
+
+    Two counters per page (reads, writes) give hotness = R + W and
+    risk = Wr/Rd.  Mean hotness and mean risk over the interval's
+    touched pages are the thresholds; the mechanism exchanges *cold or
+    high-risk* HBM residents for *hot and low-risk* DDR pages.
+    """
+
+    name = "fc-migration"
+
+    def __init__(self, counter_bits: int = 8,
+                 max_swap_fraction: float = 0.1) -> None:
+        if not 0 < max_swap_fraction <= 1:
+            raise ValueError("max_swap_fraction must be in (0, 1]")
+        self.counters = FullCounters(counter_bits=counter_bits)
+        self.max_swap_fraction = max_swap_fraction
+
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        self.counters.record_batch(pages, is_write)
+
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        counters = self.counters
+        touched = counters.touched_pages()
+        hotness = {p: counters.hotness(p) for p in touched}
+        risk = {p: counters.write_ratio(p) for p in touched}
+        hot_threshold = _mean_threshold(list(hotness.values()))
+        # Low Wr/Rd means long live intervals, i.e. high risk.
+        risk_threshold = _mean_threshold(list(risk.values()))
+
+        in_fast = set(hma.pages_in(FAST))
+
+        def is_good(page: int) -> bool:
+            return (
+                hotness.get(page, 0) > hot_threshold
+                and risk.get(page, 0.0) >= risk_threshold
+            )
+
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+        candidates_in = sorted(
+            (p for p in touched if p not in in_fast and is_good(p)),
+            key=lambda p: -hotness[p],
+        )[:budget]
+        # Evict anything cold or high-risk.  Residents observed to be
+        # high-risk this interval (traffic with low Wr/Rd) leave first
+        # — they are the live SER exposure — then cold pages.  The
+        # exchange is one-sided if necessary: high-risk pages leave HBM
+        # even when too few hot & low-risk replacements exist, trading
+        # performance for reliability as the paper's FC mechanism does.
+        def eviction_key(page: int) -> "tuple[int, float, int]":
+            observed_risky = (
+                hotness.get(page, 0) > 0
+                and risk.get(page, 0.0) < risk_threshold
+            )
+            return (0 if observed_risky else 1, risk.get(page, 0.0),
+                    hotness.get(page, 0))
+
+        evictable = sorted(
+            (p for p in in_fast if not is_good(p)), key=eviction_key
+        )
+        to_slow = evictable[:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:free]
+        counters.reset()
+        return to_fast, to_slow
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        # Two 8-bit counters per addressable page (Sec. 6.3: 8.5 MB for
+        # 4.25M pages; 4.25 MB *additional* over the perf scheme).
+        return FullCounters.storage_cost(
+            total_pages, counter_bits=self.counters.counter_bits,
+            counters_per_page=2,
+        ).total_bytes
+
+
+class CrossCountersMigration(MigrationMechanism):
+    """MEA hotness + HBM-only Full-Counter risk (paper Section 6.4).
+
+    The *performance unit* is a small MEA map that promotes up to
+    ``mea_capacity`` globally hot pages every MEA interval.  The
+    *reliability unit* keeps read/write counters only for HBM-resident
+    pages and, every FC interval, demotes the high-risk ones; the
+    performance unit orchestrates the actual swaps.
+    """
+
+    name = "cc-migration"
+
+    def __init__(
+        self,
+        mea_capacity: int = 32,
+        subintervals_per_interval: int = 16,
+        counter_bits: int = 16,
+        max_promotions: int = 32,
+    ) -> None:
+        if subintervals_per_interval < 1:
+            raise ValueError("subintervals_per_interval must be >= 1")
+        if max_promotions < 1:
+            raise ValueError("max_promotions must be >= 1")
+        self.mea = MeaTracker(capacity=mea_capacity)
+        self.max_promotions = max_promotions
+        self.counters = FullCounters(counter_bits=counter_bits)
+        self.subintervals_per_interval = subintervals_per_interval
+        #: High-risk pages awaiting demotion, set at FC intervals and
+        #: drained by the performance unit at MEA intervals.
+        self._pending_out: "list[int]" = []
+
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        # The MEA map sees every access; the risk counters are only
+        # consulted for HBM residents (plan filters by residency).
+        self.mea.record_many(pages)
+        self.counters.record_batch(pages, is_write)
+
+    def plan_sub(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        """MEA interval: bring in the globally hot pages.
+
+        Demotions happen here too when the reliability unit has pending
+        high-risk pages — "migrations are performed in both directions"
+        (Sec. 6.4.3).
+        """
+        in_fast = set(hma.pages_in(FAST))
+        # Two promotion tiers: any tracked page may fill a *free* HBM
+        # frame, but displacing a resident takes a page the MEA map is
+        # confident about (residual count >= 2).
+        weak = [p for p in self.mea.hot_pages()
+                if p not in in_fast][: self.max_promotions]
+        strong = [p for p in self.mea.hot_pages(min_count=2)
+                  if p not in in_fast][: self.max_promotions]
+        self.mea.reset()
+        if not weak:
+            return [], []
+
+        free = hma.fast_capacity_pages - len(in_fast)
+        to_fast = weak[:free]
+        promoted = set(to_fast)
+        swappers = [p for p in strong if p not in promoted]
+        if not swappers:
+            return to_fast, []
+
+        # Paired exchange: queued high-risk pages leave first, then the
+        # coldest residents, one per promotion, so HBM stays full.
+        to_slow = self._pending_out[: len(swappers)]
+        self._pending_out = self._pending_out[len(to_slow):]
+        if len(to_slow) < len(swappers):
+            extra = len(swappers) - len(to_slow)
+            victims = sorted(
+                in_fast, key=lambda p: self.counters.hotness(p)
+            )[:extra]
+            to_slow = to_slow + victims
+        return to_fast + swappers, to_slow
+
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        """FC interval: run-time risk estimation for every HBM page.
+
+        Only high-risk residents are queued for demotion (riskiest
+        first, bounded to a quarter of HBM per interval so the
+        mechanism cannot drain the fast memory); cold pages leave HBM
+        only as victims of the performance unit's promotions.
+        """
+        counters = self.counters
+        in_fast = hma.pages_in(FAST)
+        risks = {p: counters.write_ratio(p) for p in in_fast
+                 if counters.hotness(p) > 0}
+        threshold = _mean_threshold(list(risks.values()))
+        budget = max(1, hma.fast_capacity_pages // 4)
+        high_risk = sorted(
+            (p for p, r in risks.items() if r < threshold),
+            key=lambda p: risks[p],
+        )
+        self._pending_out = high_risk[:budget]
+        counters.reset()
+        # The reliability unit only queues demotions; the performance
+        # unit pairs them with promotions at the MEA steps that follow.
+        return [], []
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        # 16-bit risk counters for HBM pages only + the MEA unit
+        # (Sec. 6.4.2: 512 KB + ~164 KB = 676 KB for 262K HBM pages).
+        fc = FullCounters.storage_cost(
+            fast_pages, counter_bits=self.counters.counter_bits,
+            counters_per_page=1,
+        ).total_bytes
+        return fc + MeaTracker.storage_cost_bytes(self.mea.capacity)
+
+
+class OracleRiskMigration(MigrationMechanism):
+    """Ablation upper bound: run-time risk from *measured* AVF.
+
+    Identical exchange policy to
+    :class:`ReliabilityAwareFCMigration`, but the risk metric is the
+    page's actual ACE time accumulated during the interval (tracked at
+    page granularity with the streaming
+    :class:`~repro.avf.tracker.AceTracker`) instead of the Wr/Rd proxy.
+    Not hardware-realisable — AVF needs future knowledge the proxy
+    approximates — so this mechanism exists to bound how much of the
+    oracle's benefit the heuristic captures (paper Sec. 5.2/5.3
+    discussion).
+    """
+
+    name = "oracle-risk-migration"
+
+    def __init__(self, max_swap_fraction: float = 0.1) -> None:
+        from repro.avf.tracker import AceTracker
+
+        if not 0 < max_swap_fraction <= 1:
+            raise ValueError("max_swap_fraction must be in (0, 1]")
+        self.counters = FullCounters()
+        self.tracker = AceTracker()
+        self.max_swap_fraction = max_swap_fraction
+
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        self.counters.record_batch(pages, is_write)
+        if times is None:
+            raise ValueError(
+                "OracleRiskMigration needs per-request times; run it "
+                "through the replay engine"
+            )
+        access = self.tracker.access
+        for page, write, time in zip(pages.tolist(), is_write.tolist(),
+                                     times.tolist()):
+            access(int(page), float(time), bool(write))
+
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        counters = self.counters
+        touched = counters.touched_pages()
+        hotness = {p: counters.hotness(p) for p in touched}
+        ace = self.tracker.reset_window()
+        hot_threshold = _mean_threshold(list(hotness.values()))
+        ace_values = [ace.get(p, 0.0) for p in touched]
+        ace_threshold = _mean_threshold(ace_values)
+
+        in_fast = set(hma.pages_in(FAST))
+
+        def is_good(page: int) -> bool:
+            return (
+                hotness.get(page, 0) > hot_threshold
+                and ace.get(page, 0.0) <= ace_threshold
+            )
+
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+        candidates_in = sorted(
+            (p for p in touched if p not in in_fast and is_good(p)),
+            key=lambda p: -hotness[p],
+        )[:budget]
+        evictable = sorted(
+            (p for p in in_fast if not is_good(p)),
+            key=lambda p: -ace.get(p, 0.0),
+        )
+        to_slow = evictable[:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:free]
+        counters.reset()
+        return to_fast, to_slow
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        # Not realisable in hardware; report the FC cost as a floor.
+        return FullCounters.storage_cost(total_pages).total_bytes

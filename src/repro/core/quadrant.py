@@ -1,0 +1,83 @@
+"""Hotness-risk quadrant analysis (paper Section 4.2, Figure 4).
+
+The memory footprint splits around mean hotness and mean AVF into four
+quadrants; the paper's headline observation is that 9-39% of pages are
+simultaneously *hot and low-risk* — ideal HBM candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PAGE_SIZE
+from repro.avf.page import PageStats
+
+
+@dataclass(frozen=True)
+class QuadrantSummary:
+    """Page counts of the four hotness-risk quadrants of one workload."""
+
+    workload: str
+    mean_hotness: float
+    mean_avf: float
+    hot_high_risk: int
+    hot_low_risk: int
+    cold_high_risk: int
+    cold_low_risk: int
+    #: Pages in the footprint that were never touched (hotness 0,
+    #: AVF 0); they sit in the cold & low-risk corner.
+    untouched: int
+
+    @property
+    def total_pages(self) -> int:
+        return (self.hot_high_risk + self.hot_low_risk + self.cold_high_risk
+                + self.cold_low_risk + self.untouched)
+
+    @property
+    def hot_low_risk_fraction(self) -> float:
+        """The paper's headline metric: 9%-39% across workloads."""
+        total = self.total_pages
+        return self.hot_low_risk / total if total else 0.0
+
+    @property
+    def hot_low_risk_bytes(self) -> int:
+        return self.hot_low_risk * PAGE_SIZE
+
+    def fractions(self) -> "dict[str, float]":
+        total = self.total_pages or 1
+        return {
+            "hot_high_risk": self.hot_high_risk / total,
+            "hot_low_risk": self.hot_low_risk / total,
+            "cold_high_risk": self.cold_high_risk / total,
+            "cold_low_risk": (self.cold_low_risk + self.untouched) / total,
+        }
+
+
+def quadrant_split(
+    stats: PageStats, workload: str = ""
+) -> QuadrantSummary:
+    """Classify the footprint around mean hotness and mean AVF.
+
+    Means are taken over the *touched* pages, as the paper's scatter
+    plots draw only pages with activity; never-touched pages are
+    reported separately and counted as cold & low-risk.
+    """
+    hotness = stats.hotness.astype(np.float64)
+    avf = stats.avf
+    mean_hot = float(hotness.mean()) if len(stats) else 0.0
+    mean_avf = float(avf.mean()) if len(stats) else 0.0
+
+    hot = hotness > mean_hot
+    risky = avf > mean_avf
+    return QuadrantSummary(
+        workload=workload,
+        mean_hotness=mean_hot,
+        mean_avf=mean_avf,
+        hot_high_risk=int((hot & risky).sum()),
+        hot_low_risk=int((hot & ~risky).sum()),
+        cold_high_risk=int((~hot & risky).sum()),
+        cold_low_risk=int((~hot & ~risky).sum()),
+        untouched=max(0, stats.footprint_pages - len(stats)),
+    )

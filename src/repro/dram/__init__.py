@@ -1,0 +1,37 @@
+"""DRAM substrate: bank/device timing models and the two-level HMA."""
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import LINES_PER_ROW, DeviceStats, MemoryDevice
+from repro.dram.scheduler import (
+    ChannelScheduler,
+    Request,
+    SchedulerConfig,
+    fcfs_reference,
+)
+from repro.dram.dram_cache import DramCacheStats, DramCacheSystem
+from repro.dram.hma import (
+    FAST,
+    SLOW,
+    CapacityError,
+    HeterogeneousMemory,
+    MigrationStats,
+)
+
+__all__ = [
+    "Bank",
+    "BankState",
+    "MemoryDevice",
+    "DeviceStats",
+    "LINES_PER_ROW",
+    "HeterogeneousMemory",
+    "MigrationStats",
+    "CapacityError",
+    "FAST",
+    "SLOW",
+    "ChannelScheduler",
+    "SchedulerConfig",
+    "Request",
+    "fcfs_reference",
+    "DramCacheSystem",
+    "DramCacheStats",
+]

@@ -1,0 +1,70 @@
+"""DRAM bank and row-buffer state.
+
+A bank serves one request at a time.  Requests to the currently-open
+row hit the row buffer (CAS only), requests to a closed bank activate
+first (RAS + CAS), and requests to a different row pay a full precharge
++ activate + CAS (a row conflict).  Times are kept in seconds so the
+two HMA devices, which run at different clock rates, compose directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramTiming
+
+
+@dataclass
+class BankState:
+    """Mutable state of one DRAM bank."""
+
+    #: Row currently latched in the row buffer (None = precharged).
+    open_row: "int | None" = None
+    #: Time at which the bank can accept the next request.
+    busy_until: float = 0.0
+
+
+class Bank:
+    """One bank: row buffer tracking plus busy-until scheduling."""
+
+    __slots__ = ("timing", "clock_period", "state", "row_hits", "row_misses",
+                 "row_conflicts")
+
+    def __init__(self, timing: DramTiming, clock_period: float) -> None:
+        self.timing = timing
+        self.clock_period = clock_period
+        self.state = BankState()
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+
+    def access_cycles(self, row: int) -> int:
+        """Device cycles to serve an access to ``row`` and record the
+        row-buffer outcome."""
+        if self.state.open_row == row:
+            self.row_hits += 1
+            cycles = self.timing.row_hit_cycles()
+        elif self.state.open_row is None:
+            self.row_misses += 1
+            cycles = self.timing.row_miss_cycles()
+        else:
+            self.row_conflicts += 1
+            cycles = self.timing.row_conflict_cycles()
+        self.state.open_row = row
+        return cycles
+
+    def service(self, row: int, arrival: float) -> "tuple[float, float]":
+        """Serve a request arriving at ``arrival`` seconds.
+
+        Returns ``(start, finish)`` in seconds.  The bank is busy until
+        ``finish``.
+        """
+        start = max(arrival, self.state.busy_until)
+        cycles = self.access_cycles(row)
+        finish = start + cycles * self.clock_period
+        self.state.busy_until = finish
+        return start, finish
+
+    def reset(self) -> None:
+        self.state = BankState()
+        self.row_hits = self.row_misses = self.row_conflicts = 0

@@ -1,0 +1,176 @@
+"""The two-level Heterogeneous Memory Architecture.
+
+:class:`HeterogeneousMemory` glues the fast (HBM-like) and slow
+(DDR-like) :class:`~repro.dram.device.MemoryDevice` together behind a
+page table: every application page maps to a frame in exactly one
+device.  Placement policies install an initial mapping; migration
+engines swap mappings at run time, paying the bandwidth cost of copying
+4 KB on *both* devices, as in the paper ("the cost of migrating a page
+... is governed by the slowest memory in the system").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LINES_PER_PAGE, SystemConfig
+from repro.dram.device import MemoryDevice
+
+#: Device ids used in page tables.
+FAST, SLOW = 0, 1
+
+
+@dataclass
+class MigrationStats:
+    """Accounting of dynamic page movement."""
+
+    migrations_to_fast: int = 0
+    migrations_to_slow: int = 0
+    migration_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.migrations_to_fast + self.migrations_to_slow
+
+
+class CapacityError(Exception):
+    """Raised when a placement exceeds a device's frame capacity."""
+
+
+class HeterogeneousMemory:
+    """Fast + slow memories behind a migratable page table."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.fast = MemoryDevice(config.fast_memory)
+        self.slow = MemoryDevice(config.slow_memory)
+        self._devices = (self.fast, self.slow)
+        self.fast_capacity_pages = config.fast_memory.num_pages
+        self.slow_capacity_pages = config.slow_memory.num_pages
+        #: page -> (device id, frame)
+        self._page_table: "dict[int, tuple[int, int]]" = {}
+        self._free_frames: "tuple[list[int], list[int]]" = ([], [])
+        self._next_frame = [0, 0]
+        self.migration_stats = MigrationStats()
+        #: Pages exempt from migration (program annotations, Sec. 7).
+        self.pinned: "set[int]" = set()
+
+    # -- placement -----------------------------------------------------------
+
+    def _alloc_frame(self, device: int) -> int:
+        free = self._free_frames[device]
+        if free:
+            return free.pop()
+        frame = self._next_frame[device]
+        capacity = (self.fast_capacity_pages, self.slow_capacity_pages)[device]
+        if frame >= capacity:
+            raise CapacityError(
+                f"device {device} out of frames ({capacity} pages)"
+            )
+        self._next_frame[device] = frame + 1
+        return frame
+
+    def map_page(self, page: int, device: int) -> None:
+        """Install ``page`` into ``device`` (initial placement)."""
+        if page in self._page_table:
+            raise ValueError(f"page {page} already mapped")
+        if device not in (FAST, SLOW):
+            raise ValueError("device must be FAST (0) or SLOW (1)")
+        self._page_table[page] = (device, self._alloc_frame(device))
+
+    def install_placement(self, fast_pages, all_pages) -> None:
+        """Map ``fast_pages`` into HBM and the rest of ``all_pages``
+        into DDR."""
+        fast_set = set(fast_pages)
+        if len(fast_set) > self.fast_capacity_pages:
+            raise CapacityError(
+                f"placement has {len(fast_set)} pages for "
+                f"{self.fast_capacity_pages} HBM frames"
+            )
+        for page in all_pages:
+            self.map_page(int(page), FAST if int(page) in fast_set else SLOW)
+
+    def device_of(self, page: int) -> int:
+        """Device currently holding ``page`` (maps on demand to SLOW)."""
+        entry = self._page_table.get(page)
+        if entry is None:
+            # First touch of an unplaced page: it faults into DDR, like
+            # the paper's default backing store.
+            self.map_page(page, SLOW)
+            entry = self._page_table[page]
+        return entry[0]
+
+    def pages_in(self, device: int) -> "list[int]":
+        return [p for p, (d, _f) in self._page_table.items() if d == device]
+
+    def fast_occupancy(self) -> int:
+        return sum(1 for d, _f in self._page_table.values() if d == FAST)
+
+    # -- request service -----------------------------------------------------
+
+    def service(self, page: int, line_in_page: int, arrival: float,
+                is_write: bool) -> float:
+        """Serve one line request; returns its finish time in seconds."""
+        device_id = self.device_of(page)
+        _, frame = self._page_table[page]
+        device = self._devices[device_id]
+        local_line = frame * LINES_PER_PAGE + line_in_page
+        return device.service(local_line, arrival, is_write)
+
+    # -- migration -----------------------------------------------------------
+
+    def migrate_pairs(
+        self,
+        to_fast: "list[int]",
+        to_slow: "list[int]",
+        now: float,
+    ) -> float:
+        """Swap page sets between devices at time ``now``.
+
+        Pages in ``to_slow`` leave HBM first (freeing frames), then
+        pages in ``to_fast`` move in.  Pinned pages are skipped.  Each
+        moved page costs a 4 KB transfer on both devices; the method
+        returns the time the migration traffic drains.
+        """
+        to_slow = [p for p in to_slow if p not in self.pinned]
+        to_fast = [p for p in to_fast if p not in self.pinned]
+
+        moved = 0
+        for page in to_slow:
+            entry = self._page_table.get(page)
+            if entry is None or entry[0] != FAST:
+                continue
+            self._free_frames[FAST].append(entry[1])
+            self._page_table[page] = (SLOW, self._alloc_frame(SLOW))
+            self.migration_stats.migrations_to_slow += 1
+            moved += 1
+
+        free_fast = (
+            self.fast_capacity_pages - self._next_frame[FAST]
+            + len(self._free_frames[FAST])
+        )
+        for page in to_fast:
+            if free_fast <= 0:
+                break
+            entry = self._page_table.get(page)
+            if entry is not None and entry[0] == FAST:
+                continue
+            if entry is not None:
+                self._free_frames[SLOW].append(entry[1])
+            self._page_table[page] = (FAST, self._alloc_frame(FAST))
+            self.migration_stats.migrations_to_fast += 1
+            free_fast -= 1
+            moved += 1
+
+        if moved == 0:
+            return now
+        lines = moved * LINES_PER_PAGE
+        finish_fast = self.fast.occupy_bandwidth(now, lines)
+        finish_slow = self.slow.occupy_bandwidth(now, lines)
+        finish = max(finish_fast, finish_slow)
+        self.migration_stats.migration_seconds += finish - now
+        return finish
+
+    def pin(self, pages) -> None:
+        """Mark pages as immune to migration (program annotations)."""
+        self.pinned.update(int(p) for p in pages)

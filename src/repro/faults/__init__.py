@@ -1,0 +1,60 @@
+"""Reliability substrate: FIT rates, ECC models, FaultSim, SER."""
+
+from repro.faults.fit import (
+    JAGUAR_TRANSIENT,
+    FaultComponent,
+    FitRates,
+    devices_per_rank,
+    rates_for_memory,
+)
+from repro.faults.ecc import (
+    ChipGeometry,
+    ChipKill,
+    EccScheme,
+    NoEcc,
+    Outcome,
+    SecDed,
+    footprint_overlap_probability,
+    make_scheme,
+)
+from repro.faults.faultsim import (
+    DEFAULT_MISSION_HOURS,
+    DEFAULT_OVERLAP_WINDOW_HOURS,
+    FaultSimResult,
+    FaultSimulator,
+    uncorrected_fit_per_page,
+)
+from repro.faults.hamming import (
+    DecodeResult,
+    decode as secded_decode,
+    encode as secded_encode,
+)
+from repro.faults.reed_solomon import ChipKillCode, RsDecodeResult
+from repro.faults.ser import SerModel
+
+__all__ = [
+    "FaultComponent",
+    "FitRates",
+    "JAGUAR_TRANSIENT",
+    "rates_for_memory",
+    "devices_per_rank",
+    "Outcome",
+    "EccScheme",
+    "NoEcc",
+    "SecDed",
+    "ChipKill",
+    "ChipGeometry",
+    "make_scheme",
+    "footprint_overlap_probability",
+    "FaultSimulator",
+    "FaultSimResult",
+    "uncorrected_fit_per_page",
+    "DEFAULT_MISSION_HOURS",
+    "DEFAULT_OVERLAP_WINDOW_HOURS",
+    "SerModel",
+    "secded_encode",
+    "secded_decode",
+    "DecodeResult",
+    "ChipKillCode",
+    "RsDecodeResult",
+]

@@ -1,0 +1,112 @@
+"""Permanent-fault accumulation and aging-aware capacity derating.
+
+The paper's related work (Gupta et al., MEMSYS 2016 [16]) handles the
+*permanent* half of the field-study fault data: faults that persist
+accumulate over a system's lifetime, and an aging-aware HMA derates the
+die-stacked memory as it ages.  The HPCA paper deliberately scopes to
+transient faults; this module supplies the permanent-fault counterpart
+as an extension so lifetime studies can combine both:
+
+* :class:`PermanentFitRates` — per-component permanent FIT rates (the
+  field study reports these alongside the transient rates; permanent
+  faults are the larger share).
+* :class:`AgingModel` — expected accumulated faulty pages and derated
+  usable capacity of a memory as a function of age.
+* :func:`lifetime_capacity_schedule` — usable-HBM-fraction by year,
+  the input an aging-aware placement would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import MemoryConfig
+from repro.faults.fit import FaultComponent, devices_per_rank
+
+HOURS_PER_YEAR = 24.0 * 365.0
+
+
+@dataclass(frozen=True)
+class PermanentFitRates:
+    """Per-device permanent FIT rates, by component (field-study shaped;
+    permanent faults outnumber transient ones in the study)."""
+
+    bit: float = 18.6
+    word: float = 0.8
+    column: float = 5.6
+    row: float = 8.2
+    bank: float = 10.0
+    rank: float = 0.8
+
+    def rate(self, component: FaultComponent) -> float:
+        return float(getattr(self, component.value))
+
+    @property
+    def total(self) -> float:
+        return sum(self.rate(c) for c in FaultComponent)
+
+
+#: Pages lost when a component fails permanently (4 KB pages, assuming
+#: 2 KB rows, 8 K-row banks; word/bit faults kill the page they sit in
+#: because the OS retires whole pages).
+_PAGES_LOST = {
+    FaultComponent.BIT: 1,
+    FaultComponent.WORD: 1,
+    FaultComponent.COLUMN: 16,
+    FaultComponent.ROW: 1,
+    FaultComponent.BANK: 4096,
+    FaultComponent.RANK: 32768,
+}
+
+
+class AgingModel:
+    """Expected permanent-fault attrition of one memory over time."""
+
+    def __init__(
+        self,
+        memory: MemoryConfig,
+        rates: "PermanentFitRates | None" = None,
+    ) -> None:
+        self.memory = memory
+        self.rates = rates if rates is not None else PermanentFitRates()
+        self.chips = devices_per_rank(memory)
+        self.ranks = memory.channels * memory.ranks_per_channel
+        # Die-stacked parts age faster for the same reasons their
+        # transient FIT is higher (density, TSVs).
+        self.multiplier = memory.fit_multiplier
+
+    def expected_faults(self, years: float,
+                        component: FaultComponent) -> float:
+        """Expected permanent faults of one component class, device-wide."""
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        hours = years * HOURS_PER_YEAR
+        per_device = self.rates.rate(component) * self.multiplier * 1e-9
+        return per_device * hours * self.chips * self.ranks
+
+    def expected_lost_pages(self, years: float) -> float:
+        """Expected pages retired by the OS after ``years`` of uptime."""
+        return sum(
+            self.expected_faults(years, component) * _PAGES_LOST[component]
+            for component in FaultComponent
+        )
+
+    def usable_fraction(self, years: float) -> float:
+        """Usable capacity fraction after page retirement."""
+        lost = self.expected_lost_pages(years)
+        return max(0.0, 1.0 - lost / self.memory.num_pages)
+
+    def usable_pages(self, years: float) -> int:
+        return int(self.memory.num_pages * self.usable_fraction(years))
+
+
+def lifetime_capacity_schedule(
+    memory: MemoryConfig,
+    years=(0, 1, 2, 4, 7, 10),
+    rates: "PermanentFitRates | None" = None,
+) -> "list[tuple[float, float]]":
+    """(age in years, usable capacity fraction) over a deployment life."""
+    model = AgingModel(memory, rates=rates)
+    return [(float(y), model.usable_fraction(float(y))) for y in years]

@@ -1,0 +1,98 @@
+"""Transient-fault FIT rates from the field (paper Section 3.2).
+
+The paper feeds FaultSim with transient FIT rates from an AMD field
+study of the ORNL Jaguar system (Sridharan & Liberty, SC'12), reported
+per DRAM component: single bit, word, column, row, bank, and
+multi-bank/rank.  We encode the study's per-device transient rates
+(FIT = failures per 10^9 device-hours) and scale them per memory:
+die-stacked memory carries a raw-FIT multiplier (denser bits, TSV
+failure modes — paper Sections 1 and 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.config import MemoryConfig
+
+
+class FaultComponent(Enum):
+    """DRAM fault granularities used by the field study and FaultSim."""
+
+    BIT = "bit"
+    WORD = "word"
+    COLUMN = "column"
+    ROW = "row"
+    BANK = "bank"
+    RANK = "rank"
+
+
+@dataclass(frozen=True)
+class FitRates:
+    """Per-DRAM-device transient FIT rates, by component."""
+
+    bit: float = 14.2
+    word: float = 1.4
+    column: float = 1.4
+    row: float = 0.2
+    bank: float = 0.8
+    rank: float = 0.075
+
+    def __post_init__(self) -> None:
+        for component in FaultComponent:
+            if self.rate(component) < 0:
+                raise ValueError(f"negative FIT rate for {component.value}")
+
+    def rate(self, component: FaultComponent) -> float:
+        return float(getattr(self, component.value))
+
+    @property
+    def total(self) -> float:
+        return sum(self.rate(c) for c in FaultComponent)
+
+    @property
+    def multi_bit_total(self) -> float:
+        """FIT of faults wider than one bit (beyond SEC-DED's reach
+        when they cluster inside a word or chip)."""
+        return self.total - self.bit
+
+    def scaled(self, multiplier: float) -> "FitRates":
+        """All components scaled by ``multiplier`` (>= 0)."""
+        if multiplier < 0:
+            raise ValueError("multiplier must be non-negative")
+        return FitRates(
+            bit=self.bit * multiplier,
+            word=self.word * multiplier,
+            column=self.column * multiplier,
+            row=self.row * multiplier,
+            bank=self.bank * multiplier,
+            rank=self.rank * multiplier,
+        )
+
+    def with_component(self, component: FaultComponent, rate: float) -> "FitRates":
+        return replace(self, **{component.value: rate})
+
+
+#: Baseline transient rates (per x4/x8 DDR device) in the shape of the
+#: Jaguar field study.
+JAGUAR_TRANSIENT = FitRates()
+
+
+def rates_for_memory(config: MemoryConfig,
+                     base: FitRates = JAGUAR_TRANSIENT) -> FitRates:
+    """Per-device FIT rates for one HMA memory, applying its raw-FIT
+    multiplier (die-stacked memory > 1)."""
+    return base.scaled(config.fit_multiplier)
+
+
+def devices_per_rank(config: MemoryConfig) -> int:
+    """DRAM devices (chips/stack slices) forming one rank's data word.
+
+    DDR3 x8: eight data chips (+1 ECC chip) per 64-bit word.
+    HBM-like: a single stack renders the full 128-bit word, so a rank
+    is one device.
+    """
+    if config.bus_width_bits >= 128:
+        return 1
+    return max(1, config.bus_width_bits // 8)

@@ -1,0 +1,177 @@
+"""Single-symbol-correct Reed-Solomon code over GF(256) — ChipKill.
+
+ChipKill-correct memory [10] protects a rank against the failure of an
+entire DRAM chip by treating each chip's contribution to the codeword
+as one *symbol* and using a distance-3 Reed-Solomon code: any single
+symbol (chip) error is correctable, regardless of how many bits inside
+the symbol flipped.
+
+This is a real codec over GF(2^8) (primitive polynomial x^8 + x^4 +
+x^3 + x^2 + 1): two check symbols give syndromes ``S0 = sum(c_i)`` and
+``S1 = sum(alpha^i * c_i)``; a single error of value ``e`` at position
+``j`` yields ``S0 = e`` and ``S1 = alpha^j * e``, so the position is
+``log(S1) - log(S0)``.  Double-symbol errors are (mostly) detected —
+the distance-3 limitation the paper works around by pairing ChipKill
+with the low raw FIT of off-package DDR.
+
+The Monte-Carlo fault simulator's ChipKill classification (single chip
+correctable, cross-chip pairs uncorrectable) is validated against this
+codec in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.ecc import Outcome
+
+#: GF(2^8) primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+_PRIMITIVE = 0x11D
+FIELD_SIZE = 256
+
+_EXP = np.zeros(FIELD_SIZE * 2, dtype=np.int64)
+_LOG = np.zeros(FIELD_SIZE, dtype=np.int64)
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE
+    # Duplicate so exponent sums need no modulo.
+    _EXP[FIELD_SIZE - 1:2 * (FIELD_SIZE - 1)] = _EXP[:FIELD_SIZE - 1]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division in GF(256); b must be non-zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] - _LOG[b]) % (FIELD_SIZE - 1)])
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    if base == 0:
+        return 0 if exponent else 1
+    return int(_EXP[(_LOG[base] * exponent) % (FIELD_SIZE - 1)])
+
+
+@dataclass(frozen=True)
+class RsDecodeResult:
+    """Outcome of decoding one ChipKill codeword."""
+
+    outcome: Outcome
+    data: "np.ndarray | None"
+    corrected_symbol: "int | None" = None
+    corrected_value: "int | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not Outcome.DETECTED
+
+
+class ChipKillCode:
+    """A (k + 2, k) distance-3 RS code: one symbol per DRAM chip.
+
+    The default ``data_symbols=16`` models an x4 ChipKill rank: 16 data
+    chips plus 2 check chips contribute one 8-bit symbol each (two
+    DDR3 x4 beats per chip).
+    """
+
+    def __init__(self, data_symbols: int = 16) -> None:
+        if not 1 <= data_symbols <= FIELD_SIZE - 3:
+            raise ValueError("data_symbols out of range for GF(256)")
+        self.data_symbols = data_symbols
+        self.code_symbols = data_symbols + 2
+
+    # -- encode --------------------------------------------------------------
+
+    def encode(self, data) -> np.ndarray:
+        """Append two check symbols so both syndromes vanish.
+
+        With check positions p = k and q = k + 1:
+        ``c_p + c_q = S0'`` and ``a^p c_p + a^q c_q = S1'`` where S0'/S1'
+        are the data-only syndromes; solve the 2x2 system in GF(256).
+        """
+        symbols = self._as_symbols(data, self.data_symbols)
+        s0 = 0
+        s1 = 0
+        for i, value in enumerate(symbols):
+            s0 ^= int(value)
+            s1 ^= gf_mul(gf_pow(2, i), int(value))
+        p, q = self.data_symbols, self.data_symbols + 1
+        ap, aq = gf_pow(2, p), gf_pow(2, q)
+        denom = ap ^ aq
+        # c_q = (S1' + a^p * S0') / (a^p + a^q);  c_p = S0' + c_q.
+        cq = gf_div(s1 ^ gf_mul(ap, s0), denom)
+        cp = s0 ^ cq
+        return np.concatenate([symbols, np.array([cp, cq], dtype=np.uint8)])
+
+    # -- decode --------------------------------------------------------------
+
+    def syndromes(self, codeword) -> "tuple[int, int]":
+        symbols = self._as_symbols(codeword, self.code_symbols)
+        s0 = 0
+        s1 = 0
+        for i, value in enumerate(symbols):
+            s0 ^= int(value)
+            s1 ^= gf_mul(gf_pow(2, i), int(value))
+        return s0, s1
+
+    def decode(self, codeword) -> RsDecodeResult:
+        symbols = self._as_symbols(codeword, self.code_symbols).copy()
+        s0, s1 = self.syndromes(symbols)
+        if s0 == 0 and s1 == 0:
+            return RsDecodeResult(outcome=Outcome.CORRECTED,
+                                  data=symbols[: self.data_symbols])
+        if s0 == 0 or s1 == 0:
+            # A single error cannot produce exactly one zero syndrome.
+            return RsDecodeResult(outcome=Outcome.DETECTED, data=None)
+        position = (_LOG[s1] - _LOG[s0]) % (FIELD_SIZE - 1)
+        if position >= self.code_symbols:
+            return RsDecodeResult(outcome=Outcome.DETECTED, data=None)
+        symbols[position] ^= s0
+        return RsDecodeResult(
+            outcome=Outcome.CORRECTED,
+            data=symbols[: self.data_symbols],
+            corrected_symbol=int(position),
+            corrected_value=int(s0),
+        )
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject(self, codeword, errors: "dict[int, int]") -> np.ndarray:
+        """XOR error values into symbol positions (0 values ignored)."""
+        symbols = self._as_symbols(codeword, self.code_symbols).copy()
+        for position, value in errors.items():
+            if not 0 <= position < self.code_symbols:
+                raise ValueError(f"symbol {position} out of range")
+            if not 0 <= value < FIELD_SIZE:
+                raise ValueError(f"error value {value} out of range")
+            symbols[position] ^= value
+        return symbols
+
+    @staticmethod
+    def _as_symbols(value, length: int) -> np.ndarray:
+        arr = np.asarray(value, dtype=np.int64)
+        if arr.shape != (length,):
+            raise ValueError(f"expected {length} symbols, got {arr.shape}")
+        if arr.min() < 0 or arr.max() >= FIELD_SIZE:
+            raise ValueError("symbols must be in [0, 256)")
+        return arr.astype(np.uint8)

@@ -1,0 +1,108 @@
+"""Soft-error-rate composition: SER = FIT_uncorrected x AVF (Eq. 2).
+
+The SER of the system is the sum over pages of the page's AVF times
+the uncorrected-error FIT of whichever memory currently holds it.  The
+placement therefore decides how much of the workload's AVF mass is
+exposed to the weakly-protected fast memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.avf.page import IntervalProfile, PageStats
+from repro.faults.faultsim import (
+    DEFAULT_OVERLAP_WINDOW_HOURS,
+    uncorrected_fit_per_page,
+)
+
+
+@dataclass
+class SerModel:
+    """Per-page uncorrected FIT rates for both HMA memories."""
+
+    fit_fast_per_page: float
+    fit_slow_per_page: float
+
+    def __post_init__(self) -> None:
+        if self.fit_fast_per_page < 0 or self.fit_slow_per_page < 0:
+            raise ValueError("FIT rates must be non-negative")
+
+    @classmethod
+    def for_system(
+        cls,
+        config: SystemConfig,
+        trials: int = 0,
+        seed: int = 0,
+        overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
+    ) -> "SerModel":
+        """Run the fault simulator for both memories.
+
+        ``trials=0`` (default) uses the analytic expectation, which is
+        exact for this model and avoids the millions of Monte-Carlo
+        trials the ChipKill tail needs.
+        """
+        kwargs = dict(
+            seed=seed,
+            overlap_window_hours=overlap_window_hours,
+            analytic=trials == 0,
+        )
+        if trials:
+            kwargs["trials"] = trials
+        return cls(
+            fit_fast_per_page=uncorrected_fit_per_page(config.fast_memory, **kwargs),
+            fit_slow_per_page=uncorrected_fit_per_page(config.slow_memory, **kwargs),
+        )
+
+    @property
+    def fit_ratio(self) -> float:
+        """Per-page uncorrected FIT of fast over slow memory."""
+        if self.fit_slow_per_page == 0:
+            return float("inf")
+        return self.fit_fast_per_page / self.fit_slow_per_page
+
+    # -- static placements -----------------------------------------------------
+
+    def ser_static(self, stats: PageStats, fast_pages) -> float:
+        """System SER for a static placement (``fast_pages`` in HBM)."""
+        fast_set = set(int(p) for p in fast_pages)
+        in_fast = np.fromiter(
+            (int(p) in fast_set for p in stats.pages), dtype=bool, count=len(stats)
+        )
+        avf_fast = float(stats.avf[in_fast].sum())
+        avf_slow = float(stats.avf[~in_fast].sum())
+        return avf_fast * self.fit_fast_per_page + avf_slow * self.fit_slow_per_page
+
+    def ser_ddr_only(self, stats: PageStats) -> float:
+        """Baseline SER with the entire footprint in slow memory."""
+        return float(stats.avf.sum()) * self.fit_slow_per_page
+
+    # -- dynamic placements ------------------------------------------------------
+
+    def ser_dynamic(
+        self,
+        intervals: IntervalProfile,
+        fast_residency: "list[set[int]]",
+    ) -> float:
+        """System SER under migration.
+
+        ``fast_residency[i]`` is the set of pages resident in fast
+        memory during interval ``i``; each interval's AVF contribution
+        is charged to the device holding the page at that time.
+        """
+        if len(fast_residency) != intervals.num_intervals:
+            raise ValueError(
+                "need one residency set per interval "
+                f"({intervals.num_intervals}), got {len(fast_residency)}"
+            )
+        total = 0.0
+        for avf_map, resident in zip(intervals.interval_avf, fast_residency):
+            for page, avf in avf_map.items():
+                if page in resident:
+                    total += avf * self.fit_fast_per_page
+                else:
+                    total += avf * self.fit_slow_per_page
+        return total

@@ -1,0 +1,168 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    repro-hma list
+    repro-hma run fig05 [--accesses 20000] [--scale 0.0009765625]
+    repro-hma run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.harness.experiments import EXPERIMENTS, WorkloadCache
+from repro.sim.system import DEFAULT_SCALE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hma",
+        description="Reliability-aware HMA placement: paper reproduction "
+                    "harness (Gupta et al., HPCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser("workloads", help="list the bundled benchmark profiles")
+
+    trace = sub.add_parser(
+        "trace", help="generate a workload trace and save it to a file"
+    )
+    trace.add_argument("workload", help="benchmark or mix name, e.g. mcf")
+    trace.add_argument("output", help="output path (.npz or .trace text)")
+    trace.add_argument("--accesses", type=int, default=20_000)
+    trace.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    trace.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser(
+        "export", help="run experiments and write CSV/JSON files"
+    )
+    export.add_argument("directory", help="output directory")
+    export.add_argument("--experiments", nargs="*", default=None,
+                        help="experiment ids (default: all)")
+    export.add_argument("--format", choices=("json", "csv"),
+                        default="json")
+    export.add_argument("--accesses", type=int, default=20_000)
+    export.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    export.add_argument("--seed", type=int, default=0)
+
+    scatter = sub.add_parser(
+        "scatter", help="ASCII hotness-risk scatter (Fig. 4) of a workload"
+    )
+    scatter.add_argument("workload")
+    scatter.add_argument("--accesses", type=int, default=20_000)
+    scatter.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    scatter.add_argument("--seed", type=int, default=0)
+    scatter.add_argument("--width", type=int, default=70)
+    scatter.add_argument("--height", type=int, default=22)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig05, or 'all'")
+    run.add_argument("--accesses", type=int, default=20_000,
+                     help="memory accesses per core (default 20000)")
+    run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                     help="capacity/footprint scale (default 1/1024)")
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_one(name: str, cache: WorkloadCache) -> None:
+    func = EXPERIMENTS[name]
+    kwargs = {}
+    if "cache" in inspect.signature(func).parameters:
+        kwargs["cache"] = cache
+    func(**kwargs).print()
+
+
+def _cmd_workloads() -> int:
+    from repro.trace.mixes import MIX_TABLE
+    from repro.trace.workloads import PROFILES
+
+    print(f"{'benchmark':12s} {'footprint':>10s} {'MPKI':>6s} {'MLP':>4s} "
+          f"structures")
+    for name, profile in PROFILES.items():
+        print(f"{name:12s} {profile.footprint_mb:>8.0f}MB "
+              f"{profile.mpki:>6.1f} {profile.mlp:>4d} "
+              f"{len(profile.regions)}")
+    print()
+    print("mixes:", ", ".join(MIX_TABLE))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace.io import save_npz, save_text
+    from repro.trace.workloads import Workload
+
+    workload = (Workload.mix(args.workload)
+                if args.workload.startswith("mix")
+                else Workload.spec(args.workload))
+    wt = workload.generate(scale=args.scale,
+                           accesses_per_core=args.accesses, seed=args.seed)
+    if args.output.endswith(".npz"):
+        save_npz(args.output, wt.trace, wt.times)
+    else:
+        save_text(args.output, wt.trace)
+    print(f"wrote {len(wt.trace)} requests "
+          f"({wt.footprint_pages} pages) to {args.output}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, func in EXPERIMENTS.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "scatter":
+        from repro.core.quadrant import quadrant_split
+        from repro.harness.plots import ascii_scatter
+        from repro.sim.system import prepare_workload
+
+        prep = prepare_workload(args.workload, scale=args.scale,
+                                accesses_per_core=args.accesses,
+                                seed=args.seed)
+        stats = prep.stats
+        hotness = stats.hotness.astype(float)
+        print(ascii_scatter(
+            stats.avf, hotness, width=args.width, height=args.height,
+            xlabel="page AVF", ylabel="page hotness",
+            split_x=float(stats.avf.mean()), split_y=float(hotness.mean()),
+        ))
+        quad = quadrant_split(stats, args.workload)
+        print(f"hot & low-risk: {quad.hot_low_risk_fraction * 100:.1f}% "
+              f"of {quad.total_pages} pages")
+        return 0
+    if args.command == "export":
+        from repro.harness.export import export_all
+
+        cache = WorkloadCache(accesses_per_core=args.accesses,
+                              scale=args.scale, seed=args.seed)
+        written = export_all(args.directory, cache=cache,
+                             experiments=args.experiments, fmt=args.format)
+        print(f"wrote {len(written)} files to {args.directory}")
+        return 0
+
+    name = args.experiment
+    if name != "all" and name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'repro-hma list'",
+              file=sys.stderr)
+        return 2
+    cache = WorkloadCache(accesses_per_core=args.accesses, scale=args.scale,
+                          seed=args.seed)
+    targets = list(EXPERIMENTS) if name == "all" else [name]
+    for target in targets:
+        _run_one(target, cache)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Dependency-free ASCII plots for the paper's figures.
+
+matplotlib is not available in the offline environments this library
+targets, so the scatter plots (Fig. 4, Fig. 6) and bar charts (Fig. 2,
+Fig. 9b) render as text:
+
+* :func:`ascii_scatter` — the hotness-risk scatter with quadrant
+  split lines,
+* :func:`ascii_bars` — horizontal bar chart for per-workload values,
+* :func:`ascii_series` — a y-vs-index line for sweeps (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _normalise(values: np.ndarray, length: int) -> np.ndarray:
+    """Map values to integer cells [0, length)."""
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return np.zeros(len(values), dtype=np.int64)
+    cells = (values - lo) / (hi - lo) * (length - 1)
+    return np.round(cells).astype(np.int64)
+
+
+def ascii_scatter(
+    x,
+    y,
+    width: int = 60,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    split_x: "float | None" = None,
+    split_y: "float | None" = None,
+    point: str = "*",
+) -> str:
+    """Scatter-plot ``(x, y)`` as text, with optional quadrant lines.
+
+    ``split_x``/``split_y`` draw the mean-split lines of the paper's
+    Figure 4, dividing the plane into the four hotness-risk quadrants.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    if len(x) == 0:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(value: float, values: np.ndarray) -> int:
+        lo, hi = float(values.min()), float(values.max())
+        if hi == lo:
+            return 0
+        return int(round((value - lo) / (hi - lo) * (width - 1)))
+
+    def row_of(value: float, values: np.ndarray) -> int:
+        lo, hi = float(values.min()), float(values.max())
+        if hi == lo:
+            return height - 1
+        return height - 1 - int(round((value - lo) / (hi - lo) * (height - 1)))
+
+    if split_x is not None and x.min() <= split_x <= x.max():
+        col = col_of(split_x, x)
+        for r in range(height):
+            grid[r][col] = "|"
+    if split_y is not None and y.min() <= split_y <= y.max():
+        row = row_of(split_y, y)
+        for c in range(width):
+            grid[row][c] = "-" if grid[row][c] == " " else "+"
+
+    cols = _normalise(x, width)
+    rows = height - 1 - _normalise(y, height)
+    for r, c in zip(rows, cols):
+        grid[r][c] = point
+
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"x: {xlabel} [{x.min():.3g} .. {x.max():.3g}]   "
+                 f"y: {ylabel} [{y.min():.3g} .. {y.max():.3g}]")
+    return "\n".join(lines)
+
+
+def ascii_bars(labels, values, width: int = 50,
+               unit: str = "") -> str:
+    """Horizontal bar chart (Fig. 2-style per-workload values)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if len(values) == 0:
+        raise ValueError("nothing to plot")
+    if np.any(values < 0):
+        raise ValueError("bars must be non-negative")
+    peak = values.max() or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{str(label):<{label_width}} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(values, width: int = 60, height: int = 12,
+                 label: str = "") -> str:
+    """A y-vs-index line chart (interval sweeps, frontiers)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("nothing to plot")
+    x = np.linspace(0, 1, len(values))
+    return ascii_scatter(x, values, width=width, height=height,
+                         xlabel="index", ylabel=label or "value", point="o")

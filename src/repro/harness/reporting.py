@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every figure/table reproduction prints an aligned text table mirroring
+the rows/series the paper reports, so a run's output can be compared
+against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def gmean(values: "Iterable[float]") -> float:
+    """Geometric mean (the paper's cross-workload average)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: "Sequence[str]", rows: "Sequence[Sequence]", title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title: str = "") -> None:
+    print(format_table(headers, rows, title))
+    print()

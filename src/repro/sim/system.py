@@ -1,0 +1,283 @@
+"""Experiment orchestration: workload -> profile -> placement -> results.
+
+This module wires the substrates together the way the paper's
+methodology does:
+
+1. generate the 16-core memory trace (``repro.trace``),
+2. profile it on a flat memory for per-page hotness and AVF
+   (``repro.avf``) — the paper's prior profiling run,
+3. compute per-page uncorrected FIT rates for both memories
+   (``repro.faults``),
+4. install a placement / run a migration mechanism and replay the
+   trace against the two-level DRAM model (``repro.dram``,
+   ``repro.sim.engine``),
+5. compose IPC and SER (= FIT x AVF) for the scheme.
+
+:class:`PreparedWorkload` caches steps 1-3 plus the all-DDR baseline so
+that sweeps over many schemes reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.avf.page import PageStats, profile_intervals, profile_trace
+from repro.config import SystemConfig, scaled_config
+from repro.core.annotations import AnnotationPlan, plan_annotations
+from repro.core.migration import MigrationMechanism
+from repro.core.placement import PerformanceFocusedPlacement, PlacementPolicy
+from repro.dram.hma import HeterogeneousMemory
+from repro.faults.ser import SerModel
+from repro.sim.engine import replay
+from repro.sim.results import ExperimentResult
+from repro.trace.workloads import Workload, WorkloadTrace
+
+#: Default evaluation scale: 1 MB "HBM" against 16 MB "DDR3" with
+#: proportionally shrunk footprints (see ``repro.config.scaled_config``).
+DEFAULT_SCALE = 1 / 1024
+
+
+@dataclass
+class PreparedWorkload:
+    """Everything reusable across schemes for one workload."""
+
+    workload: Workload
+    config: SystemConfig
+    workload_trace: WorkloadTrace
+    stats: PageStats
+    ser_model: SerModel
+    ddr_baseline: ExperimentResult
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.config.fast_memory.num_pages
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+def prepare_workload(
+    workload: "Workload | str",
+    config: "SystemConfig | None" = None,
+    scale: float = DEFAULT_SCALE,
+    accesses_per_core: int = 20_000,
+    seed: int = 0,
+    ser_model: "SerModel | None" = None,
+) -> PreparedWorkload:
+    """Generate, profile, and baseline one workload."""
+    if isinstance(workload, str):
+        workload = (
+            Workload.mix(workload) if workload.startswith("mix")
+            else Workload.spec(workload)
+        )
+    if config is None:
+        config = scaled_config(scale)
+    wt = workload.generate(
+        scale=scale, accesses_per_core=accesses_per_core, seed=seed
+    )
+    stats = profile_trace(wt.trace, wt.times, footprint_pages=wt.footprint_pages)
+    if ser_model is None:
+        ser_model = SerModel.for_system(config)
+
+    # All-DDR baseline replay.
+    hma = HeterogeneousMemory(config)
+    hma.install_placement([], stats.pages)
+    result = replay(config, hma, wt.trace, wt.times, core_windows=wt.core_mlp)
+    ddr_ser = ser_model.ser_ddr_only(stats)
+    baseline = ExperimentResult(
+        workload=workload.name,
+        scheme="ddr-only",
+        ipc=result.ipc,
+        ser=ddr_ser,
+        ipc_vs_ddr=1.0,
+        ser_vs_ddr=1.0,
+        mean_read_latency=result.mean_read_latency,
+    )
+    return PreparedWorkload(
+        workload=workload,
+        config=config,
+        workload_trace=wt,
+        stats=stats,
+        ser_model=ser_model,
+        ddr_baseline=baseline,
+    )
+
+
+def evaluate_static(
+    prep: PreparedWorkload, policy: PlacementPolicy
+) -> ExperimentResult:
+    """IPC and SER of one static placement on a prepared workload."""
+    fast_pages = policy.select_fast_pages(prep.stats, prep.capacity_pages)
+    hma = HeterogeneousMemory(prep.config)
+    hma.install_placement(fast_pages, prep.stats.pages)
+    wt = prep.workload_trace
+    result = replay(prep.config, hma, wt.trace, wt.times, core_windows=wt.core_mlp)
+    ser = prep.ser_model.ser_static(prep.stats, fast_pages)
+    base = prep.ddr_baseline
+    return ExperimentResult(
+        workload=prep.name,
+        scheme=policy.name,
+        ipc=result.ipc,
+        ser=ser,
+        ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+        ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+        mean_read_latency=result.mean_read_latency,
+    )
+
+
+def evaluate_migration(
+    prep: PreparedWorkload,
+    mechanism: MigrationMechanism,
+    num_intervals: int = 16,
+    initial_policy: "PlacementPolicy | None" = None,
+) -> ExperimentResult:
+    """IPC and SER of one dynamic migration scheme.
+
+    Per the paper, the run starts from a good placement (the oracular
+    static placement of the corresponding flavour) to avoid cold-start
+    effects, then migrates at every interval boundary.
+    """
+    if initial_policy is None:
+        initial_policy = PerformanceFocusedPlacement()
+    fast_pages = initial_policy.select_fast_pages(prep.stats, prep.capacity_pages)
+    hma = HeterogeneousMemory(prep.config)
+    hma.install_placement(fast_pages, prep.stats.pages)
+
+    wt = prep.workload_trace
+    result = replay(
+        prep.config, hma, wt.trace, wt.times,
+        mechanism=mechanism, num_intervals=num_intervals,
+        core_windows=wt.core_mlp,
+    )
+    intervals = profile_intervals(wt.trace, wt.times, result.interval_boundaries)
+    ser = prep.ser_model.ser_dynamic(intervals, result.fast_residency)
+    base = prep.ddr_baseline
+    return ExperimentResult(
+        workload=prep.name,
+        scheme=mechanism.name,
+        ipc=result.ipc,
+        ser=ser,
+        ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+        ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+        migrations=hma.migration_stats.total,
+        mean_read_latency=result.mean_read_latency,
+    )
+
+
+def evaluate_annotations(
+    prep: PreparedWorkload, avf_quantile: float = 0.7
+) -> "tuple[ExperimentResult, AnnotationPlan]":
+    """IPC/SER of the program-annotation placement (paper Section 7)."""
+    plan = plan_annotations(
+        prep.workload_trace, prep.stats, prep.capacity_pages,
+        avf_quantile=avf_quantile,
+    )
+    hma = HeterogeneousMemory(prep.config)
+    hma.install_placement(plan.pinned_pages, prep.stats.pages)
+    hma.pin(plan.pinned_pages)
+    wt = prep.workload_trace
+    result = replay(prep.config, hma, wt.trace, wt.times, core_windows=wt.core_mlp)
+    ser = prep.ser_model.ser_static(prep.stats, plan.pinned_pages)
+    base = prep.ddr_baseline
+    return (
+        ExperimentResult(
+            workload=prep.name,
+            scheme="annotations",
+            ipc=result.ipc,
+            ser=ser,
+            ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+            ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+            mean_read_latency=result.mean_read_latency,
+        ),
+        plan,
+    )
+
+
+def evaluate_annotation_migration(
+    prep: PreparedWorkload,
+    mechanism: MigrationMechanism,
+    num_intervals: int = 16,
+    avf_quantile: float = 0.7,
+    pin_fraction: float = 0.5,
+) -> "tuple[ExperimentResult, AnnotationPlan]":
+    """The paper's Section 7 closing suggestion, implemented.
+
+    "Supplementing such an annotation-driven static data placement
+    scheme with a reliability-aware migration mechanism could
+    potentially further improve the overall reliability."
+
+    Annotated structures are pinned into ``pin_fraction`` of the HBM
+    frames (exempt from migration); the mechanism manages the
+    remaining frames dynamically.
+    """
+    if not 0 < pin_fraction <= 1:
+        raise ValueError("pin_fraction must be in (0, 1]")
+    pin_capacity = max(1, int(prep.capacity_pages * pin_fraction))
+    plan = plan_annotations(
+        prep.workload_trace, prep.stats, pin_capacity,
+        avf_quantile=avf_quantile,
+    )
+    hma = HeterogeneousMemory(prep.config)
+    hma.install_placement(plan.pinned_pages, prep.stats.pages)
+    hma.pin(plan.pinned_pages)
+
+    wt = prep.workload_trace
+    result = replay(
+        prep.config, hma, wt.trace, wt.times,
+        mechanism=mechanism, num_intervals=num_intervals,
+        core_windows=wt.core_mlp,
+    )
+    intervals = profile_intervals(wt.trace, wt.times, result.interval_boundaries)
+    ser = prep.ser_model.ser_dynamic(intervals, result.fast_residency)
+    base = prep.ddr_baseline
+    return (
+        ExperimentResult(
+            workload=prep.name,
+            scheme=f"annotations+{mechanism.name}",
+            ipc=result.ipc,
+            ser=ser,
+            ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+            ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+            migrations=hma.migration_stats.total,
+            mean_read_latency=result.mean_read_latency,
+        ),
+        plan,
+    )
+
+
+def run_placement_experiment(
+    workload: "Workload | str",
+    policy: PlacementPolicy,
+    config: "SystemConfig | None" = None,
+    scale: float = DEFAULT_SCALE,
+    accesses_per_core: int = 20_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """One-shot convenience wrapper: prepare + evaluate a placement."""
+    prep = prepare_workload(
+        workload, config=config, scale=scale,
+        accesses_per_core=accesses_per_core, seed=seed,
+    )
+    return evaluate_static(prep, policy)
+
+
+def run_migration_experiment(
+    workload: "Workload | str",
+    mechanism: MigrationMechanism,
+    config: "SystemConfig | None" = None,
+    scale: float = DEFAULT_SCALE,
+    accesses_per_core: int = 20_000,
+    num_intervals: int = 16,
+    seed: int = 0,
+    initial_policy: "PlacementPolicy | None" = None,
+) -> ExperimentResult:
+    """One-shot convenience wrapper: prepare + evaluate a migration."""
+    prep = prepare_workload(
+        workload, config=config, scale=scale,
+        accesses_per_core=accesses_per_core, seed=seed,
+    )
+    return evaluate_migration(
+        prep, mechanism, num_intervals=num_intervals,
+        initial_policy=initial_policy,
+    )

@@ -1,0 +1,65 @@
+"""Workload substrate: trace records, synthetic generation, benchmarks."""
+
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.synthetic import (
+    GeneratorParams,
+    RegionLayout,
+    RegionSpec,
+    TraceGenerator,
+    interleave_cores,
+    layout_regions,
+)
+from repro.trace.workloads import (
+    HOMOGENEOUS_BENCHMARKS,
+    PROFILES,
+    BenchmarkProfile,
+    Workload,
+    WorkloadTrace,
+)
+from repro.trace.mixes import MIX_NAMES, MIX_TABLE, MIXES
+from repro.trace.io import load_npz, load_text, save_npz, save_text
+from repro.trace.profiles_io import (
+    load_profile,
+    register_profile,
+    save_profile,
+    unregister_profile,
+)
+from repro.trace.simpoints import (
+    KMeans,
+    SimPoint,
+    estimate_with_simpoints,
+    interval_vectors,
+    pick_simpoints,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "RegionSpec",
+    "RegionLayout",
+    "GeneratorParams",
+    "TraceGenerator",
+    "layout_regions",
+    "interleave_cores",
+    "BenchmarkProfile",
+    "Workload",
+    "WorkloadTrace",
+    "PROFILES",
+    "HOMOGENEOUS_BENCHMARKS",
+    "MIXES",
+    "MIX_TABLE",
+    "MIX_NAMES",
+    "save_npz",
+    "load_npz",
+    "save_text",
+    "load_text",
+    "save_profile",
+    "load_profile",
+    "register_profile",
+    "unregister_profile",
+    "SimPoint",
+    "KMeans",
+    "interval_vectors",
+    "pick_simpoints",
+    "estimate_with_simpoints",
+]

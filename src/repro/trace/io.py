@@ -1,0 +1,108 @@
+"""Trace persistence: binary (npz) and Ramulator-style text formats.
+
+The paper's toolchain exchanges trace files between Pin/PinPlay, Moola,
+and Ramulator.  This module gives the library the same capability:
+
+* :func:`save_npz` / :func:`load_npz` — lossless binary round-trip of a
+  :class:`~repro.trace.record.Trace` (and its logical times), suitable
+  for caching generated workloads.
+* :func:`save_text` / :func:`load_text` — a Ramulator-like text format,
+  one request per line::
+
+      <gap-instructions> <hex-address> R|W [core]
+
+  matching the fields the paper lists for its trace files (intervening
+  non-memory instructions, memory address, request type).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+
+def save_npz(path: "str | os.PathLike", trace: Trace,
+             times: "np.ndarray | None" = None) -> None:
+    """Write a trace (and optional logical times) as compressed npz."""
+    arrays = {
+        "core": trace.core,
+        "address": trace.address,
+        "is_write": trace.is_write,
+        "gap": trace.gap,
+    }
+    if times is not None:
+        if len(times) != len(trace):
+            raise ValueError("times must align with the trace")
+        arrays["times"] = np.asarray(times, dtype=np.float64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: "str | os.PathLike") -> "tuple[Trace, np.ndarray | None]":
+    """Read a trace written by :func:`save_npz`.
+
+    Returns ``(trace, times)`` with ``times`` None when absent.
+    """
+    with np.load(path) as data:
+        required = {"core", "address", "is_write", "gap"}
+        missing = required - set(data.files)
+        if missing:
+            raise ValueError(f"not a trace file: missing {sorted(missing)}")
+        trace = Trace(
+            core=data["core"],
+            address=data["address"],
+            is_write=data["is_write"],
+            gap=data["gap"],
+        )
+        times = data["times"] if "times" in data.files else None
+    return trace, times
+
+
+def save_text(path: "str | os.PathLike", trace: Trace) -> None:
+    """Write a Ramulator-style text trace."""
+    with open(path, "w") as fh:
+        fh.write("# gap address type core\n")
+        for record in trace:
+            kind = "W" if record.is_write else "R"
+            fh.write(
+                f"{record.gap_instructions} 0x{record.address:x} {kind} "
+                f"{record.core}\n"
+            )
+
+
+def load_text(path: "str | os.PathLike") -> Trace:
+    """Read a text trace written by :func:`save_text`.
+
+    Lines are ``<gap> <address> R|W [core]``; ``#`` comments and blank
+    lines are skipped; the core column defaults to 0 (single-core
+    Ramulator traces omit it).
+    """
+    cores: "list[int]" = []
+    addresses: "list[int]" = []
+    writes: "list[bool]" = []
+    gaps: "list[int]" = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 3:
+                raise ValueError(f"{path}:{lineno}: expected "
+                                 f"'<gap> <address> R|W [core]', got {text!r}")
+            gap, address, kind = parts[0], parts[1], parts[2].upper()
+            if kind not in ("R", "W"):
+                raise ValueError(f"{path}:{lineno}: bad request type {kind!r}")
+            gaps.append(int(gap))
+            addresses.append(int(address, 16) if address.lower().startswith("0x")
+                             else int(address))
+            writes.append(kind == "W")
+            cores.append(int(parts[3]) if len(parts) > 3 else 0)
+    return Trace(
+        core=np.array(cores, dtype=np.uint16),
+        address=np.array(addresses, dtype=np.uint64),
+        is_write=np.array(writes, dtype=bool),
+        gap=np.array(gaps, dtype=np.uint32),
+    )

@@ -1,0 +1,119 @@
+"""Benchmark profiles as data: JSON round-trip.
+
+Users modelling their own applications should not have to edit
+``repro.trace.workloads``; a profile — footprint, MPKI, MLP, and the
+region list — serialises to a small JSON document:
+
+```json
+{
+  "name": "kvstore",
+  "footprint_mb": 256,
+  "mpki": 12.0,
+  "mlp": 6,
+  "regions": [
+    {"name": "hash_index", "footprint_share": 0.25, "hotness": 4.0,
+     "write_frac": 0.05, "read_spread": 0.7, "lines_touched": 32}
+  ]
+}
+```
+
+Loaded profiles can be registered into the global
+:data:`~repro.trace.workloads.PROFILES` table so the rest of the
+library (``Workload.spec``, the CLI, the harness) picks them up by
+name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.trace.synthetic import RegionSpec
+from repro.trace.workloads import PROFILES, BenchmarkProfile
+
+#: Region fields with their defaults (absent keys fall back).
+_REGION_OPTIONAL = {
+    "zipf_alpha": 0.6,
+    "lines_touched": 64,
+    "churn": 0.0,
+}
+_REGION_REQUIRED = (
+    "name", "footprint_share", "hotness", "write_frac", "read_spread",
+)
+
+
+def region_to_dict(region: RegionSpec) -> dict:
+    out = {key: getattr(region, key) for key in _REGION_REQUIRED}
+    for key, default in _REGION_OPTIONAL.items():
+        value = getattr(region, key)
+        if value != default:
+            out[key] = value
+    return out
+
+
+def region_from_dict(data: dict) -> RegionSpec:
+    missing = [k for k in _REGION_REQUIRED if k not in data]
+    if missing:
+        raise ValueError(f"region missing fields: {missing}")
+    unknown = set(data) - set(_REGION_REQUIRED) - set(_REGION_OPTIONAL)
+    if unknown:
+        raise ValueError(f"region has unknown fields: {sorted(unknown)}")
+    kwargs = {k: data[k] for k in _REGION_REQUIRED}
+    for key, default in _REGION_OPTIONAL.items():
+        kwargs[key] = data.get(key, default)
+    return RegionSpec(**kwargs)
+
+
+def profile_to_dict(profile: BenchmarkProfile) -> dict:
+    return {
+        "name": profile.name,
+        "footprint_mb": profile.footprint_mb,
+        "mpki": profile.mpki,
+        "mlp": profile.mlp,
+        "regions": [region_to_dict(r) for r in profile.regions],
+    }
+
+
+def profile_from_dict(data: dict) -> BenchmarkProfile:
+    required = ("name", "footprint_mb", "mpki", "regions")
+    missing = [k for k in required if k not in data]
+    if missing:
+        raise ValueError(f"profile missing fields: {missing}")
+    if not data["regions"]:
+        raise ValueError("profile needs at least one region")
+    return BenchmarkProfile(
+        name=str(data["name"]),
+        footprint_mb=float(data["footprint_mb"]),
+        mpki=float(data["mpki"]),
+        mlp=int(data.get("mlp", 4)),
+        regions=tuple(region_from_dict(r) for r in data["regions"]),
+    )
+
+
+def save_profile(path: "str | os.PathLike",
+                 profile: BenchmarkProfile) -> None:
+    with open(path, "w") as fh:
+        json.dump(profile_to_dict(profile), fh, indent=2)
+        fh.write("\n")
+
+
+def load_profile(path: "str | os.PathLike") -> BenchmarkProfile:
+    with open(path) as fh:
+        return profile_from_dict(json.load(fh))
+
+
+def register_profile(profile: BenchmarkProfile,
+                     overwrite: bool = False) -> None:
+    """Make a profile available to ``Workload.spec(profile.name)``."""
+    if profile.name in PROFILES and not overwrite:
+        raise ValueError(
+            f"profile {profile.name!r} already registered; "
+            "pass overwrite=True to replace it"
+        )
+    PROFILES[profile.name] = profile
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a user-registered profile (bundled ones included — the
+    caller owns the registry)."""
+    PROFILES.pop(name, None)

@@ -1,0 +1,182 @@
+"""SimPoint-style representative-interval selection.
+
+The paper generates traces with SimPoints [54]: execution is split into
+fixed-size intervals, each interval is summarised by a feature vector
+(SimPoint uses basic-block vectors; for memory traces the natural
+analogue is the per-page access histogram), the vectors are clustered
+with k-means, and one representative interval per cluster — weighted by
+cluster size — stands in for the whole execution.
+
+This module reimplements that flow for memory traces:
+
+* :func:`interval_vectors` — split a trace into intervals and build
+  normalised page-access histograms,
+* :class:`KMeans` — a small, dependency-free Lloyd's k-means with
+  k-means++ seeding, and
+* :func:`pick_simpoints` — cluster and select the representative
+  interval (closest to each centroid) with its weight.
+
+:func:`estimate_with_simpoints` demonstrates the intended use: estimate
+a whole-trace statistic from the weighted representatives only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One representative interval."""
+
+    interval: int
+    weight: float
+    cluster: int
+
+
+@dataclass
+class IntervalFeatures:
+    """Per-interval page-access histograms."""
+
+    #: (num_intervals x num_pages) row-normalised access frequencies.
+    vectors: np.ndarray
+    #: Page ids for the histogram columns.
+    pages: np.ndarray
+    #: [start, stop) request index of every interval.
+    bounds: "list[tuple[int, int]]"
+
+
+def interval_vectors(trace: Trace, interval_length: int) -> IntervalFeatures:
+    """Split ``trace`` into ``interval_length``-request intervals and
+    build the per-interval page-access frequency vectors."""
+    if interval_length <= 0:
+        raise ValueError("interval_length must be positive")
+    if len(trace) == 0:
+        raise ValueError("cannot build features of an empty trace")
+    pages = trace.pages.astype(np.int64)
+    unique = np.unique(pages)
+    column = np.searchsorted(unique, pages)
+
+    n_intervals = (len(trace) + interval_length - 1) // interval_length
+    vectors = np.zeros((n_intervals, len(unique)))
+    bounds = []
+    for i in range(n_intervals):
+        start = i * interval_length
+        stop = min(len(trace), start + interval_length)
+        np.add.at(vectors[i], column[start:stop], 1.0)
+        total = vectors[i].sum()
+        if total:
+            vectors[i] /= total
+        bounds.append((start, stop))
+    return IntervalFeatures(vectors=vectors, pages=unique, bounds=bounds)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding (no sklearn needed)."""
+
+    def __init__(self, k: int, max_iterations: int = 50, seed: int = 0) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.centroids: "np.ndarray | None" = None
+
+    def _seed_centroids(self, data: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        n = len(data)
+        centroids = [data[rng.integers(n)]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                [((data - c) ** 2).sum(axis=1) for c in centroids], axis=0
+            )
+            total = d2.sum()
+            if total == 0:
+                centroids.append(data[rng.integers(n)])
+                continue
+            centroids.append(data[rng.choice(n, p=d2 / total)])
+        return np.stack(centroids)
+
+    def fit(self, data: np.ndarray) -> np.ndarray:
+        """Cluster rows of ``data``; returns per-row labels."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or len(data) == 0:
+            raise ValueError("data must be a non-empty 2-D array")
+        k = min(self.k, len(data))
+        rng = np.random.default_rng(self.seed)
+        self.k = k
+        centroids = self._seed_centroids(data, rng)
+        labels = np.zeros(len(data), dtype=np.int64)
+        for _ in range(self.max_iterations):
+            distances = ((data[:, None, :] - centroids[None, :, :]) ** 2
+                         ).sum(axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for cluster in range(k):
+                members = data[labels == cluster]
+                if len(members):
+                    centroids[cluster] = members.mean(axis=0)
+        self.centroids = centroids
+        return labels
+
+
+def pick_simpoints(
+    trace: Trace,
+    interval_length: int,
+    k: int = 4,
+    seed: int = 0,
+) -> "tuple[list[SimPoint], IntervalFeatures]":
+    """Cluster the trace's intervals and pick one representative each.
+
+    The representative of a cluster is its member closest to the
+    centroid; its weight is the cluster's share of all intervals —
+    exactly SimPoint's selection rule.
+    """
+    features = interval_vectors(trace, interval_length)
+    kmeans = KMeans(k=k, seed=seed)
+    labels = kmeans.fit(features.vectors)
+    assert kmeans.centroids is not None
+
+    simpoints = []
+    n = len(features.vectors)
+    for cluster in range(kmeans.k):
+        members = np.nonzero(labels == cluster)[0]
+        if len(members) == 0:
+            continue
+        distances = ((features.vectors[members] - kmeans.centroids[cluster])
+                     ** 2).sum(axis=1)
+        representative = int(members[distances.argmin()])
+        simpoints.append(SimPoint(
+            interval=representative,
+            weight=len(members) / n,
+            cluster=cluster,
+        ))
+    simpoints.sort(key=lambda sp: sp.interval)
+    return simpoints, features
+
+
+def estimate_with_simpoints(
+    trace: Trace,
+    simpoints: "list[SimPoint]",
+    features: IntervalFeatures,
+    statistic,
+) -> float:
+    """Weighted estimate of ``statistic(sub_trace)`` over representative
+    intervals — the SimPoint methodology's payoff.
+
+    ``statistic`` maps a Trace slice to a float; the estimate is the
+    cluster-weight-weighted sum.
+    """
+    if not simpoints:
+        raise ValueError("need at least one simpoint")
+    total = 0.0
+    for sp in simpoints:
+        start, stop = features.bounds[sp.interval]
+        total += sp.weight * float(statistic(trace.slice(start, stop)))
+    return total

@@ -1,0 +1,404 @@
+"""Statistical page-behaviour trace generator.
+
+The paper generates memory traces with Pin/PinPlay + SimPoint and
+filters them through the Moola cache simulator, so that the trace seen
+by the DRAM model contains only main-memory requests.  We do not have
+the SPEC CPU2006 binaries or the authors' trace files, so this module
+synthesises *main-memory* traces from per-benchmark statistical
+profiles (see ``repro.trace.workloads``), preserving the properties the
+paper's experiments consume:
+
+* a Zipf-skewed page *hotness* distribution (raw access counts),
+* a per-region *write ratio* (writes / reads),
+* a per-region *read spread* that controls how long written data stays
+  live before its last read — this is what determines a page's AVF, and
+* per-region *churn*, which makes a fraction of pages bursty so that
+  the hot set rotates across migration intervals.
+
+The generative model is epoch-based and mirrors Figure 3 of the paper:
+each touched cache line receives a sequence of epochs, an epoch being
+one write followed by a burst of reads.  The line is ACE (vulnerable)
+from the write until its last read of the epoch and dead afterwards, so
+``read_spread`` directly dials the resulting AVF while the write ratio
+and the access count remain independently controllable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.config import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A named program structure: a contiguous run of pages that share
+    access behaviour.
+
+    Regions are the annotation unit for the paper's Section 7
+    experiments: a programmer pins whole structures (arrays, heaps,
+    matrices) into HBM.
+    """
+
+    name: str
+    #: Fraction of the workload footprint owned by this region.
+    footprint_share: float
+    #: Relative per-page access rate (hotness) of the region.
+    hotness: float
+    #: Fraction of the region's accesses that are writes.
+    write_frac: float
+    #: How far into an epoch the last read happens, in [0, 1].  This is
+    #: the knob for AVF: ~0 means data dies immediately after being
+    #: written (low risk), ~1 means data stays live until the next
+    #: write (high risk).
+    read_spread: float
+    #: Zipf skew of per-page hotness inside the region (0 = uniform).
+    zipf_alpha: float = 0.6
+    #: Distinct cache lines touched per page (out of 64).
+    lines_touched: int = LINES_PER_PAGE
+    #: Fraction of the region's pages that are bursty: their activity
+    #: concentrates in one random sub-window instead of spanning the
+    #: whole trace.
+    churn: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.footprint_share <= 1:
+            raise ValueError(f"{self.name}: footprint_share must be in (0, 1]")
+        if self.hotness < 0:
+            raise ValueError(f"{self.name}: hotness must be non-negative")
+        if not 0 <= self.write_frac <= 1:
+            raise ValueError(f"{self.name}: write_frac must be in [0, 1]")
+        if not 0 <= self.read_spread <= 1:
+            raise ValueError(f"{self.name}: read_spread must be in [0, 1]")
+        if not 1 <= self.lines_touched <= LINES_PER_PAGE:
+            raise ValueError(f"{self.name}: lines_touched must be in [1, 64]")
+        if not 0 <= self.churn <= 1:
+            raise ValueError(f"{self.name}: churn must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class RegionLayout:
+    """Placement of one region inside a core's page namespace."""
+
+    spec: RegionSpec
+    first_page: int
+    num_pages: int
+
+    @property
+    def last_page(self) -> int:
+        return self.first_page + self.num_pages - 1
+
+    def contains(self, page: int) -> bool:
+        return self.first_page <= page < self.first_page + self.num_pages
+
+
+@dataclass
+class GeneratorParams:
+    """Scale-independent knobs of a generation run."""
+
+    #: Total memory requests to emit for this core.
+    target_accesses: int
+    #: Misses per kilo-instruction; sets the instruction gaps.
+    mpki: float
+    #: Number of bursty-activity phases the trace window is split into.
+    phases: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_accesses <= 0:
+            raise ValueError("target_accesses must be positive")
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+
+
+@dataclass
+class GeneratedCoreTrace:
+    """Trace of one core plus the layout metadata needed downstream."""
+
+    trace: Trace
+    layouts: "list[RegionLayout]"
+    #: Logical time of each request in [0, 1), aligned with the trace.
+    times: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def _zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Zipf-like weights 1/rank^alpha over ``n`` items, normalised."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** -alpha if alpha > 0 else np.ones(n)
+    return weights / weights.sum()
+
+
+def layout_regions(
+    regions: "list[RegionSpec]", footprint_pages: int, first_page: int = 0
+) -> "list[RegionLayout]":
+    """Assign each region a contiguous page range.
+
+    Shares are normalised, every region receives at least one page, and
+    rounding slack is apportioned by largest remainder so the total is
+    exact even at tiny scales.
+    """
+    if footprint_pages < len(regions):
+        raise ValueError("footprint smaller than the number of regions")
+    shares = np.array([r.footprint_share for r in regions], dtype=np.float64)
+    shares = shares / shares.sum()
+    exact = shares * footprint_pages
+    sizes = np.maximum(1, np.floor(exact).astype(np.int64))
+    # Largest-remainder apportionment of the rounding slack so every
+    # region's size tracks its share even at tiny scales.
+    slack = footprint_pages - int(sizes.sum())
+    if slack > 0:
+        order = np.argsort(-(exact - np.floor(exact)), kind="stable")
+        for i in range(slack):
+            sizes[order[i % len(order)]] += 1
+    elif slack < 0:
+        order = np.argsort(exact - np.floor(exact), kind="stable")
+        remaining = -slack
+        progress = True
+        while remaining > 0 and progress:
+            progress = False
+            for victim in order:
+                if remaining == 0:
+                    break
+                if sizes[victim] > 1:
+                    sizes[victim] -= 1
+                    remaining -= 1
+                    progress = True
+        if remaining > 0:
+            raise ValueError(
+                "footprint too small for the requested region shares"
+            )
+    layouts = []
+    cursor = first_page
+    for spec, size in zip(regions, sizes):
+        layouts.append(RegionLayout(spec=spec, first_page=cursor, num_pages=int(size)))
+        cursor += int(size)
+    return layouts
+
+
+class TraceGenerator:
+    """Epoch-based synthetic trace generator for one core."""
+
+    def __init__(
+        self,
+        regions: "list[RegionSpec]",
+        footprint_pages: int,
+        params: GeneratorParams,
+        first_page: int = 0,
+    ) -> None:
+        if footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        self.params = params
+        self.layouts = layout_regions(regions, footprint_pages, first_page)
+        self._rng = np.random.default_rng(params.seed)
+
+    # -- page-level plan ---------------------------------------------------
+
+    def _page_plan(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Distribute the access budget over pages.
+
+        Returns parallel per-page arrays: page id, access count, write
+        fraction, read spread, lines touched, and the activity phase
+        (-1 for pages active over the whole window).
+        """
+        rng = self._rng
+        page_ids = []
+        weights = []
+        write_frac = []
+        read_spread = []
+        lines_touched = []
+        phase = []
+        for layout in self.layouts:
+            spec = layout.spec
+            ids = np.arange(
+                layout.first_page, layout.first_page + layout.num_pages, dtype=np.int64
+            )
+            # Zipf weights are normalised to the region, so scale by the
+            # page count to make ``hotness`` a *per-page* rate: a small
+            # region is not hotter per page than a large one of equal
+            # hotness.
+            w = (
+                _zipf_weights(layout.num_pages, spec.zipf_alpha)
+                * layout.num_pages
+                * spec.hotness
+            )
+            # Shuffle so hot pages are not always at the low addresses.
+            rng.shuffle(w)
+            page_ids.append(ids)
+            weights.append(w)
+            write_frac.append(np.full(layout.num_pages, spec.write_frac))
+            # Jitter the spread slightly so AVF varies inside a region.
+            spread = np.clip(
+                spec.read_spread + rng.normal(0.0, 0.05, layout.num_pages), 0.0, 1.0
+            )
+            read_spread.append(spread)
+            lines_touched.append(np.full(layout.num_pages, spec.lines_touched))
+            ph = np.full(layout.num_pages, -1, dtype=np.int64)
+            if spec.churn > 0 and self.params.phases > 1:
+                bursty = rng.random(layout.num_pages) < spec.churn
+                ph[bursty] = rng.integers(
+                    0, self.params.phases, size=int(bursty.sum())
+                )
+            phase.append(ph)
+
+        ids = np.concatenate(page_ids)
+        w = np.concatenate(weights)
+        w = w / w.sum()
+        counts = rng.multinomial(self.params.target_accesses, w).astype(np.int64)
+        return (
+            ids,
+            counts,
+            np.concatenate(write_frac),
+            np.concatenate(read_spread),
+            np.concatenate(lines_touched).astype(np.int64),
+            np.concatenate(phase),
+        )
+
+    # -- epoch expansion ---------------------------------------------------
+
+    def generate(self) -> GeneratedCoreTrace:
+        """Emit the core's trace, time-sorted, with instruction gaps.
+
+        Expansion is per *line*: each touched page spreads its access
+        budget over its ``lines_touched`` lines, and every line gets an
+        independent epoch structure (a write opening each epoch, reads
+        spread over the epoch's first ``read_spread`` fraction).  Lines
+        that receive no write are read-only — their data was live
+        before the window.
+        """
+        rng = self._rng
+        ids, counts, wf, spread, lines_limit, phase = self._page_plan()
+
+        touched = counts > 0
+        ids, counts, wf = ids[touched], counts[touched], wf[touched]
+        spread, lines_limit, phase = (
+            spread[touched], lines_limit[touched], phase[touched],
+        )
+
+        # --- line-level arrays (one entry per touched line) ---
+        lines_used = np.minimum(lines_limit, np.maximum(1, counts)).astype(np.int64)
+        line_page_idx = np.repeat(np.arange(len(ids)), lines_used)
+        n_lines = len(line_page_idx)
+        line_local = np.arange(n_lines) - np.repeat(
+            np.cumsum(lines_used) - lines_used, lines_used
+        )
+        # Spread the page's accesses and writes evenly over its lines.
+        base_count = counts // lines_used
+        extra_count = counts - base_count * lines_used
+        line_count = base_count[line_page_idx] + (line_local < extra_count[line_page_idx])
+        writes_total = np.round(counts * wf).astype(np.int64)
+        writes_total = np.minimum(writes_total, counts)
+        base_writes = writes_total // lines_used
+        extra_writes = writes_total - base_writes * lines_used
+        line_writes = base_writes[line_page_idx] + (
+            line_local < extra_writes[line_page_idx]
+        )
+        line_writes = np.minimum(line_writes, line_count)
+        line_reads = line_count - line_writes
+
+        # --- epoch-level arrays (one entry per line-epoch) ---
+        epochs = np.maximum(line_writes, 1)
+        epoch_line_idx = np.repeat(np.arange(n_lines), epochs)
+        n_epochs = len(epoch_line_idx)
+        epoch_local = np.arange(n_epochs) - np.repeat(
+            np.cumsum(epochs) - epochs, epochs
+        )
+        epochs_of = epochs[epoch_line_idx].astype(np.float64)
+
+        # Each page's activity spans a window [w0, w1) in logical time.
+        w0 = np.zeros(len(ids))
+        w1 = np.ones(len(ids))
+        bursty = phase >= 0
+        if bursty.any():
+            w0[bursty] = phase[bursty] / self.params.phases
+            w1[bursty] = (phase[bursty] + 1) / self.params.phases
+        epoch_page = line_page_idx[epoch_line_idx]
+        span = (w1 - w0)[epoch_page]
+        epoch_len = span / epochs_of
+        epoch_start = w0[epoch_page] + epoch_local * epoch_len
+
+        # Whether the epoch opens with a real write (read-only lines
+        # have a single epoch that starts pre-written).
+        has_write = np.repeat(line_writes > 0, epochs)
+
+        # Reads per epoch: each line's read budget split evenly over
+        # its epochs, remainder to the earliest epochs.
+        base_reads = line_reads // epochs
+        extra_reads = line_reads - base_reads * epochs
+        reads_per_epoch = base_reads[epoch_line_idx] + (
+            epoch_local < extra_reads[epoch_line_idx]
+        )
+
+        # --- expand to request-level arrays ---
+        spread_e = spread[epoch_page]
+
+        wr_page = epoch_page[has_write]
+        wr_time = epoch_start[has_write]
+        wr_line = line_local[epoch_line_idx[has_write]]
+
+        rd_epoch = np.repeat(np.arange(n_epochs), reads_per_epoch)
+        n_reads = len(rd_epoch)
+        rd_page = epoch_page[rd_epoch]
+        # Reads land uniformly within [start, start + spread * len) of
+        # their epoch; a tiny offset keeps them after the write.
+        u = rng.random(n_reads)
+        rd_time = (
+            epoch_start[rd_epoch]
+            + (0.02 + 0.98 * u * spread_e[rd_epoch]) * epoch_len[rd_epoch]
+        )
+        rd_line = line_local[epoch_line_idx[rd_epoch]]
+
+        page = np.concatenate([ids[wr_page], ids[rd_page]])
+        line = np.concatenate([wr_line, rd_line])
+        time = np.concatenate([wr_time, rd_time])
+        is_write = np.concatenate(
+            [np.ones(len(wr_page), dtype=bool), np.zeros(n_reads, dtype=bool)]
+        )
+
+        order = np.argsort(time, kind="stable")
+        page, line, time, is_write = page[order], line[order], time[order], is_write[order]
+
+        address = page.astype(np.uint64) * PAGE_SIZE + line.astype(np.uint64) * LINE_SIZE
+
+        n = len(address)
+        mean_gap = max(0.0, 1000.0 / self.params.mpki - 1.0)
+        if mean_gap > 0:
+            gap = rng.geometric(1.0 / (1.0 + mean_gap), size=n) - 1
+        else:
+            gap = np.zeros(n, dtype=np.int64)
+
+        trace = Trace(
+            core=np.zeros(n, dtype=np.uint16),
+            address=address,
+            is_write=is_write,
+            gap=gap.astype(np.uint32),
+        )
+        return GeneratedCoreTrace(trace=trace, layouts=self.layouts, times=time)
+
+
+def interleave_cores(cores: "list[GeneratedCoreTrace]") -> "tuple[Trace, np.ndarray]":
+    """Merge per-core traces into one global, time-ordered trace.
+
+    Returns the merged trace and the merged logical-time array.  Core
+    ids are assigned by list position.
+    """
+    if not cores:
+        return Trace.empty(), np.empty(0)
+    addresses = np.concatenate([c.trace.address for c in cores])
+    is_write = np.concatenate([c.trace.is_write for c in cores])
+    gaps = np.concatenate([c.trace.gap for c in cores])
+    times = np.concatenate([c.times for c in cores])
+    core_ids = np.concatenate(
+        [np.full(len(c.trace), i, dtype=np.uint16) for i, c in enumerate(cores)]
+    )
+    order = np.argsort(times, kind="stable")
+    merged = Trace(
+        core=core_ids[order],
+        address=addresses[order],
+        is_write=is_write[order],
+        gap=gaps[order],
+    )
+    return merged, times[order]

@@ -1,0 +1,121 @@
+"""Unit tests for AVF proxy heuristics and correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.avf.heuristics import (
+    hotness_avf_correlation,
+    pearson,
+    risk_from_write_ratio,
+    top_hot_pages,
+    write_ratio_avf_correlation,
+    write_ratio_histogram,
+)
+from repro.avf.page import PageStats
+
+
+def stats_from(reads, writes, avf, footprint=None):
+    n = len(reads)
+    return PageStats(
+        pages=np.arange(n),
+        reads=np.asarray(reads),
+        writes=np.asarray(writes),
+        avf=np.asarray(avf, dtype=float),
+        footprint_pages=footprint or n,
+    )
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, 2 * x) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_short_input_returns_zero(self):
+        assert pearson(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(3), np.ones(4))
+
+
+class TestCorrelations:
+    def test_hotness_avf_sign(self):
+        s = stats_from(reads=[100, 10, 1], writes=[0, 0, 0],
+                       avf=[0.9, 0.5, 0.1])
+        assert hotness_avf_correlation(s) > 0.9
+
+    def test_write_ratio_avf_negative_by_construction(self):
+        # More writes per read -> lower AVF, as the paper observes.
+        s = stats_from(reads=[10, 10, 10], writes=[0, 5, 10],
+                       avf=[0.9, 0.5, 0.1])
+        assert write_ratio_avf_correlation(s) < -0.9
+
+
+class TestTopHotPages:
+    def test_order_and_count(self):
+        s = stats_from(reads=[5, 50, 20], writes=[0, 0, 0],
+                       avf=[0.1, 0.2, 0.3])
+        idx = top_hot_pages(s, 2)
+        assert list(idx) == [1, 2]
+
+    def test_n_larger_than_footprint(self):
+        s = stats_from(reads=[5, 1], writes=[0, 0], avf=[0.1, 0.2])
+        assert len(top_hot_pages(s, 10)) == 2
+
+
+class TestHistogram:
+    def test_counts_sum_to_pages(self):
+        s = stats_from(reads=[10] * 6, writes=[0, 1, 3, 5, 8, 20],
+                       avf=[0.1] * 6)
+        hist = write_ratio_histogram(s, num_bins=5)
+        assert hist.counts.sum() == 6
+
+    def test_overflow_lands_in_last_bin(self):
+        s = stats_from(reads=[1], writes=[50], avf=[0.1])
+        hist = write_ratio_histogram(s, num_bins=5, max_ratio=1.0)
+        assert hist.counts[-1] == 1
+
+    def test_iteration(self):
+        s = stats_from(reads=[10, 10], writes=[1, 9], avf=[0.1, 0.1])
+        rows = list(write_ratio_histogram(s, num_bins=2))
+        assert len(rows) == 2
+        assert sum(r[2] for r in rows) == 2
+
+
+class TestRiskClassifier:
+    def test_low_write_ratio_is_high_risk(self):
+        s = stats_from(reads=[10, 10], writes=[0, 10], avf=[0.9, 0.1])
+        risky = risk_from_write_ratio(s)
+        assert risky[0]
+        assert not risky[1]
+
+    def test_explicit_threshold(self):
+        s = stats_from(reads=[10, 10], writes=[2, 6], avf=[0.5, 0.5])
+        risky = risk_from_write_ratio(s, threshold=0.5)
+        assert list(risky) == [True, False]
+
+
+class TestOnGeneratedWorkload:
+    def test_mix1_correlations_match_paper_shape(self, mix1_prep):
+        """Paper: rho(hotness, AVF) ~ 0.08; rho(Wr ratio, AVF) ~ -0.32."""
+        stats = mix1_prep.stats
+        rho_hot = hotness_avf_correlation(stats)
+        rho_wr = write_ratio_avf_correlation(stats)
+        assert abs(rho_hot) < 0.45         # weak (paper: 0.08)
+        assert -0.7 < rho_wr < -0.1        # clearly negative
+
+    def test_hot_pages_mostly_high_avf(self, mix1_prep):
+        """Fig. 6: most of the hottest pages carry high AVF, with some
+        low-AVF exceptions."""
+        stats = mix1_prep.stats
+        idx = top_hot_pages(stats, 200)
+        top_avf = stats.avf[idx]
+        assert np.median(top_avf) > stats.avf.mean()
+        assert (top_avf < stats.avf.mean()).sum() > 0

@@ -1,0 +1,182 @@
+"""Unit and property tests for ACE interval tracking.
+
+The class-level tests reproduce the four didactic cases of the paper's
+Figure 3; the hypothesis test cross-validates the streaming tracker
+against the vectorised batch implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avf.tracker import AceTracker, line_ace_times
+
+
+def run_stream(events, assume_live_at_start=True):
+    """events: list of (line, time, is_write)."""
+    tracker = AceTracker(assume_live_at_start=assume_live_at_start)
+    for line, time, is_write in events:
+        tracker.access(line, time, is_write)
+    return tracker
+
+
+class TestFigure3Cases:
+    def test_case_a_write_read_read_write(self):
+        """Fig. 3(a): WR1 .. RD1 .. RD2 .. WR2 -> ACE = [WR1, RD2]."""
+        t = run_stream([(0, 0.1, True), (0, 0.3, False),
+                        (0, 0.6, False), (0, 0.9, True)])
+        assert t.ace_time(0) == pytest.approx(0.5)
+
+    def test_case_b_strike_between_writes_masked(self):
+        """Fig. 3(b): WR1 .. WR2 with no read -> no ACE time at all."""
+        t = run_stream([(0, 0.1, True), (0, 0.8, True)])
+        assert t.ace_time(0) == 0.0
+
+    def test_case_c_same_counts_high_avf(self):
+        """Fig. 3(c)/(d): equal access counts, different AVF.
+
+        Reads late after the write -> long ACE."""
+        t = run_stream([(0, 0.0, True), (0, 0.9, False)])
+        assert t.ace_time(0) == pytest.approx(0.9)
+
+    def test_case_d_same_counts_low_avf(self):
+        """Reads immediately after the write -> short ACE."""
+        t = run_stream([(0, 0.0, True), (0, 0.05, False)])
+        assert t.ace_time(0) == pytest.approx(0.05)
+
+    def test_equal_hotness_different_avf(self):
+        high = run_stream([(0, 0.0, True), (0, 0.9, False)])
+        low = run_stream([(1, 0.0, True), (1, 0.05, False)])
+        assert high.ace_time(0) > 10 * low.ace_time(1)
+
+
+class TestStreamingSemantics:
+    def test_chained_reads_all_ace(self):
+        t = run_stream([(0, 0.0, True), (0, 0.2, False),
+                        (0, 0.5, False), (0, 0.7, False)])
+        assert t.ace_time(0) == pytest.approx(0.7)
+
+    def test_leading_read_counts_when_live_at_start(self):
+        t = run_stream([(0, 0.4, False)])
+        assert t.ace_time(0) == pytest.approx(0.4)
+
+    def test_leading_read_ignored_when_not_live(self):
+        t = run_stream([(0, 0.4, False)], assume_live_at_start=False)
+        assert t.ace_time(0) == 0.0
+
+    def test_tail_after_last_read_is_dead(self):
+        t = run_stream([(0, 0.0, True), (0, 0.2, False)])
+        # Nothing after the read contributes.
+        assert t.ace_time(0) == pytest.approx(0.2)
+
+    def test_untouched_line_zero(self):
+        t = run_stream([(0, 0.5, True)])
+        assert t.ace_time(42) == 0.0
+
+    def test_lines_independent(self):
+        t = run_stream([(0, 0.0, True), (1, 0.1, True),
+                        (0, 0.5, False), (1, 0.9, False)])
+        assert t.ace_time(0) == pytest.approx(0.5)
+        assert t.ace_time(1) == pytest.approx(0.8)
+
+    def test_out_of_order_rejected(self):
+        t = AceTracker()
+        t.access(0, 0.5, True)
+        with pytest.raises(ValueError):
+            t.access(0, 0.4, False)
+
+    def test_touched_lines(self):
+        t = run_stream([(3, 0.1, True), (9, 0.2, False)])
+        assert sorted(t.touched_lines()) == [3, 9]
+
+    def test_line_ace_times_map(self):
+        t = run_stream([(0, 0.0, True), (0, 0.5, False)])
+        assert t.line_ace_times() == {0: pytest.approx(0.5)}
+
+
+class TestWindowReset:
+    def test_reset_returns_and_clears(self):
+        t = run_stream([(0, 0.0, True), (0, 0.4, False)])
+        window = t.reset_window()
+        assert window[0] == pytest.approx(0.4)
+        assert t.ace_time(0) == 0.0
+
+    def test_cross_boundary_span_charged_to_reading_window(self):
+        t = AceTracker()
+        t.access(0, 0.1, True)
+        first = t.reset_window()
+        assert first[0] == 0.0
+        t.access(0, 0.6, False)
+        second = t.reset_window()
+        # The whole 0.1 -> 0.6 span lands in the second window.
+        assert second[0] == pytest.approx(0.5)
+
+
+class TestVectorised:
+    def test_matches_streaming_on_example(self):
+        events = [(0, 0.0, True), (1, 0.1, False), (0, 0.3, False),
+                  (1, 0.5, True), (0, 0.6, True), (1, 0.8, False)]
+        stream = run_stream(events)
+        lines = np.array([e[0] for e in events])
+        times = np.array([e[1] for e in events])
+        writes = np.array([e[2] for e in events])
+        ulines, ace = line_ace_times(lines, times, writes)
+        batch = dict(zip(ulines, ace))
+        for line in stream.touched_lines():
+            assert batch[line] == pytest.approx(stream.ace_time(line))
+
+    def test_empty(self):
+        ulines, ace = line_ace_times(np.empty(0, dtype=np.int64),
+                                     np.empty(0), np.empty(0, dtype=bool))
+        assert len(ulines) == 0
+        assert len(ace) == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            line_ace_times(np.array([0, 0]), np.array([0.5, 0.4]),
+                           np.array([True, False]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_ace_times(np.array([0]), np.array([0.1, 0.2]),
+                           np.array([True, False]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 5), st.floats(0.0, 1.0), st.booleans()),
+        min_size=1, max_size=60,
+    ),
+    live=st.booleans(),
+)
+def test_streaming_equals_vectorised(events, live):
+    """Reference streaming tracker == vectorised batch, always."""
+    events = sorted(events, key=lambda e: e[1])
+    stream = run_stream(events, assume_live_at_start=live)
+    lines = np.array([e[0] for e in events])
+    times = np.array([e[1] for e in events])
+    writes = np.array([e[2] for e in events])
+    ulines, ace = line_ace_times(lines, times, writes,
+                                 assume_live_at_start=live)
+    batch = dict(zip(ulines.tolist(), ace.tolist()))
+    for line in stream.touched_lines():
+        assert batch.get(line, 0.0) == pytest.approx(
+            stream.ace_time(line), abs=1e-12
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 3), st.floats(0.0, 1.0), st.booleans()),
+        min_size=1, max_size=40,
+    ),
+)
+def test_ace_time_bounded_by_window(events):
+    """Per-line ACE time never exceeds the observation window."""
+    events = sorted(events, key=lambda e: e[1])
+    stream = run_stream(events)
+    for line in stream.touched_lines():
+        assert 0.0 <= stream.ace_time(line) <= 1.0 + 1e-9

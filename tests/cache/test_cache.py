@@ -1,0 +1,152 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+
+
+def make_cache(size=1024, assoc=2):
+    return Cache(CacheConfig(size_bytes=size, associativity=assoc))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(0, False).hit
+        assert c.access(0, False).hit
+
+    def test_stats(self):
+        c = make_cache()
+        c.access(0, False)
+        c.access(0, False)
+        c.access(1, False)
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(1 / 3)
+        assert c.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_contains(self):
+        c = make_cache()
+        c.access(5, False)
+        assert c.contains(5)
+        assert not c.contains(6)
+
+    def test_different_sets_do_not_conflict(self):
+        c = make_cache(size=1024, assoc=2)  # 8 sets
+        for line in range(8):
+            c.access(line, False)
+        assert all(c.contains(line) for line in range(8))
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        c = make_cache(size=512, assoc=2)  # 4 sets
+        # Three lines mapping to set 0: 0, 4, 8.
+        c.access(0, False)
+        c.access(4, False)
+        r = c.access(8, False)
+        assert r.evicted_line == 0
+
+    def test_access_refreshes_recency(self):
+        c = make_cache(size=512, assoc=2)
+        c.access(0, False)
+        c.access(4, False)
+        c.access(0, False)  # 0 becomes MRU
+        r = c.access(8, False)
+        assert r.evicted_line == 4
+
+
+class TestWriteback:
+    def test_clean_eviction_no_writeback(self):
+        c = make_cache(size=512, assoc=1)  # 8 direct-mapped sets
+        c.access(0, False)
+        r = c.access(8, False)  # same set as line 0
+        assert r.evicted_line == 0
+        assert not r.writeback
+
+    def test_dirty_eviction_writes_back(self):
+        c = make_cache(size=512, assoc=1)
+        c.access(0, True)
+        r = c.access(8, False)
+        assert r.writeback
+        assert c.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache(size=512, assoc=1)
+        c.access(0, False)
+        c.access(0, True)
+        assert c.is_dirty(0)
+
+    def test_dirty_bit_sticky_across_reads(self):
+        c = make_cache(size=512, assoc=1)
+        c.access(0, True)
+        c.access(0, False)
+        assert c.is_dirty(0)
+
+    def test_invalidate_returns_dirtiness(self):
+        c = make_cache()
+        c.access(0, True)
+        assert c.invalidate(0) is True
+        assert not c.contains(0)
+        assert c.invalidate(0) is False
+
+    def test_flush_returns_dirty_lines(self):
+        c = make_cache(size=1024, assoc=2)
+        c.access(0, True)
+        c.access(1, False)
+        dirty = c.flush()
+        assert dirty == [0]
+        assert c.occupancy() == 0
+
+    def test_no_write_allocate(self):
+        cfg = CacheConfig(size_bytes=512, associativity=1,
+                          write_allocate=False)
+        c = Cache(cfg)
+        r = c.access(0, True)
+        assert not r.hit
+        assert not c.contains(0)
+
+
+class TestResidency:
+    def test_resident_lines_roundtrip(self):
+        c = make_cache(size=1024, assoc=2)
+        lines = [0, 3, 9, 17]
+        for line in lines:
+            c.access(line, False)
+        assert sorted(c.resident_lines()) == sorted(lines)
+
+    def test_occupancy(self):
+        c = make_cache(size=1024, assoc=2)
+        for line in range(5):
+            c.access(line, False)
+        assert c.occupancy() == 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 200), st.booleans()),
+                min_size=1, max_size=300))
+def test_cache_capacity_invariant(accesses):
+    """Occupancy never exceeds sets x associativity, and every resident
+    line was accessed at some point."""
+    c = make_cache(size=512, assoc=2)
+    seen = set()
+    for line, is_write in accesses:
+        c.access(line, is_write)
+        seen.add(line)
+        assert c.occupancy() <= c.num_sets * c.associativity
+    assert set(c.resident_lines()) <= seen
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.booleans()),
+                min_size=1, max_size=200))
+def test_most_recent_line_always_resident(accesses):
+    """Write-allocate LRU: the last accessed line is always resident."""
+    c = make_cache(size=512, assoc=2)
+    for line, is_write in accesses:
+        c.access(line, is_write)
+        assert c.contains(line)

@@ -1,0 +1,143 @@
+"""Unit tests for the cache hierarchy and the Moola-style trace filter."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, filter_trace
+from repro.config import LINE_SIZE, CacheConfig, HierarchyConfig
+from repro.trace.record import Trace, TraceRecord
+
+
+def small_hierarchy(num_cores=2):
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1i=CacheConfig(size_bytes=512, associativity=2),
+            l1d=CacheConfig(size_bytes=512, associativity=2),
+            l2=CacheConfig(size_bytes=2048, associativity=2),
+        ),
+        num_cores=num_cores,
+    )
+
+
+def trace_of(entries):
+    """entries: list of (core, line, is_write, gap)."""
+    return Trace.from_records([
+        TraceRecord(core=c, address=line * LINE_SIZE, is_write=w,
+                    gap_instructions=g)
+        for c, line, w, g in entries
+    ])
+
+
+class TestHierarchy:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            small_hierarchy(0)
+
+    def test_first_access_misses_to_memory(self):
+        h = small_hierarchy()
+        residual = h.access(0, 0, False)
+        assert residual == [(0, False)]
+
+    def test_l1_hit_is_fully_filtered(self):
+        h = small_hierarchy()
+        h.access(0, 0, False)
+        assert h.access(0, 0, False) == []
+
+    def test_l2_shared_across_cores(self):
+        h = small_hierarchy()
+        h.access(0, 0, False)
+        # Core 1 misses its private L1 but hits the shared L2.
+        assert h.access(1, 0, False) == []
+
+    def test_l1_private_per_core(self):
+        h = small_hierarchy()
+        h.access(0, 0, False)
+        assert h.l1d[0].contains(0)
+        assert not h.l1d[1].contains(0)
+
+    def test_instruction_accesses_use_l1i(self):
+        h = small_hierarchy()
+        h.access(0, 0, False, is_instruction=True)
+        assert h.l1i[0].contains(0)
+        assert not h.l1d[0].contains(0)
+
+    def test_dirty_l2_eviction_reaches_memory(self):
+        h = small_hierarchy()
+        l2_sets = h.l2.num_sets
+        # Write a line, then evict it from both L1 and L2 by conflicts.
+        h.access(0, 0, True)
+        residuals = []
+        line = l2_sets
+        # Fill the L2 set of line 0 until it evicts the dirty line.
+        for k in range(1, 4):
+            residuals.extend(h.access(0, k * l2_sets, False))
+        writes = [r for r in residuals if r[1]]
+        assert (0, True) in writes
+
+    def test_flush_writes_back_dirty(self):
+        h = small_hierarchy()
+        h.access(0, 0, True)
+        flushed = h.flush()
+        assert (0, True) in flushed
+
+    def test_stats_keys(self):
+        h = small_hierarchy()
+        stats = h.stats()
+        assert {"l2", "l1i0", "l1d0", "l1i1", "l1d1"} <= set(stats)
+
+
+class TestFilterTrace:
+    def test_hits_removed(self):
+        h = small_hierarchy()
+        t = trace_of([(0, 0, False, 10), (0, 0, False, 10), (0, 0, False, 10)])
+        out = filter_trace(t, h)
+        assert len(out) == 1
+
+    def test_gap_accumulates_over_filtered_hits(self):
+        h = small_hierarchy()
+        t = trace_of([
+            (0, 0, False, 10),   # miss -> memory, gap 10
+            (0, 0, False, 20),   # hit, filtered
+            (0, 99, False, 30),  # miss -> carries 20 + 1 + 30 + 1 - 1
+        ])
+        out = filter_trace(t, h)
+        assert len(out) == 2
+        assert int(out.gap[0]) == 10
+        # Gap of second residual = hits' instructions + own gap.
+        assert int(out.gap[1]) == 20 + 1 + 30
+
+    def test_instruction_totals_preserved(self):
+        h = small_hierarchy()
+        entries = [(0, i % 3, False, 7) for i in range(30)]
+        t = trace_of(entries)
+        out = filter_trace(t, h)
+        # Residual trace keeps all instructions except those trailing
+        # the last residual request.
+        assert out.total_instructions <= t.total_instructions
+        assert out.total_instructions >= t.total_instructions - 8 * 30
+
+    def test_writeback_requests_marked_writes(self):
+        h = small_hierarchy(num_cores=1)
+        l2_sets = h.l2.num_sets
+        entries = [(0, 0, True, 1)]
+        entries += [(0, k * l2_sets, False, 1) for k in range(1, 4)]
+        out = filter_trace(trace_of(entries), h)
+        assert out.is_write.sum() >= 1
+
+    def test_flush_at_end(self):
+        h = small_hierarchy(num_cores=1)
+        t = trace_of([(0, 0, True, 1)])
+        out = filter_trace(t, h, flush_at_end=True)
+        # The dirty line flushes to memory as a write.
+        writes = out.is_write[np.asarray(out.lines) == 0]
+        assert writes.any()
+
+    def test_mpki_increases_after_filtering(self):
+        """Cache filtering removes requests but keeps instructions, so
+        main-memory MPKI is lower than CPU MPKI."""
+        h = small_hierarchy(num_cores=1)
+        entries = [(0, i % 4, False, 3) for i in range(100)]
+        entries.append((0, 50, False, 3))  # final miss collects the gaps
+        t = trace_of(entries)
+        out = filter_trace(t, h)
+        assert out.mpki() < t.mpki()

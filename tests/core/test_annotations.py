@@ -1,0 +1,99 @@
+"""Unit tests for annotation-based placement (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import (
+    plan_annotations,
+    profile_structures,
+)
+from repro.trace.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    from repro.sim.system import prepare_workload
+
+    return prepare_workload("astar", scale=1 / 1024,
+                            accesses_per_core=4000, seed=3)
+
+
+class TestProfileStructures:
+    def test_one_profile_per_structure(self, prepared):
+        profiles = profile_structures(prepared.workload_trace, prepared.stats)
+        # astar has 5 regions, pooled over all 16 copies.
+        assert len(profiles) == 5
+
+    def test_pages_pooled_over_copies(self, prepared):
+        profiles = {p.name: p for p in
+                    profile_structures(prepared.workload_trace, prepared.stats)}
+        way = profiles["astar.way_array"]
+        per_copy = prepared.workload_trace.core_layouts[0]
+        way_layout = next(l for l in per_copy if l.spec.name == "way_array")
+        assert way.pages == way_layout.num_pages * 16
+
+    def test_hot_structure_has_high_mean_hotness(self, prepared):
+        profiles = {p.name: p for p in
+                    profile_structures(prepared.workload_trace, prepared.stats)}
+        assert (profiles["astar.way_array"].mean_hotness
+                > 5 * profiles["astar.cold_heap"].mean_hotness)
+
+    def test_risky_structure_has_higher_avf(self, prepared):
+        profiles = {p.name: p for p in
+                    profile_structures(prepared.workload_trace, prepared.stats)}
+        assert (profiles["astar.landscape"].mean_avf
+                > profiles["astar.open_list"].mean_avf)
+
+
+class TestPlanAnnotations:
+    def test_fills_capacity(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats,
+                                capacity_pages=100)
+        assert 50 <= len(plan.pinned_pages) <= 100
+
+    def test_few_annotations_for_homogeneous(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats,
+                                capacity_pages=100)
+        assert 1 <= plan.num_annotations <= 5
+
+    def test_zero_capacity(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats, 0)
+        assert plan.num_annotations == 0
+        assert len(plan.pinned_pages) == 0
+
+    def test_pinned_pages_unique(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats, 200)
+        assert len(plan.pinned_pages) == len(np.unique(plan.pinned_pages))
+
+    def test_pinned_pages_belong_to_annotated_structures(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats, 100)
+        allowed = set()
+        structures = prepared.workload_trace.structures()
+        for profile in plan.annotated:
+            for layout in structures[profile.name]:
+                allowed.update(range(layout.first_page,
+                                     layout.first_page + layout.num_pages))
+        assert set(int(p) for p in plan.pinned_pages) <= allowed
+
+    def test_avoids_riskiest_structures(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats, 100,
+                                avf_quantile=0.5)
+        # landscape is astar's long-lived (risky) structure.
+        assert "astar.landscape" not in plan.structure_names
+
+    def test_structure_names_property(self, prepared):
+        plan = plan_annotations(prepared.workload_trace, prepared.stats, 100)
+        assert plan.structure_names == [s.name for s in plan.annotated]
+
+    def test_mix_needs_more_annotations_than_homogeneous(self, prepared):
+        mix_prep_wt = Workload.mix("mix1").generate(
+            scale=1 / 1024, accesses_per_core=4000, seed=3
+        )
+        from repro.avf.page import profile_trace
+
+        mix_stats = profile_trace(mix_prep_wt.trace, mix_prep_wt.times,
+                                  footprint_pages=mix_prep_wt.footprint_pages)
+        mix_plan = plan_annotations(mix_prep_wt, mix_stats, 256)
+        astar_plan = plan_annotations(prepared.workload_trace, prepared.stats,
+                                      256)
+        assert mix_plan.num_annotations > astar_plan.num_annotations

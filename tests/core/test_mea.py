@@ -1,0 +1,116 @@
+"""Unit and property tests for the Majority Element Algorithm tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mea import MeaTracker
+
+
+class TestBasics:
+    def test_tracks_frequent_page(self):
+        mea = MeaTracker(capacity=4)
+        for _ in range(10):
+            mea.record(7)
+        assert 7 in mea.hot_pages()
+        assert mea.count(7) == 10
+
+    def test_capacity_bound(self):
+        mea = MeaTracker(capacity=4)
+        for page in range(100):
+            mea.record(page)
+        assert len(mea) <= 4
+
+    def test_decrement_on_overflow(self):
+        mea = MeaTracker(capacity=2)
+        mea.record(0)
+        mea.record(1)
+        mea.record(2)  # decrements both, inserts nothing
+        assert mea.count(0) == 0 or mea.count(0) == 1
+
+    def test_hot_pages_ordered_by_count(self):
+        mea = MeaTracker(capacity=4)
+        for _ in range(5):
+            mea.record(1)
+        for _ in range(2):
+            mea.record(2)
+        assert mea.hot_pages()[:2] == [1, 2]
+
+    def test_limit(self):
+        mea = MeaTracker(capacity=8)
+        for page in range(5):
+            mea.record(page)
+        assert len(mea.hot_pages(limit=3)) == 3
+
+    def test_min_count_filters(self):
+        mea = MeaTracker(capacity=8)
+        mea.record(1)
+        mea.record(2)
+        mea.record(2)
+        assert mea.hot_pages(min_count=2) == [2]
+
+    def test_record_many(self):
+        mea = MeaTracker(capacity=8)
+        mea.record_many([1, 1, 2])
+        assert mea.count(1) == 2
+        assert mea.stream_length == 3
+
+    def test_reset(self):
+        mea = MeaTracker(capacity=4)
+        mea.record(1)
+        mea.reset()
+        assert len(mea) == 0
+        assert mea.stream_length == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MeaTracker(capacity=0)
+
+
+class TestStorageCost:
+    def test_paper_budget(self):
+        """Sec. 6.4.2: MEA tracking <= ~100 KB plus the 64 KB remap
+        table cache (total <= 164 KB)."""
+        cost = MeaTracker.storage_cost_bytes(capacity=32)
+        assert cost <= 164 * 1024
+        assert cost >= 64 * 1024
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 20), min_size=1, max_size=400),
+    capacity=st.integers(2, 16),
+)
+def test_majority_element_guarantee(stream, capacity):
+    """Misra-Gries: any element with frequency > n/(k+1) is tracked."""
+    mea = MeaTracker(capacity=capacity)
+    mea.record_many(stream)
+    n = len(stream)
+    threshold = n / (capacity + 1)
+    from collections import Counter
+
+    for page, freq in Counter(stream).items():
+        if freq > threshold:
+            assert page in mea.hot_pages(), (page, freq, threshold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(st.integers(0, 50), min_size=1, max_size=300))
+def test_capacity_never_exceeded(stream):
+    mea = MeaTracker(capacity=8)
+    for page in stream:
+        mea.record(page)
+        assert len(mea) <= 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=st.lists(st.integers(0, 10), min_size=1, max_size=200))
+def test_residual_counts_underestimate_true_counts(stream):
+    """Misra-Gries residual counts never exceed true frequencies."""
+    from collections import Counter
+
+    mea = MeaTracker(capacity=4)
+    mea.record_many(stream)
+    true = Counter(stream)
+    for page in mea.hot_pages():
+        assert mea.count(page) <= true[page]

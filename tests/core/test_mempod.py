@@ -1,0 +1,101 @@
+"""Unit tests for the MemPod-style pod-clustered migration."""
+
+import numpy as np
+import pytest
+
+from repro.core.mempod import MemPodMigration
+from repro.dram.hma import FAST, HeterogeneousMemory
+
+
+@pytest.fixture
+def hma(tiny_config):
+    hma = HeterogeneousMemory(tiny_config)
+    hma.install_placement(range(16), range(64))
+    return hma
+
+
+def observe(mech, pages):
+    arr = np.asarray(pages, dtype=np.int64)
+    mech.observe_chunk(arr, np.zeros(len(arr), dtype=bool))
+
+
+class TestPods:
+    def test_pod_assignment_by_hash(self):
+        mech = MemPodMigration(num_pods=4)
+        assert mech.pod_of(0) == 0
+        assert mech.pod_of(5) == 1
+        assert mech.pod_of(7) == 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MemPodMigration(num_pods=0)
+        with pytest.raises(ValueError):
+            MemPodMigration(subintervals_per_interval=0)
+
+
+class TestMigrationPolicy:
+    def test_promotes_hot_page(self, hma):
+        mech = MemPodMigration(num_pods=4)
+        observe(mech, [20] * 40)
+        to_fast, _ = mech.plan_sub(hma)
+        assert 20 in to_fast
+
+    def test_victims_from_same_pod_only(self, hma):
+        """The defining MemPod restriction: a hot page can only
+        displace residents of its own pod."""
+        mech = MemPodMigration(num_pods=4)
+        # Pod 0 residents get some traffic (so they are victims by
+        # recency, not by absence); page 20 (pod 0) becomes very hot.
+        traffic = [20] * 60
+        for p in range(16):
+            traffic += [p] * 2
+        observe(mech, traffic)
+        to_fast, to_slow = mech.plan_sub(hma)
+        assert 20 in to_fast
+        assert all(mech.pod_of(v) == 0 for v in to_slow)
+
+    def test_capacity_respected_under_pressure(self, hma):
+        mech = MemPodMigration(num_pods=4)
+        traffic = []
+        for page in range(16, 64):
+            traffic += [page] * 10
+        observe(mech, traffic)
+        to_fast, to_slow = mech.plan_sub(hma)
+        hma.migrate_pairs(to_fast, to_slow, now=0.0)
+        assert hma.fast_occupancy() <= hma.fast_capacity_pages
+
+    def test_plan_clears_recency(self, hma):
+        mech = MemPodMigration(num_pods=2)
+        observe(mech, [3] * 5)
+        mech.plan(hma)
+        assert mech._recent == {}
+
+    def test_hw_cost_scales_with_pods(self):
+        one = MemPodMigration(num_pods=1)
+        four = MemPodMigration(num_pods=4)
+        assert (four.hardware_cost_bytes(1000, 100)
+                == 4 * one.hardware_cost_bytes(1000, 100))
+
+
+class TestEndToEnd:
+    def test_runs_through_engine(self, tiny_config):
+        from repro.sim.engine import replay
+        from repro.trace.record import Trace
+        from repro.config import PAGE_SIZE
+
+        rng = np.random.default_rng(0)
+        n = 2000
+        trace = Trace(
+            core=rng.integers(0, 4, n).astype(np.uint16),
+            address=(rng.integers(0, 48, n) * PAGE_SIZE).astype(np.uint64),
+            is_write=rng.random(n) < 0.3,
+            gap=np.full(n, 20, dtype=np.uint32),
+        )
+        times = np.sort(rng.random(n))
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement(range(16), range(48))
+        result = replay(tiny_config, hma, trace, times,
+                        mechanism=MemPodMigration(num_pods=4),
+                        num_intervals=4)
+        assert result.total_seconds > 0
+        assert hma.fast_occupancy() <= hma.fast_capacity_pages

@@ -1,0 +1,84 @@
+"""Unit tests for hotness-risk quadrant analysis (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.avf.page import PageStats
+from repro.core.quadrant import quadrant_split
+
+
+def stats(footprint=None):
+    return PageStats(
+        pages=np.array([0, 1, 2, 3]),
+        reads=np.array([100, 90, 5, 2]),
+        writes=np.array([0, 0, 0, 0]),
+        avf=np.array([0.9, 0.1, 0.8, 0.05]),
+        footprint_pages=footprint or 4,
+    )
+
+
+class TestQuadrantSplit:
+    def test_partition_is_exhaustive(self):
+        q = quadrant_split(stats(), "wl")
+        assert (q.hot_high_risk + q.hot_low_risk + q.cold_high_risk
+                + q.cold_low_risk) == 4
+
+    def test_classification(self):
+        q = quadrant_split(stats())
+        # Mean hotness = 49.25, mean AVF = 0.4625.
+        assert q.hot_high_risk == 1   # page 0
+        assert q.hot_low_risk == 1    # page 1
+        assert q.cold_high_risk == 1  # page 2
+        assert q.cold_low_risk == 1   # page 3
+
+    def test_untouched_counted_separately(self):
+        q = quadrant_split(stats(footprint=10))
+        assert q.untouched == 6
+        assert q.total_pages == 10
+
+    def test_hot_low_risk_fraction(self):
+        q = quadrant_split(stats(footprint=10))
+        assert q.hot_low_risk_fraction == pytest.approx(0.1)
+
+    def test_hot_low_risk_bytes(self):
+        q = quadrant_split(stats())
+        assert q.hot_low_risk_bytes == 4096
+
+    def test_fractions_sum_to_one(self):
+        q = quadrant_split(stats(footprint=10))
+        assert sum(q.fractions().values()) == pytest.approx(1.0)
+
+    def test_untouched_are_cold_low_risk(self):
+        q = quadrant_split(stats(footprint=10))
+        fr = q.fractions()
+        assert fr["cold_low_risk"] == pytest.approx((1 + 6) / 10)
+
+    def test_workload_label(self):
+        assert quadrant_split(stats(), "mix1").workload == "mix1"
+
+    def test_empty_stats(self):
+        empty = PageStats(
+            pages=np.empty(0, dtype=np.int64),
+            reads=np.empty(0, dtype=np.int64),
+            writes=np.empty(0, dtype=np.int64),
+            avf=np.empty(0),
+            footprint_pages=5,
+        )
+        q = quadrant_split(empty)
+        assert q.untouched == 5
+        assert q.hot_low_risk == 0
+
+
+class TestOnWorkloads:
+    def test_paper_range_on_real_workloads(self, mix1_prep, mcf_prep):
+        """Fig. 4: hot & low-risk share sits in a meaningful band."""
+        for prep in (mix1_prep, mcf_prep):
+            q = quadrant_split(prep.stats, prep.name)
+            assert 0.03 < q.hot_low_risk_fraction < 0.45
+
+    def test_all_quadrants_populated(self, mix1_prep):
+        q = quadrant_split(mix1_prep.stats)
+        assert q.hot_high_risk > 0
+        assert q.hot_low_risk > 0
+        assert q.cold_high_risk > 0
+        assert q.cold_low_risk > 0

@@ -1,0 +1,72 @@
+"""Unit tests for DRAM bank / row-buffer state."""
+
+import pytest
+
+from repro.config import DramTiming
+from repro.dram.bank import Bank
+
+TIMING = DramTiming(tCL=10, tRCD=10, tRP=10, burst_cycles=4)
+PERIOD = 1e-9
+
+
+def make_bank():
+    return Bank(TIMING, PERIOD)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        b = make_bank()
+        assert b.access_cycles(5) == TIMING.row_miss_cycles()
+        assert b.row_misses == 1
+
+    def test_same_row_hits(self):
+        b = make_bank()
+        b.access_cycles(5)
+        assert b.access_cycles(5) == TIMING.row_hit_cycles()
+        assert b.row_hits == 1
+
+    def test_different_row_conflicts(self):
+        b = make_bank()
+        b.access_cycles(5)
+        assert b.access_cycles(6) == TIMING.row_conflict_cycles()
+        assert b.row_conflicts == 1
+
+    def test_open_row_tracked(self):
+        b = make_bank()
+        b.access_cycles(7)
+        assert b.state.open_row == 7
+
+
+class TestService:
+    def test_idle_latency(self):
+        b = make_bank()
+        start, finish = b.service(0, arrival=0.0)
+        assert start == 0.0
+        assert finish == pytest.approx(TIMING.row_miss_cycles() * PERIOD)
+
+    def test_busy_bank_queues(self):
+        b = make_bank()
+        _, first_done = b.service(0, arrival=0.0)
+        start, _ = b.service(0, arrival=0.0)
+        assert start == pytest.approx(first_done)
+
+    def test_busy_until_monotonic(self):
+        b = make_bank()
+        last = 0.0
+        for row in [0, 1, 0, 2, 2]:
+            _, done = b.service(row, arrival=0.0)
+            assert done >= last
+            last = done
+
+    def test_late_arrival_starts_at_arrival(self):
+        b = make_bank()
+        start, _ = b.service(0, arrival=1.0)
+        assert start == 1.0
+
+    def test_reset(self):
+        b = make_bank()
+        b.service(0, 0.0)
+        b.reset()
+        assert b.state.open_row is None
+        assert b.state.busy_until == 0.0
+        assert b.row_misses == 0

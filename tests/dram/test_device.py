@@ -1,0 +1,133 @@
+"""Unit tests for the event-driven memory device model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LINE_SIZE, DramTiming, MemoryConfig
+from repro.dram.device import LINES_PER_ROW, MemoryDevice
+
+
+def make_device(channels=2, banks=4):
+    cfg = MemoryConfig(
+        name="test",
+        capacity_bytes=1 << 20,
+        bus_frequency_hz=1e9,
+        bus_width_bits=64,
+        channels=channels,
+        ranks_per_channel=1,
+        banks_per_rank=banks,
+        timing=DramTiming(tCL=10, tRCD=10, tRP=10, burst_cycles=4),
+    )
+    return MemoryDevice(cfg)
+
+
+class TestRouting:
+    def test_channel_interleaving_by_line(self):
+        d = make_device(channels=2)
+        assert d.route(0)[0] == 0
+        assert d.route(1)[0] == 1
+        assert d.route(2)[0] == 0
+
+    def test_rows_span_lines_per_row(self):
+        d = make_device(channels=1, banks=1)
+        ch0, bank0, row0 = d.route(0)
+        ch1, bank1, row1 = d.route(LINES_PER_ROW - 1)
+        ch2, bank2, row2 = d.route(LINES_PER_ROW)
+        assert row0 == row1
+        assert row2 == row0 + 1
+
+    def test_banks_interleave_by_row(self):
+        d = make_device(channels=1, banks=4)
+        _, bank_a, _ = d.route(0)
+        _, bank_b, _ = d.route(LINES_PER_ROW)
+        assert bank_a != bank_b
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_route_in_valid_ranges(self, line):
+        d = make_device(channels=2, banks=4)
+        channel, bank, row = d.route(line)
+        assert 0 <= channel < 2
+        assert 0 <= bank < 4
+        assert row >= 0
+
+
+class TestService:
+    def test_idle_read_latency(self):
+        d = make_device()
+        finish = d.service(0, arrival=0.0, is_write=False)
+        period = d.clock_period
+        expected = DramTiming(tCL=10, tRCD=10, tRP=10,
+                              burst_cycles=4).row_miss_cycles() * period
+        assert finish == pytest.approx(expected)
+
+    def test_channel_bandwidth_serialises_bursts(self):
+        """Back-to-back requests to one channel leave at least a burst
+        between completions (the data bus is a shared resource)."""
+        d = make_device(channels=1, banks=8)
+        finishes = []
+        for i in range(16):
+            # Different banks, same channel: bank-parallel, bus-serial.
+            line = i * LINES_PER_ROW
+            finishes.append(d.service(line, arrival=0.0, is_write=False))
+        finishes.sort()
+        for a, b in zip(finishes, finishes[1:]):
+            assert b - a >= d.burst_seconds * 0.999
+
+    def test_multiple_channels_parallel(self):
+        d2 = make_device(channels=2, banks=8)
+        d1 = make_device(channels=1, banks=8)
+        t2 = max(
+            d2.service(i, 0.0, False) for i in range(32)
+        )
+        t1 = max(
+            d1.service(i * 2, 0.0, False) for i in range(32)
+        )
+        assert t2 < t1
+
+    def test_stats_accounting(self):
+        d = make_device()
+        d.service(0, 0.0, False)
+        d.service(1, 0.0, True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+        assert d.stats.accesses == 2
+        assert d.stats.mean_read_latency > 0
+
+    def test_row_buffer_stats(self):
+        d = make_device(channels=1, banks=1)
+        d.service(0, 0.0, False)
+        d.service(1, 0.0, False)   # same row -> hit
+        hits, misses, conflicts = d.row_buffer_stats()
+        assert misses == 1
+        assert hits == 1
+
+    def test_reset(self):
+        d = make_device()
+        d.service(0, 0.0, False)
+        d.reset()
+        assert d.stats.accesses == 0
+        assert all(b == 0.0 for b in d.channel_busy_until)
+
+
+class TestOccupyBandwidth:
+    def test_zero_lines_noop(self):
+        d = make_device()
+        assert d.occupy_bandwidth(1.0, 0) == 1.0
+
+    def test_duration_matches_line_count(self):
+        d = make_device(channels=2)
+        finish = d.occupy_bandwidth(0.0, 20)
+        assert finish == pytest.approx(10 * d.burst_seconds)
+
+    def test_subsequent_requests_queue_behind_bulk(self):
+        d = make_device(channels=1)
+        bulk_done = d.occupy_bandwidth(0.0, 100)
+        finish = d.service(0, arrival=0.0, is_write=False)
+        assert finish >= bulk_done
+
+    def test_remainder_distribution(self):
+        d = make_device(channels=2)
+        finish = d.occupy_bandwidth(0.0, 3)
+        assert finish == pytest.approx(2 * d.burst_seconds)

@@ -1,0 +1,139 @@
+"""Unit tests for the DRAM-cache organization."""
+
+import numpy as np
+import pytest
+
+from repro.dram.dram_cache import DramCacheSystem
+
+
+@pytest.fixture
+def cache(tiny_config):
+    return DramCacheSystem(tiny_config)
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses(self, cache):
+        cache.service(0, 0, 0.0, False)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_second_access_hits(self, cache):
+        cache.service(0, 0, 0.0, False)
+        cache.service(0, 0, 1.0, False)
+        assert cache.stats.hits == 1
+
+    def test_hit_is_faster_than_miss(self, cache):
+        miss_done = cache.service(0, 0, 0.0, False)
+        hit_done = cache.service(0, 0, miss_done, False)
+        assert hit_done - miss_done < miss_done  # hit latency < miss latency
+
+    def test_conflicting_lines_evict(self, cache):
+        # Two lines mapping to the same set: page stride = num_sets.
+        conflict_page = cache.num_sets // 64
+        cache.service(0, 0, 0.0, False)
+        cache.service(conflict_page, 0, 1.0, False)
+        cache.service(0, 0, 2.0, False)
+        assert cache.stats.misses == 3
+
+    def test_dirty_victim_writes_back(self, cache):
+        conflict_page = cache.num_sets // 64
+        cache.service(0, 0, 0.0, True)           # dirty fill
+        cache.service(conflict_page, 0, 1.0, False)
+        assert cache.stats.writebacks == 1
+        assert cache.slow.stats.writes == 1
+
+    def test_clean_victim_no_writeback(self, cache):
+        conflict_page = cache.num_sets // 64
+        cache.service(0, 0, 0.0, False)
+        cache.service(conflict_page, 0, 1.0, False)
+        assert cache.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self, cache):
+        conflict_page = cache.num_sets // 64
+        cache.service(0, 0, 0.0, False)
+        cache.service(0, 0, 1.0, True)   # hit, dirties the line
+        cache.service(conflict_page, 0, 2.0, False)
+        assert cache.stats.writebacks == 1
+
+    def test_hit_rate(self, cache):
+        for t in range(4):
+            cache.service(0, 0, float(t), False)
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+
+
+class TestEngineCompatibility:
+    def test_runs_under_replay(self, tiny_config):
+        from repro.sim.engine import replay
+        from repro.trace.record import Trace
+        from repro.config import PAGE_SIZE
+
+        rng = np.random.default_rng(0)
+        n = 2000
+        trace = Trace(
+            core=rng.integers(0, 4, n).astype(np.uint16),
+            address=(rng.integers(0, 8, n) * PAGE_SIZE
+                     + rng.integers(0, 64, n) * 64).astype(np.uint64),
+            is_write=rng.random(n) < 0.3,
+            gap=np.full(n, 30, dtype=np.uint32),
+        )
+        system = DramCacheSystem(tiny_config)
+        system.install_placement([], range(8))
+        result = replay(tiny_config, system, trace)
+        assert result.ipc > 0
+        assert system.stats.accesses == n
+
+    def test_rejects_explicit_placement(self, cache):
+        with pytest.raises(ValueError):
+            cache.install_placement([1, 2], range(8))
+
+
+class TestExposure:
+    def test_hot_page_fully_exposed(self, cache):
+        for t in range(20):
+            cache.service(3, 0, float(t), False)
+        exposure = cache.page_exposure()
+        assert exposure[3] == pytest.approx(19 / 20)
+
+    def test_untouched_page_absent(self, cache):
+        cache.service(1, 0, 0.0, False)
+        assert 2 not in cache.page_exposure()
+
+    def test_ser_between_extremes(self, cache):
+        from repro.avf.page import PageStats
+        from repro.faults.ser import SerModel
+
+        for t in range(10):
+            cache.service(0, 0, float(t), False)
+        stats = PageStats(
+            pages=np.array([0]), reads=np.array([10]),
+            writes=np.array([0]), avf=np.array([0.5]),
+        )
+        model = SerModel(fit_fast_per_page=100.0, fit_slow_per_page=1.0)
+        ser = cache.ser(stats, model)
+        assert model.ser_ddr_only(stats) < ser < 0.5 * 100.0 + 1e-9
+
+
+class TestPropertyInvariants:
+    def test_hits_plus_misses_equals_accesses(self, tiny_config):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=20, deadline=None)
+        @given(st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 63),
+                      st.booleans()),
+            min_size=1, max_size=120,
+        ))
+        def check(accesses):
+            system = DramCacheSystem(tiny_config)
+            t = 0.0
+            for page, line, is_write in accesses:
+                t = system.service(page, line, t, is_write)
+            assert system.stats.accesses == len(accesses)
+            # Exposure fractions are well-formed probabilities.
+            for fraction in system.page_exposure().values():
+                assert 0.0 <= fraction <= 1.0
+            # Completion times are monotone when chained.
+            assert t > 0.0
+
+        check()

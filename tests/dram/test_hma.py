@@ -1,0 +1,163 @@
+"""Unit and property tests for the heterogeneous memory + page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.hma import FAST, SLOW, CapacityError, HeterogeneousMemory
+
+
+@pytest.fixture
+def hma(tiny_config):
+    return HeterogeneousMemory(tiny_config)
+
+
+class TestPlacement:
+    def test_map_and_lookup(self, hma):
+        hma.map_page(3, FAST)
+        hma.map_page(4, SLOW)
+        assert hma.device_of(3) == FAST
+        assert hma.device_of(4) == SLOW
+
+    def test_double_map_rejected(self, hma):
+        hma.map_page(1, FAST)
+        with pytest.raises(ValueError):
+            hma.map_page(1, SLOW)
+
+    def test_bad_device_rejected(self, hma):
+        with pytest.raises(ValueError):
+            hma.map_page(1, 7)
+
+    def test_unmapped_page_faults_to_slow(self, hma):
+        assert hma.device_of(99) == SLOW
+
+    def test_fast_capacity_enforced(self, hma):
+        for page in range(hma.fast_capacity_pages):
+            hma.map_page(page, FAST)
+        with pytest.raises(CapacityError):
+            hma.map_page(10_000, FAST)
+
+    def test_install_placement(self, hma):
+        hma.install_placement([0, 1], range(10))
+        assert hma.fast_occupancy() == 2
+        assert sorted(hma.pages_in(FAST)) == [0, 1]
+        assert len(hma.pages_in(SLOW)) == 8
+
+    def test_install_overflow_rejected(self, hma):
+        too_many = range(hma.fast_capacity_pages + 1)
+        with pytest.raises(CapacityError):
+            hma.install_placement(too_many, too_many)
+
+
+class TestService:
+    def test_fast_pages_hit_fast_device(self, hma):
+        hma.map_page(0, FAST)
+        hma.service(0, 0, arrival=0.0, is_write=False)
+        assert hma.fast.stats.reads == 1
+        assert hma.slow.stats.reads == 0
+
+    def test_slow_pages_hit_slow_device(self, hma):
+        hma.map_page(0, SLOW)
+        hma.service(0, 0, arrival=0.0, is_write=True)
+        assert hma.slow.stats.writes == 1
+
+    def test_fast_is_faster_when_idle(self, tiny_config):
+        hma = HeterogeneousMemory(tiny_config)
+        hma.map_page(0, FAST)
+        hma.map_page(1, SLOW)
+        t_fast = hma.service(0, 0, 0.0, False)
+        t_slow = hma.service(1, 0, 0.0, False)
+        assert t_fast < t_slow
+
+
+class TestMigration:
+    def test_swap_moves_pages(self, hma):
+        hma.install_placement([0, 1], range(6))
+        hma.migrate_pairs(to_fast=[2], to_slow=[0], now=0.0)
+        assert hma.device_of(2) == FAST
+        assert hma.device_of(0) == SLOW
+        assert hma.fast_occupancy() == 2
+
+    def test_migration_stats(self, hma):
+        hma.install_placement([0], range(4))
+        hma.migrate_pairs([1], [0], now=0.0)
+        assert hma.migration_stats.migrations_to_fast == 1
+        assert hma.migration_stats.migrations_to_slow == 1
+        assert hma.migration_stats.total == 2
+        assert hma.migration_stats.migration_seconds > 0
+
+    def test_empty_migration_free(self, hma):
+        hma.install_placement([0], range(4))
+        assert hma.migrate_pairs([], [], now=5.0) == 5.0
+        assert hma.migration_stats.total == 0
+
+    def test_pinned_pages_do_not_move(self, hma):
+        hma.install_placement([0], range(4))
+        hma.pin([0, 2])
+        hma.migrate_pairs(to_fast=[2], to_slow=[0], now=0.0)
+        assert hma.device_of(0) == FAST
+        assert hma.device_of(2) == SLOW
+
+    def test_migrating_resident_page_is_noop(self, hma):
+        hma.install_placement([0], range(4))
+        hma.migrate_pairs(to_fast=[0], to_slow=[], now=0.0)
+        assert hma.migration_stats.total == 0
+
+    def test_demoting_slow_page_is_noop(self, hma):
+        hma.install_placement([0], range(4))
+        hma.migrate_pairs(to_fast=[], to_slow=[2], now=0.0)
+        assert hma.migration_stats.total == 0
+
+    def test_capacity_respected_under_promotion_pressure(self, hma):
+        cap = hma.fast_capacity_pages
+        hma.install_placement(range(cap), range(cap + 10))
+        # Try to promote more pages without demoting: must not exceed.
+        hma.migrate_pairs(to_fast=list(range(cap, cap + 10)), to_slow=[],
+                          now=0.0)
+        assert hma.fast_occupancy() == cap
+
+    def test_migration_charges_both_devices(self, hma):
+        hma.install_placement([0], range(4))
+        fast_busy_before = list(hma.fast.channel_busy_until)
+        slow_busy_before = list(hma.slow.channel_busy_until)
+        hma.migrate_pairs([1], [0], now=0.0)
+        assert hma.fast.channel_busy_until != fast_busy_before
+        assert hma.slow.channel_busy_until != slow_busy_before
+
+
+def _tiny_system():
+    from repro.config import MemoryConfig, SystemConfig
+
+    def mem(name, pages, channels, ecc):
+        return MemoryConfig(
+            name=name, capacity_bytes=pages * 4096,
+            bus_frequency_hz=500e6, bus_width_bits=64,
+            channels=channels, ecc=ecc,
+        )
+
+    return SystemConfig(
+        num_cores=4,
+        fast_memory=mem("HBM", 16, 4, "secded"),
+        slow_memory=mem("DDR3", 256, 1, "chipkill"),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), st.booleans()),
+                min_size=1, max_size=60))
+def test_frames_stay_unique_per_device(moves):
+    """After arbitrary migrations, no two pages share a frame."""
+    hma = HeterogeneousMemory(_tiny_system())
+    hma.install_placement(range(8), range(31))
+    for page, to_fast in moves:
+        if to_fast:
+            victims = hma.pages_in(FAST)[:1]
+            hma.migrate_pairs([page], victims, now=0.0)
+        else:
+            hma.migrate_pairs([], [page], now=0.0)
+    seen = set()
+    for page, (device, frame) in hma._page_table.items():
+        key = (device, frame)
+        assert key not in seen
+        seen.add(key)
+    assert hma.fast_occupancy() <= hma.fast_capacity_pages

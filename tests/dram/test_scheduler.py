@@ -1,0 +1,175 @@
+"""Unit and property tests for the FR-FCFS channel scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramTiming
+from repro.dram.scheduler import (
+    ChannelScheduler,
+    Request,
+    SchedulerConfig,
+    fcfs_reference,
+)
+
+CFG = SchedulerConfig(
+    num_banks=4,
+    timing=DramTiming(tCL=10, tRCD=10, tRP=10, burst_cycles=4),
+    clock_period=1e-9,
+    burst_seconds=4e-9,
+)
+
+
+def reqs(entries):
+    """entries: list of (arrival_ns, bank, row, is_write)."""
+    return [Request(arrival=a * 1e-9, bank=b, row=r, is_write=w)
+            for a, b, r, w in entries]
+
+
+class TestConfig:
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(num_banks=0)
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(write_low_watermark=8, write_high_watermark=4)
+
+    def test_rejects_negative_refresh(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(refresh_interval=-1.0)
+
+
+class TestFrFcfs:
+    def test_all_requests_served(self):
+        requests = reqs([(0, 0, 1, False), (1, 1, 2, False),
+                         (2, 0, 1, True)])
+        done = ChannelScheduler(CFG).simulate(requests)
+        assert len(done) == 3
+        assert all(r.finish > 0 for r in done)
+
+    def test_row_hit_reordering(self):
+        """A younger row hit is served before an older row miss to the
+        same bank — the defining FR-FCFS behaviour."""
+        requests = reqs([
+            (0, 0, 5, False),    # opens row 5
+            (1, 0, 9, False),    # older, but a row conflict
+            (2, 0, 5, False),    # younger, row hit
+        ])
+        ChannelScheduler(CFG).simulate(requests)
+        hit = requests[2]
+        miss = requests[1]
+        assert hit.start < miss.start
+
+    def test_beats_or_matches_fcfs_on_row_locality(self):
+        """On a hit-friendly pattern FR-FCFS finishes no later than
+        strict arrival order."""
+        rng = np.random.default_rng(0)
+        entries = []
+        t = 0
+        for _ in range(60):
+            row = int(rng.integers(0, 3))
+            for _ in range(2):
+                entries.append((t, int(rng.integers(0, 4)), row, False))
+                t += 1
+        a = reqs(entries)
+        b = reqs(entries)
+        frfcfs_finish = max(r.finish for r in ChannelScheduler(CFG).simulate(a))
+        fcfs_finish = max(r.finish for r in fcfs_reference(b, CFG))
+        assert frfcfs_finish <= fcfs_finish * 1.001
+
+    def test_row_hit_rate_reported(self):
+        requests = reqs([(0, 0, 1, False), (1, 0, 1, False),
+                         (2, 0, 1, False)])
+        sched = ChannelScheduler(CFG)
+        sched.simulate(requests)
+        assert sched.row_hit_rate() > 0.5
+
+
+class TestWriteDraining:
+    def test_reads_prioritised_over_buffered_writes(self):
+        # Both present at t=0: the read goes first, the write buffers.
+        requests = reqs([
+            (0, 0, 1, True),
+            (0, 1, 2, False),
+        ])
+        ChannelScheduler(CFG).simulate(requests)
+        read = requests[1]
+        write = requests[0]
+        assert read.start <= write.start
+
+    def test_writes_drain_when_no_reads(self):
+        requests = reqs([(0, 0, 1, True), (1, 1, 2, True)])
+        done = ChannelScheduler(CFG).simulate(requests)
+        assert all(r.finish > 0 for r in done)
+
+    def test_high_watermark_forces_drain(self):
+        cfg = SchedulerConfig(num_banks=4, timing=CFG.timing,
+                              clock_period=1e-9, burst_seconds=4e-9,
+                              write_high_watermark=2,
+                              write_low_watermark=0)
+        # Writes arrive early, a read arrives late: the full write
+        # queue must drain even while a read is outstanding later.
+        requests = reqs([(0, 0, 1, True), (0, 1, 1, True),
+                         (0, 2, 1, True), (500, 3, 1, False)])
+        done = ChannelScheduler(cfg).simulate(requests)
+        writes_done = max(r.finish for r in done if r.is_write)
+        assert writes_done < 500e-9
+
+
+class TestRefresh:
+    def test_refresh_adds_stall_time(self):
+        no_refresh = SchedulerConfig(num_banks=4, timing=CFG.timing,
+                                     clock_period=1e-9, burst_seconds=4e-9)
+        with_refresh = SchedulerConfig(
+            num_banks=4, timing=CFG.timing, clock_period=1e-9,
+            burst_seconds=4e-9,
+            refresh_interval=100e-9, refresh_penalty=50e-9,
+        )
+        entries = [(i * 10, i % 4, i % 3, False) for i in range(40)]
+        base = max(r.finish for r in
+                   ChannelScheduler(no_refresh).simulate(reqs(entries)))
+        slow = max(r.finish for r in
+                   ChannelScheduler(with_refresh).simulate(reqs(entries)))
+        assert slow > base
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 3), st.integers(0, 4),
+              st.booleans()),
+    min_size=1, max_size=60,
+))
+def test_scheduler_invariants(entries):
+    """Every request is served, after its arrival, and the shared data
+    bus never carries two overlapping bursts."""
+    requests = reqs(entries)
+    done = ChannelScheduler(CFG).simulate(requests)
+    assert len(done) == len(entries)
+    for req in done:
+        assert req.finish >= req.arrival
+        assert req.finish >= req.start
+    # Bus exclusivity: completions are at least a burst apart.
+    finishes = sorted(r.finish for r in done)
+    for a, b in zip(finishes, finishes[1:]):
+        assert b - a >= CFG.burst_seconds * 0.999
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 3), st.integers(0, 2),
+              st.booleans()),
+    min_size=1, max_size=40,
+))
+def test_no_starvation(entries):
+    """FR-FCFS with write draining never leaves a request unserved,
+    and no request waits unboundedly past the last arrival."""
+    requests = reqs(entries)
+    done = ChannelScheduler(CFG).simulate(requests)
+    last_arrival = max(r.arrival for r in requests)
+    worst_case = last_arrival + len(requests) * (
+        CFG.timing.row_conflict_cycles() * CFG.clock_period
+        + CFG.burst_seconds
+    ) + 1e-6
+    assert all(r.finish <= worst_case for r in done)

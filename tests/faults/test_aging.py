@@ -1,0 +1,66 @@
+"""Unit tests for the permanent-fault aging extension."""
+
+import pytest
+
+from repro.config import ddr3_config, hbm_config
+from repro.faults.aging import (
+    AgingModel,
+    PermanentFitRates,
+    lifetime_capacity_schedule,
+)
+from repro.faults.fit import FaultComponent
+
+
+class TestPermanentRates:
+    def test_permanent_exceed_transient_total(self):
+        from repro.faults.fit import JAGUAR_TRANSIENT
+
+        assert PermanentFitRates().total > JAGUAR_TRANSIENT.total
+
+
+class TestAgingModel:
+    def test_no_age_no_loss(self):
+        model = AgingModel(hbm_config())
+        assert model.expected_lost_pages(0.0) == 0.0
+        assert model.usable_fraction(0.0) == 1.0
+
+    def test_loss_monotone_in_age(self):
+        model = AgingModel(hbm_config())
+        losses = [model.expected_lost_pages(y) for y in (1, 2, 5, 10)]
+        assert losses == sorted(losses)
+        assert losses[0] > 0
+
+    def test_faults_linear_in_time(self):
+        model = AgingModel(ddr3_config())
+        one = model.expected_faults(1.0, FaultComponent.ROW)
+        four = model.expected_faults(4.0, FaultComponent.ROW)
+        assert four == pytest.approx(4 * one)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            AgingModel(hbm_config()).expected_faults(-1.0,
+                                                     FaultComponent.BIT)
+
+    def test_die_stacked_ages_faster(self):
+        hbm_frac = AgingModel(hbm_config()).usable_fraction(5.0)
+        # Compare per-capacity attrition: normalise by page count.
+        hbm_lost = AgingModel(hbm_config()).expected_lost_pages(5.0)
+        ddr_lost = AgingModel(ddr3_config()).expected_lost_pages(5.0)
+        hbm_rate = hbm_lost / hbm_config().num_pages
+        ddr_rate = ddr_lost / ddr3_config().num_pages
+        assert hbm_rate > ddr_rate
+        assert 0.0 <= hbm_frac <= 1.0
+
+    def test_usable_pages_never_negative(self):
+        model = AgingModel(hbm_config())
+        assert model.usable_pages(1000.0) >= 0
+
+
+class TestSchedule:
+    def test_schedule_shape(self):
+        schedule = lifetime_capacity_schedule(hbm_config(),
+                                              years=(0, 1, 5))
+        assert len(schedule) == 3
+        assert schedule[0] == (0.0, 1.0)
+        fractions = [frac for _y, frac in schedule]
+        assert fractions == sorted(fractions, reverse=True)

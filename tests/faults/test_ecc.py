@@ -1,0 +1,141 @@
+"""Unit tests for ECC fault classification and footprint overlap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.ecc import (
+    ChipGeometry,
+    ChipKill,
+    NoEcc,
+    Outcome,
+    SecDed,
+    footprint_overlap_probability,
+    make_scheme,
+)
+from repro.faults.fit import FaultComponent
+
+GEO = ChipGeometry()
+COMPONENTS = list(FaultComponent)
+
+
+class TestNoEcc:
+    def test_everything_uncorrected(self):
+        scheme = NoEcc()
+        for c in COMPONENTS:
+            assert scheme.classify_single(c) is Outcome.UNCORRECTED
+
+
+class TestSecDed:
+    def test_single_bit_corrected(self):
+        assert SecDed().classify_single(FaultComponent.BIT) is Outcome.CORRECTED
+
+    def test_word_fault_detected(self):
+        assert SecDed().classify_single(FaultComponent.WORD) is Outcome.DETECTED
+
+    @pytest.mark.parametrize("component", [
+        FaultComponent.COLUMN, FaultComponent.ROW,
+        FaultComponent.BANK, FaultComponent.RANK,
+    ])
+    def test_structural_faults_uncorrected(self, component):
+        assert SecDed().classify_single(component) is Outcome.UNCORRECTED
+
+    def test_two_bit_faults_can_combine(self):
+        p = SecDed().pair_uncorrectable(
+            FaultComponent.BIT, FaultComponent.BIT, False, GEO
+        )
+        assert 0 < p < 1e-6  # same-codeword collision is rare
+
+    def test_non_bit_pairs_add_nothing(self):
+        p = SecDed().pair_uncorrectable(
+            FaultComponent.ROW, FaultComponent.COLUMN, False, GEO
+        )
+        assert p == 0.0
+
+
+class TestChipKill:
+    def test_single_chip_faults_corrected(self):
+        scheme = ChipKill()
+        for c in (FaultComponent.BIT, FaultComponent.WORD,
+                  FaultComponent.COLUMN, FaultComponent.ROW,
+                  FaultComponent.BANK):
+            assert scheme.classify_single(c) is Outcome.CORRECTED
+
+    def test_rank_fault_uncorrected(self):
+        # Rank-wide (multi-chip) faults exceed single-symbol correction.
+        assert ChipKill().classify_single(FaultComponent.RANK) \
+            is Outcome.UNCORRECTED
+
+    def test_same_chip_pair_still_one_symbol(self):
+        p = ChipKill().pair_uncorrectable(
+            FaultComponent.ROW, FaultComponent.BANK, True, GEO
+        )
+        assert p == 0.0
+
+    def test_cross_chip_pair_can_fail(self):
+        p = ChipKill().pair_uncorrectable(
+            FaultComponent.BANK, FaultComponent.BANK, False, GEO
+        )
+        assert p > 0.0
+
+
+class TestOverlapProbability:
+    def test_rank_overlaps_everything(self):
+        p = footprint_overlap_probability(
+            FaultComponent.RANK, FaultComponent.RANK, GEO
+        )
+        assert p == 1.0
+
+    def test_row_and_column_same_bank_cross(self):
+        # A row and a column in the same bank always intersect.
+        p = footprint_overlap_probability(
+            FaultComponent.ROW, FaultComponent.COLUMN, GEO
+        )
+        assert p == pytest.approx(1.0 / GEO.banks)
+
+    def test_bank_vs_bit(self):
+        p = footprint_overlap_probability(
+            FaultComponent.BANK, FaultComponent.BIT, GEO
+        )
+        assert p == pytest.approx(1.0 / GEO.banks)
+
+    def test_two_bits_rarely_meet(self):
+        p = footprint_overlap_probability(
+            FaultComponent.BIT, FaultComponent.BIT, GEO
+        )
+        assert p < 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.sampled_from(COMPONENTS), b=st.sampled_from(COMPONENTS))
+    def test_symmetric_and_bounded(self, a, b):
+        p_ab = footprint_overlap_probability(a, b, GEO)
+        p_ba = footprint_overlap_probability(b, a, GEO)
+        assert p_ab == pytest.approx(p_ba)
+        assert 0.0 <= p_ab <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.sampled_from(COMPONENTS), b=st.sampled_from(COMPONENTS))
+    def test_wider_footprints_overlap_more(self, a, b):
+        """Overlap with RANK (the widest fault) upper-bounds overlap
+        with any narrower component."""
+        p = footprint_overlap_probability(a, b, GEO)
+        p_rank = footprint_overlap_probability(a, FaultComponent.RANK, GEO)
+        assert p <= p_rank + 1e-12
+
+
+class TestGeometry:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ChipGeometry(banks=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoEcc), ("secded", SecDed), ("chipkill", ChipKill),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_scheme(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheme("hamming")

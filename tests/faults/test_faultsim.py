@@ -1,0 +1,92 @@
+"""Unit tests for the Monte-Carlo fault simulator."""
+
+import pytest
+
+from repro.config import ddr3_config, hbm_config
+from repro.faults.faultsim import FaultSimulator, uncorrected_fit_per_page
+
+
+class TestAnalytic:
+    def test_secded_analytic_equals_multibit_rate(self):
+        """For SEC-DED the dominant analytic term is the single-fault
+        uncorrected rate (column + row + bank + rank)."""
+        hbm = hbm_config()
+        sim = FaultSimulator(hbm, seed=1)
+        expected_singles = (
+            (sim.rates.column + sim.rates.row + sim.rates.bank
+             + sim.rates.rank)
+            * 1e-9 * sim.chips * sim.mission_hours
+        )
+        analytic = sim.analytic_uncorrected_per_mission()
+        assert analytic == pytest.approx(expected_singles, rel=0.05)
+
+    def test_chipkill_much_stronger_than_secded(self):
+        from dataclasses import replace
+
+        ddr = ddr3_config()
+        chipkill = FaultSimulator(ddr, seed=1).analytic_uncorrected_per_mission()
+        weak = replace(ddr, ecc="secded")
+        secded = FaultSimulator(weak, seed=1).analytic_uncorrected_per_mission()
+        assert secded > 5 * chipkill
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_for_secded(self):
+        sim = FaultSimulator(hbm_config(), seed=3)
+        result = sim.run(trials=60_000)
+        analytic = sim.analytic_uncorrected_per_mission()
+        assert result.expected_uncorrected_per_mission == pytest.approx(
+            analytic, rel=0.25
+        )
+
+    def test_outcome_accounting(self):
+        sim = FaultSimulator(hbm_config(), seed=5)
+        result = sim.run(trials=30_000)
+        # Single-bit faults dominate and are corrected by SEC-DED.
+        assert result.corrected > result.uncorrected
+
+    def test_uncorrected_fit_positive(self):
+        sim = FaultSimulator(hbm_config(), seed=2)
+        result = sim.run(trials=30_000)
+        assert result.uncorrected_fit_per_rank() > 0
+
+    def test_p_uncorrected_bounded(self):
+        sim = FaultSimulator(hbm_config(), seed=2)
+        result = sim.run(trials=10_000)
+        assert 0.0 <= result.p_uncorrected <= 1.0
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            FaultSimulator(hbm_config()).run(trials=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            FaultSimulator(hbm_config(), overlap_window_hours=0.0)
+
+
+class TestPerPageFit:
+    def test_hbm_vs_ddr_ratio_is_large(self):
+        """The reliability gap that produces the paper's ~287x SER
+        blow-up: HBM+SEC-DED pages fail uncorrected orders of magnitude
+        more often than DDR+ChipKill pages."""
+        hbm = uncorrected_fit_per_page(hbm_config(), analytic=True)
+        ddr = uncorrected_fit_per_page(ddr3_config(), analytic=True)
+        assert hbm / ddr > 100
+
+    def test_analytic_and_monte_carlo_agree_secded(self):
+        a = uncorrected_fit_per_page(hbm_config(), analytic=True)
+        m = uncorrected_fit_per_page(hbm_config(), trials=60_000, seed=9)
+        assert m == pytest.approx(a, rel=0.3)
+
+    def test_scale_invariance_of_ratio(self):
+        """Scaling capacities leaves the per-page FIT *ratio* intact."""
+        from repro.config import scaled_config
+
+        full_hbm = uncorrected_fit_per_page(hbm_config(), analytic=True)
+        full_ddr = uncorrected_fit_per_page(ddr3_config(), analytic=True)
+        small = scaled_config(1 / 1024)
+        small_hbm = uncorrected_fit_per_page(small.fast_memory, analytic=True)
+        small_ddr = uncorrected_fit_per_page(small.slow_memory, analytic=True)
+        assert full_hbm / full_ddr == pytest.approx(
+            small_hbm / small_ddr, rel=0.01
+        )

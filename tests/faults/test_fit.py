@@ -1,0 +1,72 @@
+"""Unit tests for FIT-rate data and scaling."""
+
+import pytest
+
+from repro.config import ddr3_config, hbm_config
+from repro.faults.fit import (
+    JAGUAR_TRANSIENT,
+    FaultComponent,
+    FitRates,
+    devices_per_rank,
+    rates_for_memory,
+)
+
+
+class TestFitRates:
+    def test_rate_lookup(self):
+        r = FitRates(bit=1.0, word=2.0, column=3.0, row=4.0, bank=5.0,
+                     rank=6.0)
+        assert r.rate(FaultComponent.BIT) == 1.0
+        assert r.rate(FaultComponent.RANK) == 6.0
+
+    def test_total(self):
+        r = FitRates(bit=1, word=1, column=1, row=1, bank=1, rank=1)
+        assert r.total == 6.0
+
+    def test_multi_bit_total_excludes_bit(self):
+        r = JAGUAR_TRANSIENT
+        assert r.multi_bit_total == pytest.approx(r.total - r.bit)
+
+    def test_bit_faults_dominate_field_data(self):
+        # The field study: single-bit faults are the most common class.
+        r = JAGUAR_TRANSIENT
+        assert r.bit > r.multi_bit_total
+
+    def test_scaled(self):
+        r = JAGUAR_TRANSIENT.scaled(2.0)
+        assert r.bit == pytest.approx(2 * JAGUAR_TRANSIENT.bit)
+        assert r.rank == pytest.approx(2 * JAGUAR_TRANSIENT.rank)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            JAGUAR_TRANSIENT.scaled(-1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FitRates(bit=-1.0)
+
+    def test_with_component(self):
+        r = JAGUAR_TRANSIENT.with_component(FaultComponent.ROW, 9.0)
+        assert r.row == 9.0
+        assert r.bit == JAGUAR_TRANSIENT.bit
+
+
+class TestMemoryScaling:
+    def test_hbm_scaled_up(self):
+        hbm = hbm_config()
+        rates = rates_for_memory(hbm)
+        assert rates.bit == pytest.approx(
+            JAGUAR_TRANSIENT.bit * hbm.fit_multiplier
+        )
+
+    def test_ddr_unscaled(self):
+        rates = rates_for_memory(ddr3_config())
+        assert rates.bit == JAGUAR_TRANSIENT.bit
+
+
+class TestDevicesPerRank:
+    def test_ddr_x8_has_eight_data_chips(self):
+        assert devices_per_rank(ddr3_config()) == 8
+
+    def test_hbm_single_stack(self):
+        assert devices_per_rank(hbm_config()) == 1

@@ -1,0 +1,175 @@
+"""Unit and property tests for the ChipKill Reed-Solomon codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.ecc import Outcome
+from repro.faults.reed_solomon import (
+    ChipKillCode,
+    gf_div,
+    gf_mul,
+    gf_pow,
+)
+
+CODE = ChipKillCode(data_symbols=16)
+
+
+def random_data(seed=0, k=16):
+    return np.random.default_rng(seed).integers(0, 256, k).astype(np.uint8)
+
+
+class TestGaloisField:
+    def test_mul_identity(self):
+        for a in (0, 1, 7, 255):
+            assert gf_mul(a, 1) == a
+
+    def test_mul_zero(self):
+        assert gf_mul(0, 123) == 0
+
+    def test_mul_commutative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_div_inverts_mul(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = int(rng.integers(1, 256))
+            b = int(rng.integers(1, 256))
+            assert gf_div(gf_mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 8) == 0x1D  # x^8 = primitive poly tail
+
+    def test_field_order(self):
+        # alpha^255 = 1: the multiplicative group has order 255.
+        assert gf_pow(2, 255) == 1
+
+
+class TestEncode:
+    def test_zero_syndromes(self):
+        cw = CODE.encode(random_data())
+        assert CODE.syndromes(cw) == (0, 0)
+
+    def test_systematic(self):
+        data = random_data(1)
+        assert np.array_equal(CODE.encode(data)[:16], data)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            CODE.encode(np.zeros(15, dtype=np.uint8))
+
+    def test_rejects_bad_symbol(self):
+        with pytest.raises(ValueError):
+            CODE.encode(np.full(16, 256))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ChipKillCode(data_symbols=0)
+
+
+class TestDecode:
+    def test_clean(self):
+        data = random_data(2)
+        result = CODE.decode(CODE.encode(data))
+        assert result.outcome is Outcome.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    @pytest.mark.parametrize("symbol", [0, 7, 15, 16, 17])
+    def test_single_symbol_corrected_any_pattern(self, symbol):
+        """ChipKill: a whole chip can emit garbage and decode still
+        recovers — any 8-bit error value in one symbol."""
+        data = random_data(3)
+        corrupted = CODE.inject(CODE.encode(data), {symbol: 0xA7})
+        result = CODE.decode(corrupted)
+        assert result.outcome is Outcome.CORRECTED
+        assert result.corrected_symbol == symbol
+        assert np.array_equal(result.data, data)
+
+    def test_double_symbol_mostly_detected(self):
+        data = random_data(4)
+        corrupted = CODE.inject(CODE.encode(data), {2: 0x11, 9: 0x22})
+        result = CODE.decode(corrupted)
+        # Distance 3: a double error is detected or miscorrected, but
+        # never returned as the original data.
+        if result.outcome is Outcome.CORRECTED:
+            assert not np.array_equal(result.data, data)
+        else:
+            assert result.outcome is Outcome.DETECTED
+
+    def test_inject_bounds(self):
+        cw = CODE.encode(random_data())
+        with pytest.raises(ValueError):
+            CODE.inject(cw, {18: 1})
+        with pytest.raises(ValueError):
+            CODE.inject(cw, {0: 300})
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    symbol=st.integers(0, 17),
+    value=st.integers(1, 255),
+)
+def test_chipkill_guarantee(seed, symbol, value):
+    """Any single-symbol error, any value, any position: corrected."""
+    data = random_data(seed)
+    corrupted = CODE.inject(CODE.encode(data), {symbol: value})
+    result = CODE.decode(corrupted)
+    assert result.outcome is Outcome.CORRECTED
+    assert result.corrected_symbol == symbol
+    assert result.corrected_value == value
+    assert np.array_equal(result.data, data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    a=st.integers(0, 17),
+    b=st.integers(0, 17),
+    va=st.integers(1, 255),
+    vb=st.integers(1, 255),
+)
+def test_double_symbol_never_silently_wrong(seed, a, b, va, vb):
+    """Two corrupted chips: the decoder never hands back data it
+    believes clean that differs from a plausible correction — i.e. the
+    original data is never silently returned as wrong."""
+    if a == b:
+        return
+    data = random_data(seed)
+    corrupted = CODE.inject(CODE.encode(data), {a: va, b: vb})
+    result = CODE.decode(corrupted)
+    if result.outcome is Outcome.CORRECTED:
+        # Miscorrection is possible at distance 3, but the result must
+        # then differ from the true data (it was a *different* single-
+        # error explanation).
+        assert not np.array_equal(result.data, data)
+
+
+class TestFaultSimConsistency:
+    """The Monte-Carlo simulator's ChipKill rules hold on the codec."""
+
+    def test_single_chip_fault_is_correctable(self):
+        # Arbitrary garbage confined to one chip/symbol: always fixed.
+        data = random_data(9)
+        for value in (0x01, 0xFF, 0x5A):
+            result = CODE.decode(CODE.inject(CODE.encode(data), {5: value}))
+            assert result.outcome is Outcome.CORRECTED
+
+    def test_cross_chip_overlap_is_not_correctable(self):
+        # Two chips corrupt the same codeword: cannot be trusted.
+        data = random_data(10)
+        result = CODE.decode(
+            CODE.inject(CODE.encode(data), {1: 0x0F, 12: 0xF0})
+        )
+        assert (result.outcome is Outcome.DETECTED
+                or not np.array_equal(result.data, data))

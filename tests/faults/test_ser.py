@@ -1,0 +1,84 @@
+"""Unit tests for SER composition (SER = FIT x AVF)."""
+
+import numpy as np
+import pytest
+
+from repro.avf.page import IntervalProfile, PageStats
+from repro.faults.ser import SerModel
+
+
+def stats():
+    return PageStats(
+        pages=np.array([0, 1, 2]),
+        reads=np.array([10, 10, 10]),
+        writes=np.array([1, 1, 1]),
+        avf=np.array([0.5, 0.3, 0.2]),
+    )
+
+
+MODEL = SerModel(fit_fast_per_page=100.0, fit_slow_per_page=1.0)
+
+
+class TestSerModel:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            SerModel(fit_fast_per_page=-1.0, fit_slow_per_page=1.0)
+
+    def test_fit_ratio(self):
+        assert MODEL.fit_ratio == 100.0
+
+    def test_fit_ratio_inf_when_slow_zero(self):
+        m = SerModel(fit_fast_per_page=1.0, fit_slow_per_page=0.0)
+        assert m.fit_ratio == float("inf")
+
+    def test_ddr_only(self):
+        assert MODEL.ser_ddr_only(stats()) == pytest.approx(1.0)
+
+    def test_static_all_fast(self):
+        ser = MODEL.ser_static(stats(), [0, 1, 2])
+        assert ser == pytest.approx(100.0)
+
+    def test_static_split(self):
+        ser = MODEL.ser_static(stats(), [0])
+        assert ser == pytest.approx(0.5 * 100 + 0.5 * 1)
+
+    def test_static_empty_equals_ddr_only(self):
+        assert MODEL.ser_static(stats(), []) == MODEL.ser_ddr_only(stats())
+
+    def test_hot_high_avf_placement_maximises_ser(self):
+        # Placing the highest-AVF page in fast memory yields the worst
+        # (highest) SER of all single-page placements.
+        sers = [MODEL.ser_static(stats(), [p]) for p in (0, 1, 2)]
+        assert sers[0] == max(sers)
+
+
+class TestDynamicSer:
+    def test_residency_accounting(self):
+        iv = IntervalProfile(
+            num_intervals=2,
+            interval_avf=[{0: 0.2, 1: 0.1}, {0: 0.3}],
+        )
+        # Page 0 in fast during interval 0 only.
+        ser = MODEL.ser_dynamic(iv, [{0}, set()])
+        expected = 0.2 * 100 + 0.1 * 1 + 0.3 * 1
+        assert ser == pytest.approx(expected)
+
+    def test_always_slow_matches_ddr_only_total(self):
+        iv = IntervalProfile(
+            num_intervals=2,
+            interval_avf=[{0: 0.25}, {0: 0.25, 1: 0.5}],
+        )
+        ser = MODEL.ser_dynamic(iv, [set(), set()])
+        assert ser == pytest.approx((0.25 + 0.25 + 0.5) * 1)
+
+    def test_residency_length_mismatch(self):
+        iv = IntervalProfile(num_intervals=2, interval_avf=[{}, {}])
+        with pytest.raises(ValueError):
+            MODEL.ser_dynamic(iv, [set()])
+
+    def test_interval_profile_total(self):
+        iv = IntervalProfile(
+            num_intervals=2, interval_avf=[{7: 0.1}, {7: 0.2}]
+        )
+        assert iv.total_avf(7) == pytest.approx(0.3)
+        assert iv.total_avf(9) == 0.0

@@ -1,0 +1,217 @@
+"""Smoke tests for the per-figure experiment harness.
+
+The full-scale shape assertions live in ``tests/integration``; these
+tests run each experiment at a very small scale and check structure.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    WorkloadCache,
+    fig01_frontier,
+    fig02_avf,
+    fig04_quadrants,
+    fig06_correlation,
+    fig09_write_ratio,
+    fig13_interval_sweep,
+    fig17_annotation_counts,
+    hw_cost,
+    table1_config,
+    table2_mixes,
+)
+from repro.harness.cli import main as cli_main
+
+SMALL = dict(accesses_per_core=1500, scale=1 / 2048, seed=1)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return WorkloadCache(**SMALL)
+
+
+class TestStaticTables:
+    def test_table1_lists_paper_parameters(self):
+        res = table1_config()
+        text = res.format()
+        assert "16" in text
+        assert "secded" in text
+        assert "chipkill" in text
+
+    def test_table2_has_five_mix_columns(self):
+        res = table2_mixes()
+        assert res.headers == ["Bench", "mix1", "mix2", "mix3", "mix4",
+                               "mix5"]
+        assert len(res.rows) == 15
+
+
+class TestFigureSmoke:
+    def test_fig01_rows_per_fraction(self, cache):
+        res = fig01_frontier(workloads=("astar",), fractions=(0.0, 1.0),
+                             cache=cache)
+        assert len(res.rows) == 2
+        # Full-hot placement is the fastest and least reliable point.
+        assert res.rows[1][1] >= res.rows[0][1]
+        assert res.rows[1][2] >= res.rows[0][2]
+
+    def test_fig02_sorted_ascending(self, cache):
+        res = fig02_avf(workloads=("astar", "milc"), cache=cache)
+        avfs = [row[1] for row in res.rows]
+        assert avfs == sorted(avfs)
+
+    def test_fig04_fractions(self, cache):
+        res = fig04_quadrants(workloads=("astar",), cache=cache)
+        assert res.summary["hot_low_max_pct"] <= 100
+
+    def test_fig06_has_rho(self, cache):
+        res = fig06_correlation(workload="astar", top_n=50, cache=cache)
+        assert "rho_hotness_avf" in res.summary
+
+    def test_fig09_histogram(self, cache):
+        res = fig09_write_ratio(workload="astar", cache=cache)
+        assert res.summary["rho_write_ratio_avf"] < 0.2
+
+    def test_fig13_reports_best(self, cache):
+        res = fig13_interval_sweep(workloads=("astar",), intervals=(2, 8),
+                                   cache=cache)
+        assert res.summary["best_intervals"] in (2.0, 8.0)
+
+    def test_fig17_counts(self, cache):
+        res = fig17_annotation_counts(workloads=("astar",), cache=cache)
+        assert res.rows[0][1] >= 1
+
+    def test_hw_cost_paper_numbers(self):
+        res = hw_cost()
+        assert res.summary["fc_total_mb"] == pytest.approx(8.5, rel=0.02)
+        assert res.summary["fc_additional_mb"] == pytest.approx(4.25,
+                                                                rel=0.02)
+        assert res.summary["cc_total_kb"] <= 700
+
+
+class TestRegistry:
+    def test_expected_experiments_present(self):
+        expected = {"table1", "table2", "table3", "hwcost",
+                    "sweep-capacity", "sweep-fit", "sweep-mlp"} | {
+            f"fig{n:02d}" for n in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                    12, 13, 14, 15, 16, 17)
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+
+    def test_run_table1(self, capsys):
+        assert cli_main(["run", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_small_figure(self, capsys):
+        rc = cli_main(["run", "fig02", "--accesses", "300",
+                       "--scale", str(1 / 4096), "--seed", "2"])
+        assert rc == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestCliTools:
+    def test_workloads_listing(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "astar" in out
+        assert "mix1" in out
+
+    def test_trace_generation_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        rc = cli_main(["trace", "astar", str(out_file),
+                       "--accesses", "200", "--scale", str(1 / 4096)])
+        assert rc == 0
+        from repro.trace.io import load_npz
+
+        trace, times = load_npz(out_file)
+        assert len(trace) > 0
+        assert times is not None
+
+    def test_trace_generation_text(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        rc = cli_main(["trace", "mix1", str(out_file),
+                       "--accesses", "100", "--scale", str(1 / 4096)])
+        assert rc == 0
+        from repro.trace.io import load_text
+
+        assert len(load_text(out_file)) > 0
+
+
+class TestFigureResult:
+    def test_format_includes_paper_targets(self):
+        from repro.harness.experiments import FigureResult
+
+        res = FigureResult(
+            figure="Figure X", description="demo",
+            headers=["a"], rows=[[1.0]],
+            summary={"metric": 2.0}, paper={"metric": 3.0},
+        )
+        text = res.format()
+        assert "Figure X" in text
+        assert "metric = 2" in text
+        assert "(paper: 3.0)" in text
+
+    def test_format_without_summary(self):
+        from repro.harness.experiments import FigureResult
+
+        res = FigureResult(figure="F", description="d",
+                           headers=["a"], rows=[[1]])
+        assert "paper" not in res.format()
+
+
+class TestSingleWorkloadFigures:
+    """Micro-scale smoke runs of the heavier figure functions."""
+
+    def test_fig05_single_workload(self, cache):
+        from repro.harness.experiments import fig05_perf_focused
+
+        res = fig05_perf_focused(workloads=("astar",), cache=cache)
+        assert len(res.rows) == 1
+        assert res.rows[0][2] > 1.0   # IPC vs DDR
+        assert res.rows[0][3] > 1.0   # SER vs DDR
+
+    def test_fig07_single_workload(self, cache):
+        from repro.harness.experiments import fig07_rel_focused
+
+        res = fig07_rel_focused(workloads=("mcf",), cache=cache)
+        assert res.summary["mean_ser_ratio"] < 1.0
+
+    def test_fig12_single_workload(self, cache):
+        from repro.harness.experiments import fig12_perf_migration
+
+        res = fig12_perf_migration(workloads=("astar",), cache=cache,
+                                   num_intervals=4)
+        assert res.rows[0][1] > 0
+
+    def test_fig16_single_workload(self, cache):
+        from repro.harness.experiments import fig16_annotations
+
+        res = fig16_annotations(workloads=("astar",), cache=cache)
+        assert res.rows[0][3] >= 1  # at least one annotation
+
+    def test_table3_single_workload(self, cache):
+        from repro.harness.experiments import table3_summary
+
+        res = table3_summary(workloads=("mcf",), cache=cache,
+                             num_intervals=4)
+        assert len(res.rows) == 7
+
+
+class TestCliScatter:
+    def test_scatter(self, capsys):
+        rc = cli_main(["scatter", "astar", "--accesses", "400",
+                       "--scale", str(1 / 4096), "--width", "30",
+                       "--height", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "*" in out
+        assert "hot & low-risk" in out

@@ -1,0 +1,107 @@
+"""Unit tests for the ASCII plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.plots import ascii_bars, ascii_scatter, ascii_series
+
+
+class TestScatter:
+    def test_dimensions(self):
+        out = ascii_scatter([0, 1], [0, 1], width=20, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 10  # grid + rule + caption
+        assert all(len(line) == 20 for line in lines[:8])
+
+    def test_points_plotted(self):
+        out = ascii_scatter([0, 1], [0, 1], width=20, height=8)
+        assert out.count("*") == 2
+
+    def test_corners(self):
+        out = ascii_scatter([0, 1], [0, 1], width=10, height=5)
+        lines = out.splitlines()
+        assert lines[4][0] == "*"   # (0, 0): bottom-left
+        assert lines[0][9] == "*"   # (1, 1): top-right
+
+    def test_quadrant_lines(self):
+        out = ascii_scatter([0, 1, 2], [0, 1, 2], width=21, height=9,
+                            split_x=1.0, split_y=1.0)
+        assert "|" in out
+        assert "-" in out.splitlines()[4]
+
+    def test_caption_has_ranges(self):
+        out = ascii_scatter([1, 5], [2, 8], xlabel="hot", ylabel="avf")
+        assert "hot" in out and "avf" in out
+        assert "1" in out and "8" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([0], [0], width=2, height=2)
+
+    def test_constant_values_ok(self):
+        out = ascii_scatter([3, 3, 3], [7, 7, 7])
+        assert "*" in out
+
+
+class TestBars:
+    def test_longest_bar_is_peak(self):
+        out = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = ascii_bars(["x", "long"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_suffix(self):
+        out = ascii_bars(["a"], [2.5], unit="%")
+        assert "2.5%" in out
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [-1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bars([], [])
+
+
+class TestSeries:
+    def test_plots_values(self):
+        out = ascii_series([1, 2, 3, 2, 1], width=20, height=6)
+        assert out.count("o") >= 3
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_series([])
+
+    def test_label_in_caption(self):
+        out = ascii_series([1, 2], label="IPC")
+        assert "IPC" in out
+
+
+class TestOnRealData:
+    def test_fig4_scatter_renders(self, mix1_prep):
+        stats = mix1_prep.stats
+        hot = stats.hotness.astype(float)
+        out = ascii_scatter(
+            stats.avf, hot, width=60, height=20,
+            xlabel="AVF", ylabel="hotness",
+            split_x=float(stats.avf.mean()), split_y=float(hot.mean()),
+        )
+        assert out.count("*") > 50
+        assert "|" in out

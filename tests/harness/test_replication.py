@@ -1,0 +1,57 @@
+"""Unit tests for the seed-replication helper."""
+
+import pytest
+
+from repro.harness.replication import Replication, replicate
+
+
+class TestReplication:
+    def test_statistics(self):
+        rep = Replication(metric="x", values=(1.0, 2.0, 3.0))
+        assert rep.mean == 2.0
+        assert rep.std == pytest.approx(1.0)
+        assert rep.n == 3
+        lo, hi = rep.confidence_interval()
+        assert lo < 2.0 < hi
+
+    def test_single_value(self):
+        rep = Replication(metric="x", values=(5.0,))
+        assert rep.std == 0.0
+        assert rep.confidence_interval() == (5.0, 5.0)
+
+    def test_cv(self):
+        rep = Replication(metric="x", values=(2.0, 2.0))
+        assert rep.cv == 0.0
+
+    def test_str(self):
+        rep = Replication(metric="ipc", values=(1.0, 1.2))
+        assert "ipc" in str(rep)
+        assert "n=2" in str(rep)
+
+
+class TestReplicate:
+    def test_runs_over_seeds(self):
+        rep = replicate(
+            "astar",
+            metric=lambda prep: prep.stats.mean_avf(),
+            metric_name="mean AVF",
+            seeds=(0, 1),
+            scale=1 / 2048,
+            accesses_per_core=1000,
+        )
+        assert rep.n == 2
+        assert all(v > 0 for v in rep.values)
+
+    def test_seeds_give_different_draws(self):
+        rep = replicate(
+            "mcf",
+            metric=lambda prep: float(prep.stats.hotness.max()),
+            seeds=(0, 1, 2),
+            scale=1 / 2048,
+            accesses_per_core=1000,
+        )
+        assert len(set(rep.values)) > 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate("astar", metric=lambda p: 0.0, seeds=())

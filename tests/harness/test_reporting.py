@@ -1,0 +1,55 @@
+"""Unit tests for reporting helpers."""
+
+import pytest
+
+from repro.harness.reporting import format_cell, format_table, gmean
+
+
+class TestGmean:
+    def test_basic(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert gmean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert gmean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+
+class TestFormatCell:
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_float_trimmed(self):
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(0.125) == "0.125"
+
+    def test_large_float_compact(self):
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows padded to same width per column.
+        assert lines[0].index("bb") == lines[2].index("2")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out

@@ -1,0 +1,53 @@
+"""Scale robustness: the reproduced shapes survive a 4x scale change.
+
+The calibration runs at scale 1/1024; this test re-checks the
+load-bearing shapes at 1/256 (4x more pages and HBM frames) to guard
+against artefacts of one particular scale.
+"""
+
+import pytest
+
+from repro.avf.heuristics import write_ratio_avf_correlation
+from repro.core.placement import (
+    PerformanceFocusedPlacement,
+    Wr2RatioPlacement,
+)
+from repro.core.quadrant import quadrant_split
+from repro.sim.system import evaluate_static, prepare_workload
+
+
+@pytest.fixture(scope="module")
+def big_prep():
+    return prepare_workload("mix1", scale=1 / 256,
+                            accesses_per_core=25_000, seed=2)
+
+
+class TestShapesAtLargerScale:
+    def test_avf_band(self, big_prep):
+        assert 0.03 < big_prep.stats.mean_avf() < 0.30
+
+    def test_write_ratio_correlation_negative(self, big_prep):
+        assert write_ratio_avf_correlation(big_prep.stats) < -0.1
+
+    def test_quadrant_share_in_band(self, big_prep):
+        quad = quadrant_split(big_prep.stats)
+        assert 0.05 < quad.hot_low_risk_fraction < 0.45
+
+    def test_perf_vs_wr2_shape(self, big_prep):
+        perf = evaluate_static(big_prep, PerformanceFocusedPlacement())
+        wr2 = evaluate_static(big_prep, Wr2RatioPlacement())
+        # Performance placement wins IPC, loses SER, at 4x the scale
+        # of the calibration runs.
+        assert perf.ipc_vs_ddr > 1.1
+        assert perf.ser_vs_ddr > 50
+        assert wr2.ser < 0.7 * perf.ser
+        assert wr2.ipc > 0.8 * perf.ipc
+
+    def test_fit_ratio_scale_invariant(self, big_prep):
+        from repro.faults.ser import SerModel
+        from repro.config import scaled_config
+
+        small = SerModel.for_system(scaled_config(1 / 1024))
+        assert big_prep.ser_model.fit_ratio == pytest.approx(
+            small.fit_ratio, rel=0.01
+        )

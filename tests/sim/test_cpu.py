@@ -1,0 +1,77 @@
+"""Unit tests for the MLP-aware replay core."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.sim.cpu import ReplayCore
+
+
+def core(window=None, issue_width=4, freq=1e9, max_misses=16):
+    cfg = CoreConfig(frequency_hz=freq, issue_width=issue_width,
+                     max_outstanding_misses=max_misses)
+    return ReplayCore(cfg, window=window)
+
+
+class TestAdvance:
+    def test_retire_rate(self):
+        c = core(issue_width=4, freq=1e9)
+        c.advance(400)
+        assert c.time == pytest.approx(100e-9)
+
+    def test_advance_drains_completed(self):
+        c = core(window=2)
+        c.complete_read(10e-9)
+        c.advance(1000)  # 250 ns at 4 IPC, 1 GHz
+        assert len(c.outstanding) == 0
+
+
+class TestMissWindow:
+    def test_window_clamped_by_config(self):
+        c = core(window=100, max_misses=8)
+        assert c.window == 8
+
+    def test_workload_mlp_narrows_window(self):
+        c = core(window=2, max_misses=16)
+        assert c.window == 2
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            core(window=0)
+
+    def test_no_stall_until_window_full(self):
+        c = core(window=2)
+        c.complete_read(100e-9)
+        t = c.ready_to_issue_read()
+        assert t == 0.0
+
+    def test_stall_on_full_window(self):
+        c = core(window=2)
+        c.complete_read(100e-9)
+        c.complete_read(200e-9)
+        t = c.ready_to_issue_read()
+        # Must wait for the oldest outstanding read.
+        assert t == pytest.approx(100e-9)
+        assert len(c.outstanding) == 1
+
+    def test_mlp_one_serialises(self):
+        c = core(window=1)
+        issue1 = c.ready_to_issue_read()
+        c.complete_read(50e-9)
+        issue2 = c.ready_to_issue_read()
+        assert issue1 == 0.0
+        assert issue2 == pytest.approx(50e-9)
+
+
+class TestDrain:
+    def test_drain_waits_for_slowest(self):
+        c = core(window=4)
+        c.complete_read(10e-9)
+        c.complete_read(30e-9)
+        assert c.drain() == pytest.approx(30e-9)
+        assert len(c.outstanding) == 0
+
+    def test_drain_noop_when_empty(self):
+        c = core()
+        c.advance(100)
+        t = c.time
+        assert c.drain() == t

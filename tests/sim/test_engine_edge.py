@@ -1,0 +1,111 @@
+"""Edge-case and failure-injection tests for the replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.core.migration import (
+    MigrationMechanism,
+    PerformanceFocusedMigration,
+)
+from repro.dram.hma import FAST, HeterogeneousMemory
+from repro.sim.engine import replay
+from repro.trace.record import Trace
+
+
+def make_trace(n=500, pages=8, cores=4, all_writes=False, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        core=rng.integers(0, cores, n).astype(np.uint16),
+        address=(rng.integers(0, pages, n) * PAGE_SIZE).astype(np.uint64),
+        is_write=(np.ones(n, dtype=bool) if all_writes
+                  else rng.random(n) < 0.3),
+        gap=np.full(n, 30, dtype=np.uint32),
+    ), np.sort(rng.random(n))
+
+
+class TestWriteOnlyTrace:
+    def test_write_only_trace_completes(self, tiny_config):
+        trace, times = make_trace(all_writes=True)
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement([], range(8))
+        result = replay(tiny_config, hma, trace, times)
+        assert result.total_seconds > 0
+        assert result.mean_read_latency == 0.0
+
+
+class TestDeterminism:
+    def test_replay_is_deterministic(self, tiny_config):
+        trace, times = make_trace(seed=5)
+        results = []
+        for _ in range(2):
+            hma = HeterogeneousMemory(tiny_config)
+            hma.install_placement(range(4), range(8))
+            results.append(replay(tiny_config, hma, trace, times))
+        assert results[0].total_seconds == results[1].total_seconds
+        assert results[0].mean_read_latency == results[1].mean_read_latency
+
+
+class TestFaultInjectionMechanism:
+    class ExplodingMechanism(MigrationMechanism):
+        """A mechanism that proposes illegal moves; the engine and the
+        HMA must stay consistent regardless."""
+
+        name = "exploding"
+
+        def observe_chunk(self, pages, is_write, times=None):
+            pass
+
+        def plan(self, hma):
+            # Propose promoting far more pages than capacity and
+            # demoting pages that are not resident.
+            return list(range(1000, 1200)), [999_999]
+
+    def test_illegal_plans_are_contained(self, tiny_config):
+        trace, times = make_trace(n=800)
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement(range(8), range(8))
+        result = replay(tiny_config, hma, trace, times,
+                        mechanism=self.ExplodingMechanism(),
+                        num_intervals=4)
+        assert hma.fast_occupancy() <= hma.fast_capacity_pages
+        assert result.total_seconds > 0
+
+    class GreedyMechanism(MigrationMechanism):
+        """Promotes everything every interval."""
+
+        name = "greedy"
+
+        def observe_chunk(self, pages, is_write, times=None):
+            self.seen = set(int(p) for p in np.unique(pages))
+
+        def plan(self, hma):
+            resident = hma.pages_in(FAST)
+            return sorted(self.seen), resident
+
+    def test_full_churn_still_conserves_pages(self, tiny_config):
+        trace, times = make_trace(n=800, pages=12)
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement(range(8), range(12))
+        replay(tiny_config, hma, trace, times,
+               mechanism=self.GreedyMechanism(), num_intervals=4)
+        mapped = set(hma.pages_in(FAST)) | set(hma.pages_in(1))
+        assert mapped == set(range(12))
+
+
+class TestMigrationCostVisible:
+    def test_migrations_slow_the_run_down(self, tiny_config):
+        """Charging migration bandwidth must cost wall-clock time."""
+        trace, times = make_trace(n=3000, pages=32, seed=2)
+        quiet = HeterogeneousMemory(tiny_config)
+        quiet.install_placement(range(16), range(32))
+        base = replay(tiny_config, quiet, trace, times)
+
+        churny = HeterogeneousMemory(tiny_config)
+        churny.install_placement(range(16), range(32))
+        mech = PerformanceFocusedMigration(max_swap_fraction=1.0,
+                                           fixed_threshold=0)
+        res = replay(tiny_config, churny, trace, times,
+                     mechanism=mech, num_intervals=16)
+        if churny.migration_stats.total > 0:
+            assert res.total_seconds >= base.total_seconds

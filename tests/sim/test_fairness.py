@@ -1,0 +1,86 @@
+"""Unit tests for per-core IPC and multicore fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.dram.hma import HeterogeneousMemory, MigrationStats
+from repro.sim.engine import replay
+from repro.sim.results import ReplayResult
+from repro.trace.record import Trace
+
+
+def result_with(per_core_ipc):
+    return ReplayResult(
+        instructions=1000, requests=100, total_seconds=1e-3,
+        core_frequency_hz=1e9, mean_read_latency=0.0,
+        migrations=MigrationStats(), per_core_ipc=per_core_ipc,
+    )
+
+
+class TestMetrics:
+    def test_weighted_speedup_identity(self):
+        base = result_with([1.0, 2.0])
+        assert base.weighted_speedup(base) == pytest.approx(2.0)
+
+    def test_weighted_speedup(self):
+        base = result_with([1.0, 1.0])
+        fast = result_with([2.0, 1.0])
+        assert fast.weighted_speedup(base) == pytest.approx(3.0)
+
+    def test_harmonic_speedup_penalises_imbalance(self):
+        base = result_with([1.0, 1.0])
+        balanced = result_with([1.5, 1.5])
+        skewed = result_with([2.5, 0.5])
+        assert balanced.harmonic_speedup(base) > skewed.harmonic_speedup(base)
+
+    def test_fairness_bounds(self):
+        base = result_with([1.0, 1.0])
+        fair = result_with([2.0, 2.0])
+        unfair = result_with([4.0, 1.0])
+        assert fair.fairness(base) == pytest.approx(1.0)
+        assert unfair.fairness(base) == pytest.approx(0.25)
+
+    def test_zero_baseline_cores_skipped(self):
+        base = result_with([0.0, 1.0])
+        fast = result_with([2.0, 2.0])
+        assert fast.weighted_speedup(base) == pytest.approx(2.0)
+
+    def test_empty(self):
+        a = result_with([])
+        assert a.weighted_speedup(a) == 0.0
+        assert a.harmonic_speedup(a) == 0.0
+        assert a.fairness(a) == 0.0
+
+
+class TestEngineFillsPerCoreIpc:
+    def test_per_core_ipc_populated(self, tiny_config):
+        rng = np.random.default_rng(0)
+        n = 1000
+        trace = Trace(
+            core=rng.integers(0, 4, n).astype(np.uint16),
+            address=(rng.integers(0, 8, n) * PAGE_SIZE).astype(np.uint64),
+            is_write=rng.random(n) < 0.3,
+            gap=np.full(n, 20, dtype=np.uint32),
+        )
+        times = np.sort(rng.random(n))
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement([], range(8))
+        result = replay(tiny_config, hma, trace, times)
+        assert len(result.per_core_ipc) == 4
+        assert all(ipc > 0 for ipc in result.per_core_ipc)
+
+    def test_idle_core_reports_zero(self, tiny_config):
+        n = 100
+        trace = Trace(
+            core=np.zeros(n, dtype=np.uint16),  # only core 0 active
+            address=np.zeros(n, dtype=np.uint64),
+            is_write=np.zeros(n, dtype=bool),
+            gap=np.full(n, 20, dtype=np.uint32),
+        )
+        times = np.sort(np.random.default_rng(1).random(n))
+        hma = HeterogeneousMemory(tiny_config)
+        hma.install_placement([], [0])
+        result = replay(tiny_config, hma, trace, times)
+        assert result.per_core_ipc[0] > 0
+        assert result.per_core_ipc[1] == 0.0

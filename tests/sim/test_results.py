@@ -1,0 +1,47 @@
+"""Unit tests for result dataclasses."""
+
+import pytest
+
+from repro.dram.hma import MigrationStats
+from repro.sim.results import ExperimentResult, ReplayResult
+
+
+class TestReplayResult:
+    def make(self, instructions=1_000_000, seconds=1e-3, freq=1e9):
+        return ReplayResult(
+            instructions=instructions,
+            requests=1000,
+            total_seconds=seconds,
+            core_frequency_hz=freq,
+            mean_read_latency=50e-9,
+            migrations=MigrationStats(),
+        )
+
+    def test_ipc(self):
+        r = self.make()
+        assert r.total_cycles == pytest.approx(1e6)
+        assert r.ipc == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        r = self.make(seconds=0.0)
+        assert r.ipc == 0.0
+
+
+class TestExperimentResult:
+    def make(self, ipc=2.0, ser=10.0):
+        return ExperimentResult(
+            workload="wl", scheme="s", ipc=ipc, ser=ser,
+            ipc_vs_ddr=1.5, ser_vs_ddr=100.0,
+        )
+
+    def test_relative_to(self):
+        a = self.make(ipc=2.0, ser=10.0)
+        b = self.make(ipc=1.0, ser=5.0)
+        ipc_ratio, ser_ratio = a.relative_to(b)
+        assert ipc_ratio == 2.0
+        assert ser_ratio == 2.0
+
+    def test_relative_to_zero_baseline(self):
+        a = self.make()
+        zero = self.make(ipc=0.0, ser=0.0)
+        assert a.relative_to(zero) == (0.0, 0.0)

@@ -1,0 +1,32 @@
+"""Every bundled example must at least compile and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    tree = ast.parse(path.read_text())
+    # Each example defines main() and a __main__ guard.
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions
+    assert '__main__' in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_module_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree)

@@ -1,0 +1,89 @@
+"""Unit tests for trace persistence (npz and Ramulator-style text)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.trace.io import load_npz, load_text, save_npz, save_text
+from repro.trace.record import Trace
+
+
+@pytest.fixture
+def trace():
+    n = 50
+    rng = np.random.default_rng(3)
+    return Trace(
+        core=rng.integers(0, 4, n).astype(np.uint16),
+        address=(rng.integers(0, 64, n) * PAGE_SIZE).astype(np.uint64),
+        is_write=rng.random(n) < 0.3,
+        gap=rng.integers(0, 100, n).astype(np.uint32),
+    )
+
+
+class TestNpz:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_npz(path, trace)
+        loaded, times = load_npz(path)
+        assert times is None
+        for attr in ("core", "address", "is_write", "gap"):
+            assert np.array_equal(getattr(loaded, attr), getattr(trace, attr))
+
+    def test_roundtrip_with_times(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        times = np.sort(np.random.default_rng(0).random(len(trace)))
+        save_npz(path, trace, times)
+        _loaded, loaded_times = load_npz(path)
+        assert np.allclose(loaded_times, times)
+
+    def test_times_length_validated(self, trace, tmp_path):
+        with pytest.raises(ValueError):
+            save_npz(tmp_path / "t.npz", trace, np.zeros(3))
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+
+class TestText:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_text(path, trace)
+        loaded = load_text(path)
+        assert np.array_equal(loaded.address, trace.address)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+        assert np.array_equal(loaded.gap, trace.gap)
+        assert np.array_equal(loaded.core, trace.core)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# comment\n\n5 0x1000 R\n3 0x2000 W 2\n")
+        loaded = load_text(path)
+        assert len(loaded) == 2
+        assert loaded.address[0] == 0x1000
+        assert bool(loaded.is_write[1]) is True
+        assert int(loaded.core[1]) == 2
+
+    def test_core_defaults_to_zero(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 0x40 R\n")
+        assert int(load_text(path).core[0]) == 0
+
+    def test_decimal_addresses_accepted(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 4096 W\n")
+        assert int(load_text(path).address[0]) == 4096
+
+    def test_bad_type_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 0x40 X\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 0x40\n")
+        with pytest.raises(ValueError):
+            load_text(path)

@@ -1,0 +1,58 @@
+"""Unit tests for the Table 2 mix definitions."""
+
+import pytest
+
+from repro.trace.mixes import MIX_NAMES, MIX_TABLE, MIXES, _expand
+from repro.trace.workloads import PROFILES
+
+
+class TestMixTable:
+    def test_five_mixes(self):
+        assert MIX_NAMES == ("mix1", "mix2", "mix3", "mix4", "mix5")
+
+    def test_table2_mix1_exact(self):
+        assert MIX_TABLE["mix1"] == {
+            "mcf": 3, "lbm": 2, "milc": 2, "omnetpp": 1, "astar": 2,
+            "sphinx": 1, "soplex": 2, "libquantum": 2, "gcc": 1,
+        }
+
+    def test_table2_mix5_exact(self):
+        assert MIX_TABLE["mix5"] == {
+            "deaIII": 3, "leslie3d": 3, "GemsFDTD": 1, "bzip": 3,
+            "bwaves": 1, "cactusADM": 5,
+        }
+
+    def test_all_benchmarks_known(self):
+        for table in MIX_TABLE.values():
+            for bench in table:
+                assert bench in PROFILES
+
+    def test_mix1_sums_to_16(self):
+        assert sum(MIX_TABLE["mix1"].values()) == 16
+
+    def test_all_expanded_to_16_cores(self):
+        for name, cores in MIXES.items():
+            assert len(cores) == 16, name
+
+    def test_expansion_preserves_counts(self):
+        for name, table in MIX_TABLE.items():
+            cores = MIXES[name]
+            for bench, count in table.items():
+                assert cores.count(bench) >= count, (name, bench)
+
+
+class TestExpand:
+    def test_exact_fill(self):
+        cores = _expand({"a": 10, "b": 6})
+        assert len(cores) == 16
+        assert cores.count("a") == 10
+
+    def test_padding_round_robin(self):
+        cores = _expand({"a": 7, "b": 7})
+        assert len(cores) == 16
+        assert cores.count("a") == 8
+        assert cores.count("b") == 8
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            _expand({"a": 17})

@@ -1,0 +1,150 @@
+"""Unit tests for profile JSON serialisation and registration."""
+
+import json
+
+import pytest
+
+from repro.trace.profiles_io import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    region_from_dict,
+    region_to_dict,
+    register_profile,
+    save_profile,
+    unregister_profile,
+)
+from repro.trace.synthetic import RegionSpec
+from repro.trace.workloads import PROFILES, BenchmarkProfile, Workload
+
+
+def sample_profile(name="custom-app"):
+    return BenchmarkProfile(
+        name=name,
+        footprint_mb=128.0,
+        mpki=9.5,
+        mlp=6,
+        regions=(
+            RegionSpec(name="index", footprint_share=0.3, hotness=4.0,
+                       write_frac=0.1, read_spread=0.6, lines_touched=32),
+            RegionSpec(name="log", footprint_share=0.7, hotness=1.0,
+                       write_frac=0.8, read_spread=0.05, churn=0.2),
+        ),
+    )
+
+
+class TestRegionRoundtrip:
+    def test_roundtrip(self):
+        region = sample_profile().regions[0]
+        assert region_from_dict(region_to_dict(region)) == region
+
+    def test_defaults_omitted(self):
+        region = RegionSpec(name="r", footprint_share=0.5, hotness=1.0,
+                            write_frac=0.2, read_spread=0.3)
+        data = region_to_dict(region)
+        assert "zipf_alpha" not in data
+        assert "churn" not in data
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            region_from_dict({"name": "r"})
+
+    def test_unknown_field_rejected(self):
+        data = region_to_dict(sample_profile().regions[0])
+        data["colour"] = "red"
+        with pytest.raises(ValueError):
+            region_from_dict(data)
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip(self):
+        profile = sample_profile()
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_profile(path, sample_profile())
+        loaded = load_profile(path)
+        assert loaded == sample_profile()
+        # And the file is plain, hand-editable JSON.
+        data = json.loads(path.read_text())
+        assert data["name"] == "custom-app"
+
+    def test_mlp_defaults(self):
+        data = profile_to_dict(sample_profile())
+        del data["mlp"]
+        assert profile_from_dict(data).mlp == 4
+
+    def test_missing_regions_rejected(self):
+        data = profile_to_dict(sample_profile())
+        data["regions"] = []
+        with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+    def test_missing_name_rejected(self):
+        data = profile_to_dict(sample_profile())
+        del data["name"]
+        with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+
+class TestRegistration:
+    def test_register_enables_workload_spec(self):
+        profile = sample_profile("reg-test-app")
+        try:
+            register_profile(profile)
+            wl = Workload.spec("reg-test-app", num_cores=2)
+            wt = wl.generate(scale=1 / 1024, accesses_per_core=300, seed=0)
+            assert len(wt.trace) > 0
+        finally:
+            unregister_profile("reg-test-app")
+        assert "reg-test-app" not in PROFILES
+
+    def test_no_silent_overwrite(self):
+        profile = sample_profile("astar")  # collides with a bundled one
+        with pytest.raises(ValueError):
+            register_profile(profile)
+        assert PROFILES["astar"].footprint_mb != 128.0
+
+    def test_explicit_overwrite(self):
+        original = PROFILES["astar"]
+        try:
+            register_profile(sample_profile("astar"), overwrite=True)
+            assert PROFILES["astar"].footprint_mb == 128.0
+        finally:
+            PROFILES["astar"] = original
+
+
+class TestPropertyRoundtrip:
+    """Hypothesis: any valid profile survives the JSON round-trip."""
+
+    def test_random_profiles_roundtrip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        region_st = st.builds(
+            RegionSpec,
+            name=st.text(alphabet="abcdefgh_", min_size=1, max_size=12),
+            footprint_share=st.floats(0.01, 1.0),
+            hotness=st.floats(0.0, 50.0),
+            write_frac=st.floats(0.0, 1.0),
+            read_spread=st.floats(0.0, 1.0),
+            zipf_alpha=st.floats(0.0, 2.0),
+            lines_touched=st.integers(1, 64),
+            churn=st.floats(0.0, 1.0),
+        )
+        profile_st = st.builds(
+            BenchmarkProfile,
+            name=st.text(alphabet="abcdefgh-", min_size=1, max_size=16),
+            footprint_mb=st.floats(1.0, 2048.0),
+            mpki=st.floats(0.1, 60.0),
+            mlp=st.integers(1, 16),
+            regions=st.lists(region_st, min_size=1, max_size=6).map(tuple),
+        )
+
+        @settings(max_examples=30, deadline=None)
+        @given(profile=profile_st)
+        def check(profile):
+            assert profile_from_dict(profile_to_dict(profile)) == profile
+
+        check()

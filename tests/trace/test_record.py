@@ -1,0 +1,100 @@
+"""Unit tests for trace records and batched traces."""
+
+import numpy as np
+import pytest
+
+from repro.config import LINE_SIZE, PAGE_SIZE
+from repro.trace.record import Trace, TraceRecord
+
+
+def make_trace(n=10, page_stride=1):
+    addresses = np.arange(n, dtype=np.uint64) * PAGE_SIZE * page_stride
+    return Trace(
+        core=np.zeros(n, dtype=np.uint16),
+        address=addresses,
+        is_write=np.arange(n) % 2 == 0,
+        gap=np.full(n, 5, dtype=np.uint32),
+    )
+
+
+class TestTraceRecord:
+    def test_line_and_page(self):
+        r = TraceRecord(core=0, address=PAGE_SIZE + 3 * LINE_SIZE,
+                        is_write=False, gap_instructions=10)
+        assert r.page == 1
+        assert r.line == PAGE_SIZE // LINE_SIZE + 3
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(make_trace(7)) == 7
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            Trace(
+                core=np.zeros(3, dtype=np.uint16),
+                address=np.zeros(4, dtype=np.uint64),
+                is_write=np.zeros(4, dtype=bool),
+                gap=np.zeros(4, dtype=np.uint32),
+            )
+
+    def test_pages_and_lines(self):
+        t = make_trace(4)
+        assert list(t.pages) == [0, 1, 2, 3]
+        assert list(t.lines) == [0, 64, 128, 192]
+
+    def test_total_instructions_counts_gaps_and_requests(self):
+        t = make_trace(10)
+        assert t.total_instructions == 10 * 5 + 10
+
+    def test_mpki(self):
+        t = make_trace(10)
+        assert t.mpki() == pytest.approx(1000 * 10 / 60)
+
+    def test_mpki_empty(self):
+        assert Trace.empty().mpki() == 0.0
+
+    def test_footprint_pages_unique_sorted(self):
+        addresses = np.array([PAGE_SIZE * 2, 0, PAGE_SIZE * 2], dtype=np.uint64)
+        t = Trace(
+            core=np.zeros(3, dtype=np.uint16),
+            address=addresses,
+            is_write=np.zeros(3, dtype=bool),
+            gap=np.zeros(3, dtype=np.uint32),
+        )
+        assert list(t.footprint_pages()) == [0, 2]
+
+    def test_iteration_yields_records(self):
+        t = make_trace(3)
+        records = list(t)
+        assert all(isinstance(r, TraceRecord) for r in records)
+        assert records[0].is_write is True
+        assert records[1].is_write is False
+
+    def test_slice(self):
+        t = make_trace(10)
+        s = t.slice(2, 5)
+        assert len(s) == 3
+        assert s.address[0] == t.address[2]
+
+    def test_concatenate(self):
+        a, b = make_trace(3), make_trace(4)
+        c = Trace.concatenate([a, b])
+        assert len(c) == 7
+        assert list(c.address[:3]) == list(a.address)
+
+    def test_concatenate_empty_list(self):
+        assert len(Trace.concatenate([])) == 0
+
+    def test_from_records_roundtrip(self):
+        t = make_trace(5)
+        t2 = Trace.from_records(list(t))
+        assert np.array_equal(t.address, t2.address)
+        assert np.array_equal(t.is_write, t2.is_write)
+        assert np.array_equal(t.gap, t2.gap)
+        assert np.array_equal(t.core, t2.core)
+
+    def test_empty(self):
+        t = Trace.empty()
+        assert len(t) == 0
+        assert t.total_instructions == 0

@@ -1,0 +1,138 @@
+"""Unit tests for the SimPoint-style representative-interval picker."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.trace.record import Trace
+from repro.trace.simpoints import (
+    KMeans,
+    estimate_with_simpoints,
+    interval_vectors,
+    pick_simpoints,
+)
+
+
+def phased_trace(phase_pages=((0, 1), (8, 9)), per_phase=200,
+                 repeats=3, write_frac=0.25, seed=0):
+    """A trace alternating between page-set phases."""
+    rng = np.random.default_rng(seed)
+    pages = []
+    for _ in range(repeats):
+        for phase in phase_pages:
+            pages.extend(rng.choice(phase, per_phase))
+    pages = np.array(pages, dtype=np.uint64)
+    n = len(pages)
+    return Trace(
+        core=np.zeros(n, dtype=np.uint16),
+        address=pages * PAGE_SIZE,
+        is_write=rng.random(n) < write_frac,
+        gap=np.full(n, 10, dtype=np.uint32),
+    )
+
+
+class TestIntervalVectors:
+    def test_shapes(self):
+        trace = phased_trace()
+        feats = interval_vectors(trace, 100)
+        assert feats.vectors.shape[0] == len(trace) // 100
+        assert feats.vectors.shape[1] == len(feats.pages)
+
+    def test_rows_normalised(self):
+        feats = interval_vectors(phased_trace(), 100)
+        assert np.allclose(feats.vectors.sum(axis=1), 1.0)
+
+    def test_bounds_cover_trace(self):
+        trace = phased_trace()
+        feats = interval_vectors(trace, 130)
+        assert feats.bounds[0][0] == 0
+        assert feats.bounds[-1][1] == len(trace)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            interval_vectors(phased_trace(), 0)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            interval_vectors(Trace.empty(), 10)
+
+
+class TestKMeans:
+    def test_separates_clear_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.1, (30, 2))
+        b = rng.normal(5.0, 0.1, (30, 2))
+        labels = KMeans(k=2, seed=1).fit(np.vstack([a, b]))
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_k_clamped_to_data(self):
+        km = KMeans(k=10)
+        labels = km.fit(np.zeros((3, 2)))
+        assert km.k == 3
+        assert len(labels) == 3
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KMeans(k=2).fit(np.zeros((0, 3)))
+
+    def test_deterministic_per_seed(self):
+        data = np.random.default_rng(2).random((40, 3))
+        a = KMeans(k=3, seed=5).fit(data)
+        b = KMeans(k=3, seed=5).fit(data)
+        assert np.array_equal(a, b)
+
+
+class TestPickSimpoints:
+    def test_two_phases_give_two_clusters(self):
+        trace = phased_trace(per_phase=200, repeats=3)
+        simpoints, feats = pick_simpoints(trace, interval_length=200, k=2)
+        assert len(simpoints) == 2
+        # Representatives come from different phases.
+        reps = [feats.vectors[sp.interval].argmax() for sp in simpoints]
+        assert reps[0] != reps[1]
+
+    def test_weights_sum_to_one(self):
+        trace = phased_trace()
+        simpoints, _ = pick_simpoints(trace, interval_length=150, k=3)
+        assert sum(sp.weight for sp in simpoints) == pytest.approx(1.0)
+
+    def test_balanced_phases_get_balanced_weights(self):
+        trace = phased_trace(per_phase=200, repeats=4)
+        simpoints, _ = pick_simpoints(trace, interval_length=200, k=2)
+        for sp in simpoints:
+            assert sp.weight == pytest.approx(0.5, abs=0.15)
+
+
+class TestEstimate:
+    def test_estimates_write_fraction(self):
+        """The weighted simpoint estimate tracks the full-trace value
+        — the reason SimPoints work."""
+        trace = phased_trace(per_phase=300, repeats=4, write_frac=0.3,
+                             seed=9)
+        simpoints, feats = pick_simpoints(trace, interval_length=300, k=2)
+        true_value = float(trace.is_write.mean())
+        estimate = estimate_with_simpoints(
+            trace, simpoints, feats,
+            statistic=lambda t: float(t.is_write.mean()),
+        )
+        assert estimate == pytest.approx(true_value, abs=0.05)
+
+    def test_estimates_mpki(self):
+        trace = phased_trace(per_phase=300, repeats=4, seed=3)
+        simpoints, feats = pick_simpoints(trace, interval_length=300, k=2)
+        estimate = estimate_with_simpoints(
+            trace, simpoints, feats, statistic=lambda t: t.mpki(),
+        )
+        assert estimate == pytest.approx(trace.mpki(), rel=0.1)
+
+    def test_requires_simpoints(self):
+        trace = phased_trace()
+        _, feats = pick_simpoints(trace, interval_length=200, k=2)
+        with pytest.raises(ValueError):
+            estimate_with_simpoints(trace, [], feats, lambda t: 0.0)

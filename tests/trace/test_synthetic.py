@@ -1,0 +1,235 @@
+"""Unit and property tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LINES_PER_PAGE, PAGE_SIZE
+from repro.trace.synthetic import (
+    GeneratorParams,
+    RegionSpec,
+    TraceGenerator,
+    _zipf_weights,
+    interleave_cores,
+    layout_regions,
+)
+
+
+def region(name="r", share=1.0, hot=1.0, wf=0.3, spread=0.5, **kw):
+    return RegionSpec(
+        name=name, footprint_share=share, hotness=hot,
+        write_frac=wf, read_spread=spread, **kw,
+    )
+
+
+class TestRegionSpec:
+    @pytest.mark.parametrize("kwargs", [
+        dict(footprint_share=0.0),
+        dict(footprint_share=1.5),
+        dict(hotness=-1.0),
+        dict(write_frac=1.2),
+        dict(read_spread=-0.1),
+        dict(lines_touched=0),
+        dict(lines_touched=65),
+        dict(churn=2.0),
+    ])
+    def test_validation(self, kwargs):
+        base = dict(name="x", footprint_share=0.5, hotness=1.0,
+                    write_frac=0.5, read_spread=0.5)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            RegionSpec(**base)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = _zipf_weights(100, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = _zipf_weights(50, 0.8)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_alpha_zero_uniform(self):
+        w = _zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+
+class TestLayoutRegions:
+    def test_sizes_sum_to_footprint(self):
+        regions = [region("a", 0.5), region("b", 0.3), region("c", 0.2)]
+        layouts = layout_regions(regions, 100)
+        assert sum(l.num_pages for l in layouts) == 100
+
+    def test_contiguous_non_overlapping(self):
+        regions = [region("a", 0.6), region("b", 0.4)]
+        layouts = layout_regions(regions, 37, first_page=10)
+        assert layouts[0].first_page == 10
+        assert layouts[1].first_page == 10 + layouts[0].num_pages
+
+    def test_shares_respected(self):
+        regions = [region("a", 0.75), region("b", 0.25)]
+        layouts = layout_regions(regions, 100)
+        assert layouts[0].num_pages == 75
+        assert layouts[1].num_pages == 25
+
+    def test_largest_remainder_does_not_dump_slack(self):
+        # 48 equal small regions + one larger: slack must spread out.
+        regions = [region(f"g{i}", 0.016) for i in range(48)]
+        regions.append(region("big", 0.232))
+        layouts = layout_regions(regions, 120)
+        sizes = [l.num_pages for l in layouts]
+        assert sum(sizes) == 120
+        assert max(sizes[:-1]) <= 3  # small regions stay small
+
+    def test_every_region_gets_a_page(self):
+        regions = [region("a", 0.999), region("b", 0.001)]
+        layouts = layout_regions(regions, 10)
+        assert all(l.num_pages >= 1 for l in layouts)
+
+    def test_footprint_too_small(self):
+        with pytest.raises(ValueError):
+            layout_regions([region("a"), region("b", 0.5)], 1)
+
+    def test_contains(self):
+        layouts = layout_regions([region("a")], 10, first_page=5)
+        assert layouts[0].contains(5)
+        assert layouts[0].contains(14)
+        assert not layouts[0].contains(15)
+        assert layouts[0].last_page == 14
+
+
+class TestGeneratorParams:
+    @pytest.mark.parametrize("kwargs", [
+        dict(target_accesses=0, mpki=1.0),
+        dict(target_accesses=10, mpki=0.0),
+        dict(target_accesses=10, mpki=1.0, phases=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorParams(**kwargs)
+
+
+def generate(regions, pages=64, accesses=5000, seed=0, mpki=10.0, phases=8):
+    gen = TraceGenerator(
+        regions, pages,
+        GeneratorParams(target_accesses=accesses, mpki=mpki, seed=seed,
+                        phases=phases),
+    )
+    return gen.generate()
+
+
+class TestTraceGenerator:
+    def test_access_count_close_to_target(self):
+        out = generate([region()], accesses=5000)
+        assert len(out.trace) == pytest.approx(5000, rel=0.02)
+
+    def test_addresses_within_footprint(self):
+        out = generate([region()], pages=64)
+        assert out.trace.pages.max() < 64
+
+    def test_write_fraction_tracks_spec(self):
+        out = generate([region(wf=0.4)], accesses=20000)
+        measured = out.trace.is_write.mean()
+        assert measured == pytest.approx(0.4, abs=0.05)
+
+    def test_read_only_region_has_no_writes(self):
+        out = generate([region(wf=0.0)], accesses=5000)
+        assert out.trace.is_write.sum() == 0
+
+    def test_times_sorted_in_window(self):
+        out = generate([region()])
+        assert np.all(np.diff(out.times) >= 0)
+        assert out.times.min() >= 0.0
+        assert out.times.max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = generate([region()], seed=3)
+        b = generate([region()], seed=3)
+        assert np.array_equal(a.trace.address, b.trace.address)
+        assert np.array_equal(a.times, b.times)
+
+    def test_different_seeds_differ(self):
+        a = generate([region()], seed=1)
+        b = generate([region()], seed=2)
+        assert not np.array_equal(a.trace.address, b.trace.address)
+
+    def test_mpki_tracks_spec(self):
+        out = generate([region()], accesses=20000, mpki=8.0)
+        assert out.trace.mpki() == pytest.approx(8.0, rel=0.1)
+
+    def test_lines_touched_limit(self):
+        spec = RegionSpec(name="r", footprint_share=1.0, hotness=1.0,
+                          write_frac=0.3, read_spread=0.5, lines_touched=4)
+        out = generate([spec], pages=8, accesses=4000)
+        lines_in_page = out.trace.lines % LINES_PER_PAGE
+        per_page = {}
+        for page, line in zip(out.trace.pages, lines_in_page):
+            per_page.setdefault(int(page), set()).add(int(line))
+        assert max(len(s) for s in per_page.values()) <= 4
+
+    def test_hot_region_gets_more_traffic(self):
+        out = generate(
+            [region("hot", 0.5, hot=10.0), region("cold", 0.5, hot=0.1)],
+            pages=100, accesses=20000,
+        )
+        hot_layout, cold_layout = out.layouts
+        pages = out.trace.pages
+        hot_count = ((pages >= hot_layout.first_page)
+                     & (pages <= hot_layout.last_page)).sum()
+        assert hot_count > 0.8 * len(pages)
+
+    def test_bursty_pages_concentrate_in_phase(self):
+        out = generate([region(churn=1.0)], pages=32, accesses=8000, phases=8)
+        pages = out.trace.pages
+        times = out.times
+        spans = []
+        for p in np.unique(pages):
+            t = times[pages == p]
+            spans.append(t.max() - t.min())
+        # All pages bursty: activity confined to ~1/8 of the window.
+        assert np.median(spans) < 0.2
+
+    def test_zero_churn_spans_window(self):
+        out = generate([region(churn=0.0)], pages=16, accesses=8000)
+        pages, times = out.trace.pages, out.times
+        spans = [np.ptp(times[pages == p]) for p in np.unique(pages)]
+        assert np.median(spans) > 0.6
+
+
+class TestInterleaveCores:
+    def test_merged_sorted_by_time(self):
+        a = generate([region()], seed=1)
+        b = generate([region()], seed=2)
+        merged, times = interleave_cores([a, b])
+        assert len(merged) == len(a.trace) + len(b.trace)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_core_ids_assigned_by_position(self):
+        a = generate([region()], seed=1)
+        b = generate([region()], seed=2)
+        merged, _ = interleave_cores([a, b])
+        assert set(np.unique(merged.core)) == {0, 1}
+
+    def test_empty(self):
+        merged, times = interleave_cores([])
+        assert len(merged) == 0
+        assert len(times) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    wf=st.floats(min_value=0.0, max_value=1.0),
+    spread=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_generator_invariants(wf, spread, seed):
+    """Every generated trace is sorted, in-footprint, and near target."""
+    out = generate([region(wf=wf, spread=spread)], pages=32,
+                   accesses=2000, seed=seed)
+    assert np.all(np.diff(out.times) >= 0)
+    assert out.trace.pages.max() < 32
+    assert len(out.trace) == pytest.approx(2000, rel=0.05)
+    measured_wf = out.trace.is_write.mean()
+    assert measured_wf == pytest.approx(wf, abs=0.08)

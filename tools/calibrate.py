@@ -1,0 +1,46 @@
+"""Calibration report: per-benchmark AVF / quadrant / correlation stats.
+
+Run while tuning ``repro.trace.workloads`` profiles against the
+paper's published per-workload quantities.
+"""
+
+import sys
+
+from repro.avf.heuristics import (
+    hotness_avf_correlation,
+    write_ratio_avf_correlation,
+)
+from repro.core.quadrant import quadrant_split
+from repro.sim.system import prepare_workload
+from repro.trace.mixes import MIX_NAMES
+from repro.trace.workloads import HOMOGENEOUS_BENCHMARKS, Workload
+
+TARGET_AVF = {
+    "astar": 1.7, "bzip": 2.5, "gcc": 3.5, "deaIII": 4.0, "omnetpp": 5.0,
+    "sphinx": 5.5, "xsbench": 7.0, "lulesh": 8.0, "soplex": 10.0,
+    "libquantum": 12.0, "leslie3d": 13.0, "GemsFDTD": 15.0, "bwaves": 16.0,
+    "mcf": 18.0, "cactusADM": 19.0, "lbm": 21.0, "milc": 22.5,
+}
+
+
+def report(name):
+    workload = Workload.mix(name) if name.startswith("mix") else Workload.spec(name)
+    prep = prepare_workload(workload, accesses_per_core=20_000)
+    stats = prep.stats
+    quad = quadrant_split(stats, name)
+    target = TARGET_AVF.get(name)
+    print(
+        f"{name:12s} avf={stats.mean_avf()*100:5.1f}%"
+        f" (target {target if target else '-':>4})"
+        f" hot&low={quad.hot_low_risk_fraction*100:5.1f}%"
+        f" rho(h,avf)={hotness_avf_correlation(stats):+.2f}"
+        f" rho(wr,avf)={write_ratio_avf_correlation(stats):+.2f}"
+        f" mpki={prep.workload_trace.trace.mpki():5.1f}"
+        f" pages={stats.footprint_pages}"
+    )
+
+
+if __name__ == "__main__":
+    names = sys.argv[1:] or list(HOMOGENEOUS_BENCHMARKS) + list(MIX_NAMES)
+    for n in names:
+        report(n)
