@@ -5,6 +5,8 @@ that the Fig. 5 headline (perf-focused placement's IPC gain and SER
 blow-up) holds for every draw with a modest coefficient of variation.
 """
 
+import os
+
 from repro.core.placement import PerformanceFocusedPlacement
 from repro.harness.replication import replicate
 from repro.harness.reporting import print_table
@@ -19,13 +21,19 @@ def ser_blowup(prep):
     return evaluate_static(prep, PerformanceFocusedPlacement()).ser_vs_ddr
 
 
+#: Same knobs as conftest.py: 0 = one worker per CPU, 1 = serial.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 def run():
     rows = []
     reps = {}
     for metric_name, metric in (("IPC gain", ipc_gain),
                                 ("SER blow-up", ser_blowup)):
         rep = replicate("mix1", metric, metric_name=metric_name,
-                        seeds=(0, 1, 2, 3, 4), accesses_per_core=8000)
+                        seeds=(0, 1, 2, 3, 4), accesses_per_core=8000,
+                        jobs=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR)
         reps[metric_name] = rep
         lo, hi = rep.confidence_interval()
         rows.append([metric_name, f"{rep.mean:.3g}", f"{rep.std:.3g}",

@@ -5,6 +5,8 @@ at 1 GB.  More capacity converges the placements' IPC while the SER
 gap persists: reliability-awareness matters at every capacity point.
 """
 
+import os
+
 from repro.harness.sweeps import capacity_sweep
 
 
@@ -13,6 +15,8 @@ def test_sweep_capacity(run_once):
         capacity_sweep,
         workloads=("mcf", "milc", "mix1"),
         fractions=(0.05, 0.1, 0.2, 0.4),
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None,
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
     )
     result.print()
     perf_ipcs = [row[1] for row in result.rows]

@@ -10,6 +10,10 @@ Environment knobs (for deeper, slower runs):
 
 * ``REPRO_BENCH_ACCESSES`` — memory accesses per core (default 8000)
 * ``REPRO_BENCH_SCALE``    — capacity scale (default 1/1024)
+* ``REPRO_BENCH_JOBS``     — worker processes for workload preparation
+  and seed replication (default 1 = serial; 0 = one per CPU)
+* ``REPRO_BENCH_CACHE_DIR`` — persist prepared workloads on disk so
+  repeated benchmark runs skip trace synthesis
 """
 
 import os
@@ -20,13 +24,19 @@ from repro.harness.experiments import WorkloadCache
 
 BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "8000"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", str(1 / 1024)))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
 def cache():
     """Prepared workloads shared by every figure benchmark."""
-    return WorkloadCache(accesses_per_core=BENCH_ACCESSES,
-                         scale=BENCH_SCALE, seed=0)
+    cache = WorkloadCache(accesses_per_core=BENCH_ACCESSES,
+                          scale=BENCH_SCALE, seed=0,
+                          cache_dir=BENCH_CACHE_DIR, jobs=BENCH_JOBS)
+    if BENCH_JOBS != 1:
+        cache.prefetch()
+    return cache
 
 
 @pytest.fixture

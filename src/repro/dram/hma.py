@@ -7,17 +7,30 @@ device.  Placement policies install an initial mapping; migration
 engines swap mappings at run time, paying the bandwidth cost of copying
 4 KB on *both* devices, as in the paper ("the cost of migrating a page
 ... is governed by the slowest memory in the system").
+
+The page table is array-backed: two dense int arrays indexed by page
+number hold the owning device and frame, so whole trace chunks can be
+translated with one fancy-indexing operation (:meth:`route_batch`,
+:meth:`service_batch`) instead of a per-request dict lookup.  Page
+numbers produced by the trace generators are compact (0..footprint),
+which keeps the arrays small; they grow geometrically on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
 
 from repro.config import LINES_PER_PAGE, SystemConfig
 from repro.dram.device import MemoryDevice
 
 #: Device ids used in page tables.
 FAST, SLOW = 0, 1
+
+#: Sentinel for "page not mapped" in the device column.
+_UNMAPPED = -1
 
 
 @dataclass
@@ -47,15 +60,35 @@ class HeterogeneousMemory:
         self._devices = (self.fast, self.slow)
         self.fast_capacity_pages = config.fast_memory.num_pages
         self.slow_capacity_pages = config.slow_memory.num_pages
-        #: page -> (device id, frame)
-        self._page_table: "dict[int, tuple[int, int]]" = {}
+        #: page -> device id (-1 = unmapped) and page -> frame, dense.
+        self._pt_device = np.full(1024, _UNMAPPED, dtype=np.int16)
+        self._pt_frame = np.zeros(1024, dtype=np.int64)
         self._free_frames: "tuple[list[int], list[int]]" = ([], [])
         self._next_frame = [0, 0]
+        self._occupancy = [0, 0]
+        #: Pages currently resident in the fast device, maintained
+        #: incrementally so residency snapshots are O(|HBM|), not
+        #: O(footprint).
+        self._fast_set: "set[int]" = set()
         self.migration_stats = MigrationStats()
         #: Pages exempt from migration (program annotations, Sec. 7).
         self.pinned: "set[int]" = set()
 
     # -- placement -----------------------------------------------------------
+
+    def _ensure_table(self, max_page: int) -> None:
+        """Grow the page-table arrays to cover ``max_page``."""
+        size = len(self._pt_device)
+        if max_page < size:
+            return
+        while size <= max_page:
+            size *= 2
+        device = np.full(size, _UNMAPPED, dtype=np.int16)
+        frame = np.zeros(size, dtype=np.int64)
+        device[: len(self._pt_device)] = self._pt_device
+        frame[: len(self._pt_frame)] = self._pt_frame
+        self._pt_device = device
+        self._pt_frame = frame
 
     def _alloc_frame(self, device: int) -> int:
         free = self._free_frames[device]
@@ -72,16 +105,25 @@ class HeterogeneousMemory:
 
     def map_page(self, page: int, device: int) -> None:
         """Install ``page`` into ``device`` (initial placement)."""
-        if page in self._page_table:
-            raise ValueError(f"page {page} already mapped")
+        page = int(page)
+        if page < 0:
+            raise ValueError("page numbers must be non-negative")
         if device not in (FAST, SLOW):
             raise ValueError("device must be FAST (0) or SLOW (1)")
-        self._page_table[page] = (device, self._alloc_frame(device))
+        self._ensure_table(page)
+        if self._pt_device[page] != _UNMAPPED:
+            raise ValueError(f"page {page} already mapped")
+        frame = self._alloc_frame(device)
+        self._pt_device[page] = device
+        self._pt_frame[page] = frame
+        self._occupancy[device] += 1
+        if device == FAST:
+            self._fast_set.add(page)
 
     def install_placement(self, fast_pages, all_pages) -> None:
         """Map ``fast_pages`` into HBM and the rest of ``all_pages``
         into DDR."""
-        fast_set = set(fast_pages)
+        fast_set = set(int(p) for p in fast_pages)
         if len(fast_set) > self.fast_capacity_pages:
             raise CapacityError(
                 f"placement has {len(fast_set)} pages for "
@@ -90,32 +132,179 @@ class HeterogeneousMemory:
         for page in all_pages:
             self.map_page(int(page), FAST if int(page) in fast_set else SLOW)
 
-    def device_of(self, page: int) -> int:
-        """Device currently holding ``page`` (maps on demand to SLOW)."""
-        entry = self._page_table.get(page)
-        if entry is None:
+    def lookup(self, page: int) -> "tuple[int, int]":
+        """``(device, frame)`` of ``page``, faulting it in on demand."""
+        page = int(page)
+        if page >= len(self._pt_device) or self._pt_device[page] == _UNMAPPED:
             # First touch of an unplaced page: it faults into DDR, like
             # the paper's default backing store.
             self.map_page(page, SLOW)
-            entry = self._page_table[page]
-        return entry[0]
+        return int(self._pt_device[page]), int(self._pt_frame[page])
+
+    def device_of(self, page: int) -> int:
+        """Device currently holding ``page`` (maps on demand to SLOW)."""
+        return self.lookup(page)[0]
+
+    def ensure_mapped(self, pages: np.ndarray) -> None:
+        """Fault in every unmapped page of ``pages`` (first-touch order).
+
+        Vectorised counterpart of the on-demand fault in
+        :meth:`lookup`: allocation order follows the first occurrence
+        of each page in ``pages``, so frame assignment is identical to
+        servicing the requests one at a time.
+        """
+        if not len(pages):
+            return
+        pages = np.asarray(pages, dtype=np.int64)
+        self._ensure_table(int(pages.max()))
+        unmapped = pages[self._pt_device[pages] == _UNMAPPED]
+        if not len(unmapped):
+            return
+        _uniq, first = np.unique(unmapped, return_index=True)
+        for page in unmapped[np.sort(first)].tolist():
+            self.map_page(page, SLOW)
 
     def pages_in(self, device: int) -> "list[int]":
-        return [p for p, (d, _f) in self._page_table.items() if d == device]
+        return np.flatnonzero(self._pt_device == device).tolist()
+
+    def page_entries(self) -> "Iterator[tuple[int, int, int]]":
+        """Iterate ``(page, device, frame)`` over every mapped page."""
+        for page in np.flatnonzero(self._pt_device != _UNMAPPED).tolist():
+            yield page, int(self._pt_device[page]), int(self._pt_frame[page])
 
     def fast_occupancy(self) -> int:
-        return sum(1 for d, _f in self._page_table.values() if d == FAST)
+        return self._occupancy[FAST]
+
+    def fast_pages_snapshot(self) -> "set[int]":
+        """A copy of the current fast-device residency set."""
+        return set(self._fast_set)
 
     # -- request service -----------------------------------------------------
 
     def service(self, page: int, line_in_page: int, arrival: float,
                 is_write: bool) -> float:
         """Serve one line request; returns its finish time in seconds."""
-        device_id = self.device_of(page)
-        _, frame = self._page_table[page]
+        device_id, frame = self.lookup(page)
         device = self._devices[device_id]
         local_line = frame * LINES_PER_PAGE + line_in_page
         return device.service(local_line, arrival, is_write)
+
+    def route_batch(
+        self, pages: np.ndarray, lines_in_page: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Translate whole request arrays through the page table.
+
+        Returns ``(device_ids, local_lines)``; unmapped pages fault
+        into DDR in first-touch order, exactly as the scalar
+        :meth:`service` path would.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        self.ensure_mapped(pages)
+        device_ids = self._pt_device[pages].astype(np.int64)
+        local_lines = (
+            self._pt_frame[pages] * LINES_PER_PAGE
+            + np.asarray(lines_in_page, dtype=np.int64)
+        )
+        return device_ids, local_lines
+
+    def service_batch(
+        self,
+        pages: np.ndarray,
+        lines_in_page: np.ndarray,
+        arrivals: np.ndarray,
+        is_write: np.ndarray,
+    ) -> np.ndarray:
+        """Serve a whole request batch; returns per-request finish times.
+
+        Equivalent to calling :meth:`service` once per request in
+        order (same timings, same device state afterwards), but the
+        address translation and channel/bank/row routing are computed
+        vectorially; only the inherently sequential bank/channel
+        busy-until resolution runs in a tight loop.
+        """
+        n = len(pages)
+        if n == 0:
+            return np.empty(0)
+        device_ids, local_lines = self.route_batch(pages, lines_in_page)
+        fast, slow = self.fast, self.slow
+        is_fast = device_ids == FAST
+        f_ch, f_bank, f_row = fast.route_arrays(local_lines)
+        s_ch, s_bank, s_row = slow.route_arrays(local_lines)
+        channel = np.where(is_fast, f_ch, s_ch)
+        bank = np.where(is_fast, f_bank, s_bank)
+        rows = np.where(is_fast, f_row, s_row).tolist()
+
+        # Flat global ids: fast banks/channels first, then slow.
+        f_bpc, s_bpc = fast.banks_per_channel, slow.banks_per_channel
+        gids = np.where(
+            is_fast,
+            channel * f_bpc + bank,
+            fast.num_banks_total + channel * s_bpc + bank,
+        ).tolist()
+        cids = np.where(is_fast, channel, fast.num_channels + channel).tolist()
+        hit_s = np.where(is_fast, fast.hit_seconds, slow.hit_seconds).tolist()
+        miss_s = np.where(is_fast, fast.miss_seconds,
+                          slow.miss_seconds).tolist()
+        conf_s = np.where(is_fast, fast.conflict_seconds,
+                          slow.conflict_seconds).tolist()
+        bursts = np.where(is_fast, fast.burst_seconds,
+                          slow.burst_seconds).tolist()
+        dev_list = device_ids.tolist()
+        arrivals_l = np.asarray(arrivals, dtype=float).tolist()
+        writes_l = np.asarray(is_write, dtype=bool).tolist()
+
+        bank_open, bank_busy, bank_hits, bank_misses, bank_conflicts = \
+            flatten_bank_state(fast, slow)
+        chan_busy = list(fast.channel_busy_until) + list(slow.channel_busy_until)
+        reads = [fast.stats.reads, slow.stats.reads]
+        writes = [fast.stats.writes, slow.stats.writes]
+        read_lat = [fast.stats.total_read_latency, slow.stats.total_read_latency]
+        busy = [fast.stats.busy_time, slow.stats.busy_time]
+
+        finishes = [0.0] * n
+        for i in range(n):
+            arrival = arrivals_l[i]
+            g = gids[i]
+            start = arrival if arrival > bank_busy[g] else bank_busy[g]
+            row = rows[i]
+            open_row = bank_open[g]
+            if open_row == row:
+                bank_hits[g] += 1
+                access_done = start + hit_s[i]
+            elif open_row < 0:
+                bank_misses[g] += 1
+                access_done = start + miss_s[i]
+            else:
+                bank_conflicts[g] += 1
+                access_done = start + conf_s[i]
+            bank_open[g] = row
+            burst = bursts[i]
+            c = cids[i]
+            burst_start = access_done - burst
+            if chan_busy[c] > burst_start:
+                burst_start = chan_busy[c]
+            finish = burst_start + burst
+            chan_busy[c] = finish
+            bank_busy[g] = finish
+            d = dev_list[i]
+            if writes_l[i]:
+                writes[d] += 1
+            else:
+                reads[d] += 1
+                read_lat[d] += finish - arrival
+            busy[d] += burst
+            finishes[i] = finish
+
+        restore_bank_state(fast, slow, bank_open, bank_busy,
+                           bank_hits, bank_misses, bank_conflicts)
+        fast.channel_busy_until = chan_busy[: fast.num_channels]
+        slow.channel_busy_until = chan_busy[fast.num_channels:]
+        for d, device in enumerate((fast, slow)):
+            device.stats.reads = reads[d]
+            device.stats.writes = writes[d]
+            device.stats.total_read_latency = read_lat[d]
+            device.stats.busy_time = busy[d]
+        return np.asarray(finishes)
 
     # -- migration -----------------------------------------------------------
 
@@ -128,20 +317,38 @@ class HeterogeneousMemory:
         """Swap page sets between devices at time ``now``.
 
         Pages in ``to_slow`` leave HBM first (freeing frames), then
-        pages in ``to_fast`` move in.  Pinned pages are skipped.  Each
+        pages in ``to_fast`` move in.  Pinned pages are skipped, as is
+        any page named in *both* directions (it would be swapped out
+        and straight back in, double-counting migration stats and copy
+        bandwidth); duplicate entries within a list count once.  Each
         moved page costs a 4 KB transfer on both devices; the method
         returns the time the migration traffic drains.
         """
-        to_slow = [p for p in to_slow if p not in self.pinned]
-        to_fast = [p for p in to_fast if p not in self.pinned]
+        pinned = self.pinned
+        to_slow = list(dict.fromkeys(
+            int(p) for p in to_slow if int(p) not in pinned
+        ))
+        to_fast = list(dict.fromkeys(
+            int(p) for p in to_fast if int(p) not in pinned
+        ))
+        both = set(to_fast) & set(to_slow)
+        if both:
+            to_slow = [p for p in to_slow if p not in both]
+            to_fast = [p for p in to_fast if p not in both]
 
+        pt_device, pt_frame = self._pt_device, self._pt_frame
+        table_size = len(pt_device)
         moved = 0
         for page in to_slow:
-            entry = self._page_table.get(page)
-            if entry is None or entry[0] != FAST:
+            if page >= table_size or pt_device[page] != FAST:
                 continue
-            self._free_frames[FAST].append(entry[1])
-            self._page_table[page] = (SLOW, self._alloc_frame(SLOW))
+            self._free_frames[FAST].append(int(pt_frame[page]))
+            frame = self._alloc_frame(SLOW)
+            pt_device[page] = SLOW
+            pt_frame[page] = frame
+            self._occupancy[FAST] -= 1
+            self._occupancy[SLOW] += 1
+            self._fast_set.discard(page)
             self.migration_stats.migrations_to_slow += 1
             moved += 1
 
@@ -152,12 +359,25 @@ class HeterogeneousMemory:
         for page in to_fast:
             if free_fast <= 0:
                 break
-            entry = self._page_table.get(page)
-            if entry is not None and entry[0] == FAST:
+            mapped = page < table_size and pt_device[page] != _UNMAPPED
+            if mapped and pt_device[page] == FAST:
                 continue
-            if entry is not None:
-                self._free_frames[SLOW].append(entry[1])
-            self._page_table[page] = (FAST, self._alloc_frame(FAST))
+            if mapped:
+                self._free_frames[SLOW].append(int(pt_frame[page]))
+                frame = self._alloc_frame(FAST)
+                pt_device[page] = FAST
+                pt_frame[page] = frame
+                self._occupancy[SLOW] -= 1
+                self._occupancy[FAST] += 1
+            else:
+                self._ensure_table(page)
+                pt_device, pt_frame = self._pt_device, self._pt_frame
+                table_size = len(pt_device)
+                frame = self._alloc_frame(FAST)
+                pt_device[page] = FAST
+                pt_frame[page] = frame
+                self._occupancy[FAST] += 1
+            self._fast_set.add(page)
             self.migration_stats.migrations_to_fast += 1
             free_fast -= 1
             moved += 1
@@ -174,3 +394,42 @@ class HeterogeneousMemory:
     def pin(self, pages) -> None:
         """Mark pages as immune to migration (program annotations)."""
         self.pinned.update(int(p) for p in pages)
+
+
+def flatten_bank_state(fast: MemoryDevice, slow: MemoryDevice):
+    """Flatten both devices' bank state into parallel lists.
+
+    Global bank order matches the gid computation: all fast banks
+    (channel-major) first, then all slow banks.
+    """
+    bank_open: "list[int]" = []
+    bank_busy: "list[float]" = []
+    hits: "list[int]" = []
+    misses: "list[int]" = []
+    conflicts: "list[int]" = []
+    for device in (fast, slow):
+        for channel_banks in device.banks:
+            for bank in channel_banks:
+                state = bank.state
+                bank_open.append(-1 if state.open_row is None
+                                 else state.open_row)
+                bank_busy.append(state.busy_until)
+                hits.append(bank.row_hits)
+                misses.append(bank.row_misses)
+                conflicts.append(bank.row_conflicts)
+    return bank_open, bank_busy, hits, misses, conflicts
+
+
+def restore_bank_state(fast, slow, bank_open, bank_busy, hits, misses,
+                       conflicts) -> None:
+    """Write flattened bank state back into the device objects."""
+    i = 0
+    for device in (fast, slow):
+        for channel_banks in device.banks:
+            for bank in channel_banks:
+                bank.state.open_row = None if bank_open[i] < 0 else bank_open[i]
+                bank.state.busy_until = bank_busy[i]
+                bank.row_hits = hits[i]
+                bank.row_misses = misses[i]
+                bank.row_conflicts = conflicts[i]
+                i += 1

@@ -4,7 +4,7 @@ Usage::
 
     repro-hma list
     repro-hma run fig05 [--accesses 20000] [--scale 0.0009765625]
-    repro-hma run all
+    repro-hma run all --jobs 0 --cache-dir ~/.cache/repro-hma
 """
 
 from __future__ import annotations
@@ -49,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--accesses", type=int, default=20_000)
     export.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     export.add_argument("--seed", type=int, default=0)
+    _add_runner_args(export)
 
     scatter = sub.add_parser(
         "scatter", help="ASCII hotness-risk scatter (Fig. 4) of a workload"
@@ -67,7 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                      help="capacity/footprint scale (default 1/1024)")
     run.add_argument("--seed", type=int, default=0)
+    _add_runner_args(run)
     return parser
+
+
+def _add_runner_args(sub) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for experiment fan-out (default 1 = "
+             "serial; 0 = one per CPU; env REPRO_JOBS)")
+    sub.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist prepared workloads (traces, profiles, baselines) "
+             "to DIR so repeated runs skip trace synthesis "
+             "(env REPRO_CACHE_DIR)")
 
 
 def _run_one(name: str, cache: WorkloadCache) -> None:
@@ -145,7 +159,11 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.harness.export import export_all
 
         cache = WorkloadCache(accesses_per_core=args.accesses,
-                              scale=args.scale, seed=args.seed)
+                              scale=args.scale, seed=args.seed,
+                              cache_dir=args.cache_dir,
+                              jobs=_effective_jobs(args))
+        if _effective_jobs(args) != 1:
+            cache.prefetch()
         written = export_all(args.directory, cache=cache,
                              experiments=args.experiments, fmt=args.format)
         print(f"wrote {len(written)} files to {args.directory}")
@@ -156,12 +174,28 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"unknown experiment {name!r}; try 'repro-hma list'",
               file=sys.stderr)
         return 2
-    cache = WorkloadCache(accesses_per_core=args.accesses, scale=args.scale,
-                          seed=args.seed)
+    jobs = _effective_jobs(args)
     targets = list(EXPERIMENTS) if name == "all" else [name]
+    if jobs != 1 and len(targets) > 1:
+        from repro.harness.runner import run_experiments
+
+        for _target, result in run_experiments(
+                targets, accesses_per_core=args.accesses, scale=args.scale,
+                seed=args.seed, cache_dir=args.cache_dir, jobs=jobs):
+            result.print()
+        return 0
+    cache = WorkloadCache(accesses_per_core=args.accesses, scale=args.scale,
+                          seed=args.seed, cache_dir=args.cache_dir, jobs=jobs)
+    if jobs != 1:
+        cache.prefetch()
     for target in targets:
         _run_one(target, cache)
     return 0
+
+
+def _effective_jobs(args) -> "int | None":
+    """CLI jobs flag: 0 means "one per CPU" (i.e. let the runner pick)."""
+    return None if args.jobs == 0 else args.jobs
 
 
 if __name__ == "__main__":

@@ -92,30 +92,61 @@ class FigureResult:
 
 
 class WorkloadCache:
-    """Prepared-workload cache shared across experiment functions."""
+    """Prepared-workload cache shared across experiment functions.
+
+    ``cache_dir`` adds a persistent on-disk layer underneath the
+    in-memory dict (see :mod:`repro.harness.runner`), and
+    :meth:`prefetch` warms both layers for a workload list across
+    ``jobs`` processes.
+    """
 
     def __init__(
         self,
         accesses_per_core: int = DEFAULT_ACCESSES,
         scale: float = DEFAULT_SCALE,
         seed: int = 0,
+        cache_dir: "str | None" = None,
+        jobs: "int | None" = None,
     ) -> None:
         self.accesses_per_core = accesses_per_core
         self.scale = scale
         self.seed = seed
+        self.cache_dir = cache_dir
+        self.jobs = jobs
         self._ser_model = SerModel.for_system(scaled_config(scale))
         self._cache: "dict[str, PreparedWorkload]" = {}
 
     def get(self, name: str) -> PreparedWorkload:
         if name not in self._cache:
-            self._cache[name] = prepare_workload(
+            from repro.harness.runner import prepare_workload_cached
+
+            self._cache[name] = prepare_workload_cached(
                 name,
                 scale=self.scale,
                 accesses_per_core=self.accesses_per_core,
                 seed=self.seed,
                 ser_model=self._ser_model,
+                cache_dir=self.cache_dir,
             )
         return self._cache[name]
+
+    def prefetch(self, names=ALL_WORKLOADS, jobs: "int | None" = None
+                 ) -> "WorkloadCache":
+        """Prepare ``names`` across processes and absorb the results."""
+        from repro.harness.runner import prefetch_workloads
+
+        missing = [n for n in names if n not in self._cache]
+        if missing:
+            self._cache.update(prefetch_workloads(
+                missing,
+                scale=self.scale,
+                accesses_per_core=self.accesses_per_core,
+                seed=self.seed,
+                ser_model=self._ser_model,
+                cache_dir=self.cache_dir,
+                jobs=self.jobs if jobs is None else jobs,
+            ))
+        return self
 
 
 def _cache(cache, accesses_per_core, scale, seed) -> WorkloadCache:

@@ -15,7 +15,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.sim.system import DEFAULT_SCALE, PreparedWorkload, prepare_workload
+from repro.sim.system import DEFAULT_SCALE, PreparedWorkload
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,16 @@ class Replication:
                 f"(95% CI [{lo:.3g}, {hi:.3g}], n={self.n})")
 
 
+def _replicate_seed(item) -> float:
+    workload, metric, scale, accesses_per_core, seed, cache_dir = item
+    from repro.harness.runner import prepare_workload_cached
+
+    prep = prepare_workload_cached(workload, scale=scale,
+                                   accesses_per_core=accesses_per_core,
+                                   seed=seed, cache_dir=cache_dir)
+    return float(metric(prep))
+
+
 def replicate(
     workload: str,
     metric: "Callable[[PreparedWorkload], float]",
@@ -60,14 +70,21 @@ def replicate(
     seeds=(0, 1, 2, 3, 4),
     scale: float = DEFAULT_SCALE,
     accesses_per_core: int = 10_000,
+    jobs: "int | None" = 1,
+    cache_dir: "str | None" = None,
 ) -> Replication:
-    """Evaluate ``metric`` on fresh workload draws, one per seed."""
+    """Evaluate ``metric`` on fresh workload draws, one per seed.
+
+    ``jobs`` fans the seeds out across processes (``metric`` must then
+    be a module-level callable so the workers can unpickle it); the
+    default of 1 keeps the historical serial behaviour.  ``jobs=None``
+    defers to ``REPRO_JOBS``/CPU count.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = []
-    for seed in seeds:
-        prep = prepare_workload(workload, scale=scale,
-                                accesses_per_core=accesses_per_core,
-                                seed=seed)
-        values.append(float(metric(prep)))
+    from repro.harness.runner import parallel_map
+
+    items = [(workload, metric, scale, accesses_per_core, seed, cache_dir)
+             for seed in seeds]
+    values = parallel_map(_replicate_seed, items, jobs=jobs)
     return Replication(metric=metric_name, values=tuple(values))

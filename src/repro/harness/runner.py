@@ -1,0 +1,265 @@
+"""Parallel experiment fan-out and on-disk workload caching.
+
+The expensive part of every figure run is :func:`prepare_workload`:
+trace synthesis, flat-memory profiling, and the all-DDR baseline
+replay.  All of it is deterministic in ``(workload, scale,
+accesses_per_core, seed, config)``, so this module adds two
+orthogonal accelerators used by ``experiments.py``, ``sweeps.py``,
+``replication.py``, and the ``benchmarks/`` harness:
+
+* :func:`prepare_workload_cached` — a pickle cache on disk keyed by a
+  digest of the preparation inputs (including a hash of the system
+  config), so repeated figure runs skip synthesis entirely.  Writes
+  are atomic (`os.replace`), so concurrent workers racing on the same
+  key are safe.
+* :func:`parallel_map` — an order-preserving ``ProcessPoolExecutor``
+  map with a ``fork`` start method, so worker functions defined in
+  non-importable modules (pytest benchmark files) still unpickle in
+  the children.  ``jobs <= 1`` or an unavailable ``fork`` degrades to
+  a serial in-process loop with identical semantics.
+
+On top of those, :func:`prefetch_workloads` warms a cache directory
+for a whole workload list across cores, and :func:`run_experiments`
+fans complete experiment ids (``fig05``, ``table2``, ...) out across
+processes.
+
+Environment knobs (CLI flags take precedence where both exist):
+
+* ``REPRO_JOBS`` — default worker count for ``parallel_map``
+* ``REPRO_CACHE_DIR`` — default on-disk cache directory
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from repro.config import scaled_config
+from repro.sim.system import DEFAULT_SCALE, PreparedWorkload, prepare_workload
+
+#: Bump to invalidate every on-disk entry when the pickle layout changes.
+CACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Worker-count / cache-dir resolution
+# ---------------------------------------------------------------------------
+
+def resolve_jobs(jobs: "int | None" = None) -> int:
+    """Worker count: explicit argument, ``REPRO_JOBS``, else CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            jobs = int(env)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def resolve_cache_dir(cache_dir: "str | None" = None) -> "str | None":
+    """Cache directory: explicit argument else ``REPRO_CACHE_DIR``."""
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return cache_dir
+
+
+# ---------------------------------------------------------------------------
+# On-disk PreparedWorkload cache
+# ---------------------------------------------------------------------------
+
+def workload_cache_key(
+    workload: str,
+    scale: float,
+    accesses_per_core: int,
+    seed: int,
+    config=None,
+    ser_model=None,
+) -> str:
+    """Digest of everything :func:`prepare_workload` depends on.
+
+    ``config`` and ``ser_model`` are dataclasses with value-style
+    ``repr``; hashing the repr keys the cache on the full parameter
+    set without inventing a parallel serialisation.
+    """
+    payload = "|".join([
+        f"v{CACHE_VERSION}",
+        str(workload),
+        repr(float(scale)),
+        str(int(accesses_per_core)),
+        str(int(seed)),
+        repr(config),
+        repr(ser_model),
+    ])
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"prep-{key}.pkl")
+
+
+def _load_pickle(path: str):
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError):
+        return None  # missing, truncated, or stale-format entry
+
+
+def _store_pickle(path: str, obj) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: racing writers both win
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def prepare_workload_cached(
+    workload: str,
+    scale: float = DEFAULT_SCALE,
+    accesses_per_core: int = 20_000,
+    seed: int = 0,
+    ser_model=None,
+    cache_dir: "str | None" = None,
+) -> PreparedWorkload:
+    """:func:`prepare_workload` behind an on-disk pickle cache.
+
+    With no cache directory (argument or ``REPRO_CACHE_DIR``) this is
+    a plain pass-through.  Corrupt or stale entries regenerate.
+    """
+    cache_dir = resolve_cache_dir(cache_dir)
+    if cache_dir is None:
+        return prepare_workload(
+            workload, scale=scale, accesses_per_core=accesses_per_core,
+            seed=seed, ser_model=ser_model,
+        )
+    key = workload_cache_key(workload, scale, accesses_per_core, seed,
+                             config=scaled_config(scale),
+                             ser_model=ser_model)
+    path = _cache_path(cache_dir, key)
+    prep = _load_pickle(path)
+    if isinstance(prep, PreparedWorkload):
+        return prep
+    prep = prepare_workload(
+        workload, scale=scale, accesses_per_core=accesses_per_core,
+        seed=seed, ser_model=ser_model,
+    )
+    _store_pickle(path, prep)
+    return prep
+
+
+# ---------------------------------------------------------------------------
+# Process-pool map
+# ---------------------------------------------------------------------------
+
+def _fork_context():
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return None
+
+
+def parallel_map(
+    func: Callable,
+    items: Iterable,
+    jobs: "int | None" = None,
+) -> list:
+    """Order-preserving map over a process pool.
+
+    Serial fallback when ``jobs <= 1``, when there is at most one
+    item, or when the platform has no ``fork`` start method (forking
+    is what lets workers unpickle functions from pytest-collected
+    modules).  Worker exceptions propagate to the caller either way.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items))
+    context = _fork_context()
+    if jobs <= 1 or context is None:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        return list(pool.map(func, items))
+
+
+# ---------------------------------------------------------------------------
+# Workload prefetch (ALL_WORKLOADS x one parameter set)
+# ---------------------------------------------------------------------------
+
+def _prefetch_one(item) -> "tuple[str, PreparedWorkload]":
+    name, scale, accesses, seed, ser_model, cache_dir = item
+    prep = prepare_workload_cached(
+        name, scale=scale, accesses_per_core=accesses, seed=seed,
+        ser_model=ser_model, cache_dir=cache_dir,
+    )
+    return name, prep
+
+
+def prefetch_workloads(
+    names: Sequence[str],
+    scale: float = DEFAULT_SCALE,
+    accesses_per_core: int = 20_000,
+    seed: int = 0,
+    ser_model=None,
+    cache_dir: "str | None" = None,
+    jobs: "int | None" = None,
+) -> "dict[str, PreparedWorkload]":
+    """Prepare many workloads across cores; returns ``{name: prep}``.
+
+    With a cache directory, the children also warm it on disk so the
+    work is never repeated in later runs.
+    """
+    cache_dir = resolve_cache_dir(cache_dir)
+    items = [(name, scale, accesses_per_core, seed, ser_model, cache_dir)
+             for name in names]
+    return dict(parallel_map(_prefetch_one, items, jobs=jobs))
+
+
+# ---------------------------------------------------------------------------
+# Whole-experiment fan-out (for the CLI and export harness)
+# ---------------------------------------------------------------------------
+
+def _run_experiment_worker(item):
+    import inspect
+
+    name, accesses, scale, seed, cache_dir = item
+    # Imported lazily so forked workers reuse the parent's modules and
+    # fresh processes pay the import only once each.
+    from repro.harness.experiments import EXPERIMENTS, WorkloadCache
+
+    cache = WorkloadCache(accesses_per_core=accesses, scale=scale,
+                          seed=seed, cache_dir=cache_dir)
+    func = EXPERIMENTS[name]
+    kwargs = {}
+    if "cache" in inspect.signature(func).parameters:
+        kwargs["cache"] = cache
+    return name, func(**kwargs)
+
+
+def run_experiments(
+    names: Sequence[str],
+    accesses_per_core: int = 20_000,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    cache_dir: "str | None" = None,
+    jobs: "int | None" = None,
+) -> "list[tuple[str, object]]":
+    """Run experiment ids across cores; ``[(name, FigureResult)]``.
+
+    Results come back in the order of ``names``.  Experiments that
+    share workloads benefit from ``cache_dir``: the first worker to
+    prepare a workload persists it for every other worker and run.
+    """
+    cache_dir = resolve_cache_dir(cache_dir)
+    items = [(name, accesses_per_core, scale, seed, cache_dir)
+             for name in names]
+    return parallel_map(_run_experiment_worker, items, jobs=jobs)

@@ -40,20 +40,24 @@ def capacity_sweep(
     scale: float = 1 / 1024,
     accesses_per_core: int = 10_000,
     seed: int = 0,
+    jobs: "int | None" = 1,
+    cache_dir: "str | None" = None,
 ) -> FigureResult:
     """Sweep HBM capacity as a fraction of the workload footprint.
 
     As capacity grows, the performance-focused and reliability-aware
     placements converge in IPC (everything hot fits) while their SER
     gap narrows much more slowly — vulnerable data keeps flowing into
-    the weak memory.
+    the weak memory.  ``jobs``/``cache_dir`` parallelise and persist
+    the workload preparation (see :mod:`repro.harness.runner`).
     """
+    from repro.harness.runner import prefetch_workloads
+
     rows = []
-    preps = {
-        wl: prepare_workload(wl, scale=scale,
-                             accesses_per_core=accesses_per_core, seed=seed)
-        for wl in workloads
-    }
+    preps = prefetch_workloads(
+        workloads, scale=scale, accesses_per_core=accesses_per_core,
+        seed=seed, cache_dir=cache_dir, jobs=jobs,
+    )
     for fraction in fractions:
         perf_i, perf_s, wr2_i, wr2_s = [], [], [], []
         for wl, prep in preps.items():

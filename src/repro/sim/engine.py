@@ -8,15 +8,44 @@ boundaries.  Interval boundaries are expressed in the trace's logical
 time (the generator's ``[0, 1)`` window); migration bandwidth is
 charged to both devices at the boundary, so migration-heavy intervals
 slow subsequent requests down — the paper's migration cost model.
+
+Two kernels implement the same timing model:
+
+* ``scalar`` — the original per-request call chain
+  (``hma.service`` → ``MemoryDevice.service`` → ``Bank.service``).
+  It is the reference oracle: slow, but written directly against the
+  component models.
+* ``batched`` (default) — page-table translation and channel/bank/row
+  routing are computed for a whole chunk with NumPy, and only the
+  inherently sequential core/bank/channel busy-until resolution runs
+  in a tight fused loop over flat lists.  The arithmetic mirrors the
+  scalar path operation for operation, so both kernels produce
+  bit-identical :class:`~repro.sim.results.ReplayResult` timings
+  (enforced by ``tests/sim/test_parity.py``).
+
+The kernel is selected with the ``kernel`` argument or the
+``REPRO_REPLAY_KERNEL`` environment variable; memory models that lack
+the batch API (e.g. the DRAM-cache foil) automatically fall back to
+the scalar kernel.
 """
 
 from __future__ import annotations
+
+import os
+from collections import deque
 
 import numpy as np
 
 from repro.config import LINE_SIZE, PAGE_SIZE, SystemConfig
 from repro.core.migration import MigrationMechanism
-from repro.dram.hma import FAST, HeterogeneousMemory
+from repro.sim import _ckernel
+from repro.dram.device import LINES_PER_ROW
+from repro.dram.hma import (
+    FAST,
+    HeterogeneousMemory,
+    flatten_bank_state,
+    restore_bank_state,
+)
 from repro.sim.cpu import ReplayCore
 from repro.sim.results import DeviceUtilisation, ReplayResult
 from repro.trace.record import Trace
@@ -29,6 +58,111 @@ def interval_boundaries(num_intervals: int) -> np.ndarray:
     return np.arange(1, num_intervals) / num_intervals
 
 
+#: Recognised values for ``replay(..., kernel=)`` and
+#: ``REPRO_REPLAY_KERNEL``.  Plain ``"batched"`` auto-selects the
+#: compiled loop when a C compiler is available, else the pure-Python
+#: fused loop; the explicit variants pin one implementation.
+KERNELS = ("batched", "scalar", "batched-native", "batched-python")
+
+
+def _resolve_kernel(kernel: "str | None", hma) -> str:
+    """Pick the replay kernel for this run."""
+    supported = (
+        hasattr(hma, "route_batch") and hasattr(hma, "fast_pages_snapshot")
+    )
+    if kernel is None:
+        kernel = os.environ.get("REPRO_REPLAY_KERNEL") or None
+    if kernel is None:
+        if not supported:
+            return "scalar"
+        kernel = "batched"
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}")
+    if kernel == "scalar":
+        return kernel
+    if not supported:
+        raise ValueError(
+            f"{type(hma).__name__} does not expose the batch API; "
+            "use kernel='scalar'"
+        )
+    if kernel == "batched":
+        return "batched-native" if _ckernel.available() else "batched-python"
+    if kernel == "batched-native" and not _ckernel.available():
+        raise RuntimeError(
+            "compiled replay kernel unavailable (no C compiler, build "
+            "failure, or REPRO_REPLAY_NATIVE=0)"
+        )
+    return kernel
+
+
+def _residency_snapshot(hma) -> "set[int]":
+    if hasattr(hma, "fast_pages_snapshot"):
+        return hma.fast_pages_snapshot()
+    return set(hma.pages_in(FAST))
+
+
+def _plan_migration(
+    mechanism: MigrationMechanism, hma, chunk: int, sub: int
+) -> "tuple[list[int], list[int]]":
+    """The (to_fast, to_slow) plan at the end of ``chunk``."""
+    is_fc_boundary = (chunk + 1) % sub == 0
+    if is_fc_boundary:
+        to_fast, to_slow = mechanism.plan(hma)
+        # Mechanisms that defer actual movement to the fine
+        # unit still get their sub-plan run at this boundary.
+        sub_fast, sub_slow = mechanism.plan_sub(hma) if sub > 1 else ([], [])
+        return list(to_fast) + list(sub_fast), list(to_slow) + list(sub_slow)
+    to_fast, to_slow = mechanism.plan_sub(hma)
+    return list(to_fast), list(to_slow)
+
+
+def _build_result(
+    config: SystemConfig,
+    hma,
+    trace: Trace,
+    final: float,
+    core_times: "list[float]",
+    read_latency_total: float,
+    read_count: int,
+    residency: "list[set[int]]",
+    bounds: np.ndarray,
+) -> ReplayResult:
+    core_instructions = [0] * config.num_cores
+    core_ids_all = trace.core
+    gaps_all = trace.gap
+    for c in range(config.num_cores):
+        sel = core_ids_all == c
+        core_instructions[c] = int(gaps_all[sel].sum()) + int(sel.sum())
+    per_core_ipc = [
+        (core_instructions[c]
+         / (core_times[c] * config.core.frequency_hz))
+        if core_times[c] > 0 else 0.0
+        for c in range(config.num_cores)
+    ]
+    utilisation = [
+        DeviceUtilisation(
+            name=device.config.name,
+            reads=device.stats.reads,
+            writes=device.stats.writes,
+            busy_time=device.stats.busy_time,
+            total_seconds=final * device.num_channels,
+        )
+        for device in (hma.fast, hma.slow)
+    ]
+    return ReplayResult(
+        instructions=trace.total_instructions,
+        requests=len(trace),
+        total_seconds=final,
+        core_frequency_hz=config.core.frequency_hz,
+        mean_read_latency=read_latency_total / read_count if read_count else 0.0,
+        migrations=hma.migration_stats,
+        fast_residency=residency,
+        interval_boundaries=bounds,
+        device_utilisation=utilisation,
+        per_core_ipc=per_core_ipc,
+    )
+
+
 def replay(
     config: SystemConfig,
     hma: HeterogeneousMemory,
@@ -37,6 +171,7 @@ def replay(
     mechanism: "MigrationMechanism | None" = None,
     num_intervals: int = 1,
     core_windows: "list[int] | None" = None,
+    kernel: "str | None" = None,
 ) -> ReplayResult:
     """Replay ``trace`` through ``hma``; returns timing results.
 
@@ -44,8 +179,12 @@ def replay(
     ``num_intervals > 1`` so interval boundaries can be located.  The
     residency of fast memory is snapshotted at the start of every
     sub-interval for dynamic SER accounting.  ``core_windows`` gives
-    each core its workload's MLP-limited miss window.
+    each core its workload's MLP-limited miss window.  ``kernel``
+    selects the replay implementation (``"batched"`` or ``"scalar"``,
+    default: batched whenever ``hma`` supports it); both produce
+    identical results.
     """
+    kernel = _resolve_kernel(kernel, hma)
     sub = mechanism.subintervals_per_interval if mechanism else 1
     total_chunks = num_intervals * sub
     if total_chunks > 1:
@@ -61,6 +200,24 @@ def replay(
 
     if core_windows is not None and len(core_windows) != config.num_cores:
         raise ValueError("core_windows must have one entry per core")
+
+    args = (config, hma, trace, times, mechanism, core_windows,
+            starts, stops, bounds, total_chunks, sub)
+    if kernel == "scalar":
+        return _replay_scalar(*args)
+    if kernel == "batched-native":
+        return _replay_batched_native(*args)
+    return _replay_batched(*args)
+
+
+# ---------------------------------------------------------------------------
+# Scalar kernel (the reference oracle)
+# ---------------------------------------------------------------------------
+
+def _replay_scalar(
+    config, hma, trace, times, mechanism, core_windows,
+    starts, stops, bounds, total_chunks, sub,
+) -> ReplayResult:
     cores = [
         ReplayCore(
             config.core,
@@ -76,7 +233,7 @@ def replay(
     read_count = 0
 
     for chunk, (start, stop) in enumerate(zip(starts, stops)):
-        residency.append(set(hma.pages_in(FAST)))
+        residency.append(_residency_snapshot(hma))
 
         chunk_pages = pages_arr[start:stop]
         chunk_writes = trace.is_write[start:stop]
@@ -113,51 +270,436 @@ def replay(
         # -- migration at the boundary --
         if mechanism is not None and chunk < total_chunks - 1:
             now = max(c.time for c in cores)
-            is_fc_boundary = (chunk + 1) % sub == 0
-            if is_fc_boundary:
-                to_fast, to_slow = mechanism.plan(hma)
-                # Mechanisms that defer actual movement to the fine
-                # unit still get their sub-plan run at this boundary.
-                sub_fast, sub_slow = mechanism.plan_sub(hma) if sub > 1 else ([], [])
-                to_fast = list(to_fast) + list(sub_fast)
-                to_slow = list(to_slow) + list(sub_slow)
-            else:
-                to_fast, to_slow = mechanism.plan_sub(hma)
+            to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
             if to_fast or to_slow:
                 hma.migrate_pairs(to_fast, to_slow, now)
 
     final = max(core.drain() for core in cores) if cores else 0.0
-    core_instructions = [0] * config.num_cores
-    core_ids_all = trace.core
-    gaps_all = trace.gap
-    for c in range(config.num_cores):
-        sel = core_ids_all == c
-        core_instructions[c] = int(gaps_all[sel].sum()) + int(sel.sum())
-    per_core_ipc = [
-        (core_instructions[c]
-         / (cores[c].time * config.core.frequency_hz))
-        if cores[c].time > 0 else 0.0
-        for c in range(config.num_cores)
-    ]
-    utilisation = [
-        DeviceUtilisation(
-            name=device.config.name,
-            reads=device.stats.reads,
-            writes=device.stats.writes,
-            busy_time=device.stats.busy_time,
-            total_seconds=final * device.num_channels,
-        )
-        for device in (hma.fast, hma.slow)
-    ]
-    return ReplayResult(
-        instructions=trace.total_instructions,
-        requests=len(trace),
-        total_seconds=final,
-        core_frequency_hz=config.core.frequency_hz,
-        mean_read_latency=read_latency_total / read_count if read_count else 0.0,
-        migrations=hma.migration_stats,
-        fast_residency=residency,
-        interval_boundaries=bounds,
-        device_utilisation=utilisation,
-        per_core_ipc=per_core_ipc,
+    return _build_result(
+        config, hma, trace, final, [core.time for core in cores],
+        read_latency_total, read_count, residency, bounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel
+# ---------------------------------------------------------------------------
+
+def _route_chunk(hma, chunk_pages, chunk_lines, f_nc, s_nc, f_bpc, s_bpc,
+                 n_fast_banks):
+    """Vectorised translation + routing for one chunk.
+
+    Returns ``(dev, is_fast, gid, cid, row)`` arrays where ``gid`` is a
+    global bank id (fast banks channel-major first, then slow) and
+    ``cid`` a global channel id, matching :func:`flatten_bank_state`.
+    """
+    dev, local = hma.route_batch(chunk_pages, chunk_lines)
+    is_fast = dev == FAST
+    channel = np.where(is_fast, local % f_nc, local % s_nc)
+    row_global = np.where(is_fast, local // f_nc, local // s_nc) \
+        // LINES_PER_ROW
+    bank = np.where(is_fast, row_global % f_bpc, row_global % s_bpc)
+    row = np.where(is_fast, row_global // f_bpc, row_global // s_bpc)
+    gid = np.where(
+        is_fast,
+        channel * f_bpc + bank,
+        n_fast_banks + channel * s_bpc + bank,
+    )
+    cid = np.where(is_fast, channel, f_nc + channel)
+    return dev, is_fast, gid, cid, row
+
+
+def _seq_sum(initial: float, values: np.ndarray) -> float:
+    """Strictly-sequential float64 sum, like a scalar ``+=`` loop.
+
+    ``np.add.accumulate`` applies the additions one at a time in array
+    order, so the result is bit-identical to folding ``values`` into
+    ``initial`` with a Python loop — unlike ``np.sum``, whose pairwise
+    reduction rounds differently.
+    """
+    seq = np.empty(len(values) + 1)
+    seq[0] = initial
+    seq[1:] = values
+    return float(np.add.accumulate(seq)[-1])
+
+
+def _replay_batched(
+    config, hma, trace, times, mechanism, core_windows,
+    starts, stops, bounds, total_chunks, sub,
+) -> ReplayResult:
+    num_cores = config.num_cores
+    spi = 1.0 / (config.core.issue_width * config.core.frequency_hz)
+    cap = config.core.max_outstanding_misses
+    windows = (
+        [min(cap, w) for w in core_windows]
+        if core_windows is not None else [cap] * num_cores
+    )
+    if any(w < 1 for w in windows):
+        raise ValueError("miss window must be >= 1")
+    core_time = [0.0] * num_cores
+    outstanding = [deque() for _ in range(num_cores)]
+
+    pages_arr = (trace.address // PAGE_SIZE).astype(np.int64)
+    lines_arr = ((trace.address % PAGE_SIZE) // LINE_SIZE).astype(np.int64)
+
+    fast, slow = hma.fast, hma.slow
+    f_nc, s_nc = fast.num_channels, slow.num_channels
+    f_bpc, s_bpc = fast.banks_per_channel, slow.banks_per_channel
+    n_fast_banks = fast.num_banks_total
+
+    # Flattened device state, synced with the device objects at
+    # migration boundaries (migrations charge channel bandwidth) and
+    # at the end of the run.  Bank open rows and hit/miss/conflict
+    # counters are integer state independent of timing, kept as arrays
+    # and updated vectorially once per chunk.
+    bank_open_l, bank_busy, hits_l, misses_l, conflicts_l = \
+        flatten_bank_state(fast, slow)
+    bank_open_np = np.array(bank_open_l, dtype=np.int64)
+    hits_np = np.array(hits_l, dtype=np.int64)
+    misses_np = np.array(misses_l, dtype=np.int64)
+    conflicts_np = np.array(conflicts_l, dtype=np.int64)
+    total_banks = len(bank_busy)
+    chan_busy = list(fast.channel_busy_until) + list(slow.channel_busy_until)
+    reads_ct = [fast.stats.reads, slow.stats.reads]
+    writes_ct = [fast.stats.writes, slow.stats.writes]
+    read_lat = [fast.stats.total_read_latency, slow.stats.total_read_latency]
+    busy_acc = [fast.stats.busy_time, slow.stats.busy_time]
+
+    def _sync_to_devices() -> None:
+        fast.channel_busy_until = chan_busy[:f_nc]
+        slow.channel_busy_until = chan_busy[f_nc:]
+        for d, device in enumerate((fast, slow)):
+            device.stats.reads = reads_ct[d]
+            device.stats.writes = writes_ct[d]
+            device.stats.total_read_latency = read_lat[d]
+            device.stats.busy_time = busy_acc[d]
+
+    residency: "list[set[int]]" = []
+    read_latency_total = 0.0
+    read_count = 0
+
+    for chunk, (start, stop) in enumerate(zip(starts, stops)):
+        residency.append(_residency_snapshot(hma))
+
+        chunk_pages = pages_arr[start:stop]
+        chunk_writes = trace.is_write[start:stop]
+        if mechanism is not None and len(chunk_pages):
+            chunk_times = times[start:stop] if times is not None else None
+            mechanism.observe_chunk(chunk_pages, chunk_writes,
+                                    times=chunk_times)
+
+        n_req = int(stop - start)
+        if n_req:
+            # -- vectorised translation and routing --
+            dev, is_fast, g_arr, cid_arr, row_arr = _route_chunk(
+                hma, chunk_pages, lines_arr[start:stop],
+                f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+            )
+            cids = cid_arr.tolist()
+            core_ids = trace.core[start:stop].tolist()
+            # gap * spi is exact in float64 (gaps < 2^32), so
+            # precomputing the per-request time increment matches the
+            # scalar path.
+            dts = np.multiply(trace.gap[start:stop], spi).tolist()
+            writes_l = chunk_writes.tolist()
+            # Request/read/write counts are integer sums: tally them
+            # vectorially instead of incrementing inside the loop.
+            n_writes_fast = int(np.count_nonzero(is_fast & chunk_writes))
+            n_reads_fast = int(np.count_nonzero(is_fast)) - n_writes_fast
+            n_writes_slow = (int(np.count_nonzero(chunk_writes))
+                             - n_writes_fast)
+            n_reads_slow = (n_req - n_reads_fast - n_writes_fast
+                            - n_writes_slow)
+            reads_ct[0] += n_reads_fast
+            reads_ct[1] += n_reads_slow
+            writes_ct[0] += n_writes_fast
+            writes_ct[1] += n_writes_slow
+            read_count += n_reads_fast + n_reads_slow
+
+            # -- vectorised row-buffer classification --
+            # Whether an access hits, misses (bank closed), or
+            # conflicts depends only on the per-bank sequence of rows,
+            # not on timing: group requests by bank with a stable sort,
+            # compare each row to its predecessor in the same bank, and
+            # seed the first access per bank with the carried open row.
+            order = np.argsort(g_arr, kind="stable")
+            gs = g_arr[order]
+            rs = row_arr[order]
+            first = np.empty(n_req, dtype=bool)
+            first[0] = True
+            np.not_equal(gs[1:], gs[:-1], out=first[1:])
+            prev = np.empty(n_req, dtype=np.int64)
+            prev[1:] = rs[:-1]
+            prev[first] = bank_open_np[gs[first]]
+            hit = prev == rs
+            miss = ~hit & (prev == -1)
+            conflict = ~(hit | miss)
+            fast_sorted = is_fast[order]
+            lat_sorted = np.where(
+                hit,
+                np.where(fast_sorted, fast.hit_seconds, slow.hit_seconds),
+                np.where(
+                    miss,
+                    np.where(fast_sorted, fast.miss_seconds,
+                             slow.miss_seconds),
+                    np.where(fast_sorted, fast.conflict_seconds,
+                             slow.conflict_seconds),
+                ),
+            )
+            lats = np.empty(n_req)
+            lats[order] = lat_sorted
+            lats = lats.tolist()
+            bursts = np.where(is_fast, fast.burst_seconds,
+                              slow.burst_seconds).tolist()
+            hits_np += np.bincount(gs[hit], minlength=total_banks)
+            misses_np += np.bincount(gs[miss], minlength=total_banks)
+            conflicts_np += np.bincount(gs[conflict], minlength=total_banks)
+            # Carry each bank's last-opened row into the next chunk.
+            last = np.empty(n_req, dtype=bool)
+            last[-1] = True
+            np.not_equal(gs[1:], gs[:-1], out=last[:-1])
+            bank_open_np[gs[last]] = rs[last]
+            gids = g_arr.tolist()
+
+            # -- the fused busy-until resolution loop --
+            # Per-request work is the irreducibly sequential part of
+            # the timing model: each request couples its core's miss
+            # window, one bank, and one channel to all earlier
+            # requests.
+            rl: "list[float]" = []
+            rl_append = rl.append
+            for c, dt, g, cd, w, lat, b in zip(core_ids, dts, gids, cids,
+                                               writes_l, lats, bursts):
+                t = core_time[c] + dt
+                out = outstanding[c]
+                while out and out[0] <= t:
+                    out.popleft()
+                if len(out) >= windows[c]:
+                    oldest = out.popleft()
+                    if oldest > t:
+                        t = oldest
+                    while out and out[0] <= t:
+                        out.popleft()
+                bb = bank_busy[g]
+                begin = t if t > bb else bb
+                access_done = begin + lat
+                burst_start = access_done - b
+                cb = chan_busy[cd]
+                if cb > burst_start:
+                    burst_start = cb
+                finish = burst_start + b
+                chan_busy[cd] = finish
+                bank_busy[g] = finish
+                if not w:
+                    rl_append(finish - t)
+                out.append(finish)
+                core_time[c] = t
+
+            # Latency and busy-time accumulators fold one value per
+            # request in request order; _seq_sum replays the identical
+            # float64 additions out of the loop.
+            if rl:
+                lat_arr = np.asarray(rl)
+                read_latency_total = _seq_sum(read_latency_total, lat_arr)
+                read_dev = dev[~chunk_writes]
+                for d in (0, 1):
+                    dsel = lat_arr[read_dev == d]
+                    if len(dsel):
+                        read_lat[d] = _seq_sum(read_lat[d], dsel)
+            for d, count, burst in (
+                (0, n_reads_fast + n_writes_fast, fast.burst_seconds),
+                (1, n_reads_slow + n_writes_slow, slow.burst_seconds),
+            ):
+                if count:
+                    busy_acc[d] = _seq_sum(busy_acc[d],
+                                           np.full(count, burst))
+
+        # -- migration at the boundary --
+        if mechanism is not None and chunk < total_chunks - 1:
+            now = max(core_time)
+            to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
+            if to_fast or to_slow:
+                # Migration charges channel bandwidth on the device
+                # objects; hand the flattened state back, then reload.
+                _sync_to_devices()
+                hma.migrate_pairs(to_fast, to_slow, now)
+                chan_busy = (list(fast.channel_busy_until)
+                             + list(slow.channel_busy_until))
+                busy_acc = [fast.stats.busy_time, slow.stats.busy_time]
+
+    final = 0.0
+    for c in range(num_cores):
+        t = core_time[c]
+        out = outstanding[c]
+        if out:
+            last = max(out)
+            if last > t:
+                t = last
+            out.clear()
+            core_time[c] = t
+        if t > final:
+            final = t
+
+    restore_bank_state(fast, slow, bank_open_np.tolist(), bank_busy,
+                       hits_np.tolist(), misses_np.tolist(),
+                       conflicts_np.tolist())
+    _sync_to_devices()
+    return _build_result(
+        config, hma, trace, final, core_time,
+        read_latency_total, read_count, residency, bounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel, compiled loop
+# ---------------------------------------------------------------------------
+
+def _replay_batched_native(
+    config, hma, trace, times, mechanism, core_windows,
+    starts, stops, bounds, total_chunks, sub,
+) -> ReplayResult:
+    """The batched kernel with the fused loop compiled to C.
+
+    Identical structure to :func:`_replay_batched`, but the per-request
+    busy-until resolution (including row-buffer classification) runs in
+    :mod:`repro.sim._ckernel`; all mutable state lives in numpy arrays
+    shared with the C loop by pointer.
+    """
+    kernel_fn = _ckernel.load()
+    num_cores = config.num_cores
+    spi = 1.0 / (config.core.issue_width * config.core.frequency_hz)
+    cap = config.core.max_outstanding_misses
+    windows = (
+        [min(cap, w) for w in core_windows]
+        if core_windows is not None else [cap] * num_cores
+    )
+    if any(w < 1 for w in windows):
+        raise ValueError("miss window must be >= 1")
+    windows_np = np.asarray(windows, dtype=np.int32)
+    ringcap = int(max(windows))
+    core_time = np.zeros(num_cores)
+    ring = np.zeros((num_cores, ringcap))
+    ring_head = np.zeros(num_cores, dtype=np.int32)
+    ring_len = np.zeros(num_cores, dtype=np.int32)
+
+    pages_arr = (trace.address // PAGE_SIZE).astype(np.int64)
+    lines_arr = ((trace.address % PAGE_SIZE) // LINE_SIZE).astype(np.int64)
+
+    fast, slow = hma.fast, hma.slow
+    f_nc, s_nc = fast.num_channels, slow.num_channels
+    f_bpc, s_bpc = fast.banks_per_channel, slow.banks_per_channel
+    n_fast_banks = fast.num_banks_total
+    latconst = np.array([
+        fast.hit_seconds, fast.miss_seconds, fast.conflict_seconds,
+        fast.burst_seconds,
+        slow.hit_seconds, slow.miss_seconds, slow.conflict_seconds,
+        slow.burst_seconds,
+    ])
+
+    bank_open_l, bank_busy_l, hits_l, misses_l, conflicts_l = \
+        flatten_bank_state(fast, slow)
+    bank_open = np.asarray(bank_open_l, dtype=np.int64)
+    bank_busy = np.asarray(bank_busy_l)
+    bank_hits = np.asarray(hits_l, dtype=np.int64)
+    bank_misses = np.asarray(misses_l, dtype=np.int64)
+    bank_conflicts = np.asarray(conflicts_l, dtype=np.int64)
+    chan_busy = np.array(list(fast.channel_busy_until)
+                         + list(slow.channel_busy_until))
+    reads_ct = [fast.stats.reads, slow.stats.reads]
+    writes_ct = [fast.stats.writes, slow.stats.writes]
+    read_lat = np.array([fast.stats.total_read_latency,
+                         slow.stats.total_read_latency])
+    busy_acc = np.array([fast.stats.busy_time, slow.stats.busy_time])
+    read_total = np.zeros(1)
+    read_count = 0
+
+    def _sync_to_devices() -> None:
+        fast.channel_busy_until = chan_busy[:f_nc].tolist()
+        slow.channel_busy_until = chan_busy[f_nc:].tolist()
+        for d, device in enumerate((fast, slow)):
+            device.stats.reads = reads_ct[d]
+            device.stats.writes = writes_ct[d]
+            device.stats.total_read_latency = float(read_lat[d])
+            device.stats.busy_time = float(busy_acc[d])
+
+    residency: "list[set[int]]" = []
+
+    for chunk, (start, stop) in enumerate(zip(starts, stops)):
+        residency.append(_residency_snapshot(hma))
+
+        chunk_pages = pages_arr[start:stop]
+        chunk_writes = trace.is_write[start:stop]
+        if mechanism is not None and len(chunk_pages):
+            chunk_times = times[start:stop] if times is not None else None
+            mechanism.observe_chunk(chunk_pages, chunk_writes,
+                                    times=chunk_times)
+
+        n_req = int(stop - start)
+        if n_req:
+            dev, is_fast, g_arr, cid_arr, row_arr = _route_chunk(
+                hma, chunk_pages, lines_arr[start:stop],
+                f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+            )
+            n_writes_fast = int(np.count_nonzero(is_fast & chunk_writes))
+            n_reads_fast = int(np.count_nonzero(is_fast)) - n_writes_fast
+            n_writes_slow = (int(np.count_nonzero(chunk_writes))
+                             - n_writes_fast)
+            n_reads_slow = (n_req - n_reads_fast - n_writes_fast
+                            - n_writes_slow)
+            reads_ct[0] += n_reads_fast
+            reads_ct[1] += n_reads_slow
+            writes_ct[0] += n_writes_fast
+            writes_ct[1] += n_writes_slow
+            read_count += n_reads_fast + n_reads_slow
+
+            _ckernel.run_chunk(
+                kernel_fn,
+                np.ascontiguousarray(trace.core[start:stop],
+                                     dtype=np.int32),
+                np.multiply(trace.gap[start:stop], spi),
+                np.ascontiguousarray(g_arr, dtype=np.int64),
+                np.ascontiguousarray(cid_arr, dtype=np.int32),
+                np.ascontiguousarray(dev, dtype=np.uint8),
+                np.ascontiguousarray(chunk_writes, dtype=np.uint8),
+                np.ascontiguousarray(row_arr, dtype=np.int64),
+                latconst,
+                core_time, windows_np, ring, ring_head, ring_len, ringcap,
+                bank_busy, bank_open, bank_hits, bank_misses,
+                bank_conflicts, chan_busy, read_lat, busy_acc, read_total,
+            )
+
+        # -- migration at the boundary --
+        if mechanism is not None and chunk < total_chunks - 1:
+            now = float(core_time.max())
+            to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
+            if to_fast or to_slow:
+                _sync_to_devices()
+                hma.migrate_pairs(to_fast, to_slow, now)
+                chan_busy = np.array(list(fast.channel_busy_until)
+                                     + list(slow.channel_busy_until))
+                busy_acc = np.array([fast.stats.busy_time,
+                                     slow.stats.busy_time])
+
+    core_times = core_time.tolist()
+    final = 0.0
+    for c in range(num_cores):
+        t = core_times[c]
+        n = int(ring_len[c])
+        if n:
+            h = int(ring_head[c])
+            live = [float(ring[c, (h + j) % ringcap]) for j in range(n)]
+            last = max(live)
+            if last > t:
+                t = last
+            core_times[c] = t
+        if t > final:
+            final = t
+
+    restore_bank_state(fast, slow, bank_open.tolist(), bank_busy.tolist(),
+                       bank_hits.tolist(), bank_misses.tolist(),
+                       bank_conflicts.tolist())
+    _sync_to_devices()
+    return _build_result(
+        config, hma, trace, final, core_times,
+        float(read_total[0]), read_count, residency, bounds,
     )

@@ -166,8 +166,7 @@ class EventDrivenReplay:
                 )
 
     def _route(self, page: int, line_in_page: int) -> "tuple[tuple[int, int], int, int]":
-        device_id = self.hma.device_of(page)
-        _, frame = self.hma._page_table[page]
+        device_id, frame = self.hma.lookup(page)
         local_line = frame * 64 + line_in_page
         device = self.hma.fast if device_id == 0 else self.hma.slow
         channel = local_line % device.num_channels

@@ -124,6 +124,134 @@ class TestMigration:
         assert hma.fast.channel_busy_until != fast_busy_before
         assert hma.slow.channel_busy_until != slow_busy_before
 
+    def test_duplicate_entries_count_once(self, hma):
+        hma.install_placement([0, 1], range(6))
+        hma.migrate_pairs(to_fast=[2, 2, 2], to_slow=[0, 0], now=0.0)
+        assert hma.device_of(2) == FAST
+        assert hma.device_of(0) == SLOW
+        assert hma.fast_occupancy() == 2
+        assert hma.migration_stats.migrations_to_fast == 1
+        assert hma.migration_stats.migrations_to_slow == 1
+
+    def test_page_in_both_directions_stays_put(self, hma):
+        hma.install_placement([0], range(6))
+        hma.migrate_pairs(to_fast=[2], to_slow=[2], now=0.0)
+        assert hma.device_of(2) == SLOW
+        assert hma.migration_stats.total == 0
+        assert hma.migration_stats.migration_seconds == 0.0
+
+    def test_swap_at_exact_capacity(self, hma):
+        cap = hma.fast_capacity_pages
+        hma.install_placement(range(cap), range(cap + 4))
+        hma.migrate_pairs(to_fast=[cap], to_slow=[0], now=0.0)
+        assert hma.fast_occupancy() == cap
+        assert hma.device_of(cap) == FAST
+        assert hma.device_of(0) == SLOW
+
+    def test_unmapped_page_promotes(self, hma):
+        hma.install_placement([0], range(4))
+        hma.migrate_pairs(to_fast=[99], to_slow=[], now=0.0)
+        assert hma.device_of(99) == FAST
+        assert hma.fast_occupancy() == 2
+        assert hma.migration_stats.migrations_to_fast == 1
+
+    def test_unmapped_page_demotion_is_noop(self, hma):
+        hma.install_placement([0], range(4))
+        hma.migrate_pairs(to_fast=[], to_slow=[99], now=0.0)
+        assert hma.migration_stats.total == 0
+
+    def test_pinned_filtered_in_both_directions(self, hma):
+        hma.install_placement([0, 1], range(6))
+        hma.pin([1, 3])
+        hma.migrate_pairs(to_fast=[3, 4], to_slow=[1, 0], now=0.0)
+        assert hma.device_of(1) == FAST   # pinned: not demoted
+        assert hma.device_of(3) == SLOW   # pinned: not promoted
+        assert hma.device_of(4) == FAST
+        assert hma.device_of(0) == SLOW
+        assert hma.migration_stats.migrations_to_fast == 1
+        assert hma.migration_stats.migrations_to_slow == 1
+
+    def test_stat_accounting_mixed_batch(self, hma):
+        """Dups, pins, both-direction, unmapped — stats count real moves."""
+        hma.install_placement([0, 1], range(8))
+        hma.pin([1])
+        hma.migrate_pairs(
+            to_fast=[2, 2, 5, 5, 99], to_slow=[0, 0, 1, 5], now=0.0,
+        )
+        # 5 appears in both directions -> stays; 1 is pinned; 99 was
+        # unmapped and gets a fresh fast frame; 2 promotes; 0 demotes.
+        assert hma.device_of(5) == SLOW
+        assert hma.device_of(1) == FAST
+        assert hma.device_of(99) == FAST
+        assert hma.device_of(2) == FAST
+        assert hma.device_of(0) == SLOW
+        assert hma.migration_stats.migrations_to_fast == 2
+        assert hma.migration_stats.migrations_to_slow == 1
+        assert hma.migration_stats.total == 3
+        assert hma.migration_stats.migration_seconds > 0.0
+
+
+class TestServiceBatch:
+    """service_batch must equal per-request service() calls exactly."""
+
+    def _requests(self, n=200, seed=11):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        pages = rng.integers(0, 40, size=n)
+        lines = rng.integers(0, 64, size=n)
+        arrivals = np.sort(rng.uniform(0.0, 1e-4, size=n))
+        writes = rng.random(size=n) < 0.3
+        return pages, lines, arrivals, writes
+
+    def test_matches_scalar_service(self, tiny_config):
+        scalar = HeterogeneousMemory(tiny_config)
+        batched = HeterogeneousMemory(tiny_config)
+        for hma in (scalar, batched):
+            hma.install_placement(range(8), range(30))
+        pages, lines, arrivals, writes = self._requests()
+        expected = [
+            scalar.service(int(p), int(ln), float(t), bool(w))
+            for p, ln, t, w in zip(pages, lines, arrivals, writes)
+        ]
+        got = batched.service_batch(pages, lines, arrivals, writes)
+        assert got.tolist() == expected
+        for dev_s, dev_b in ((scalar.fast, batched.fast),
+                             (scalar.slow, batched.slow)):
+            assert dev_b.stats.reads == dev_s.stats.reads
+            assert dev_b.stats.writes == dev_s.stats.writes
+            assert dev_b.row_buffer_stats() == dev_s.row_buffer_stats()
+            assert (dev_b.stats.total_read_latency
+                    == dev_s.stats.total_read_latency)
+            assert dev_b.stats.busy_time == dev_s.stats.busy_time
+            assert (list(dev_b.channel_busy_until)
+                    == list(dev_s.channel_busy_until))
+
+    def test_faults_unmapped_pages_like_scalar(self, tiny_config):
+        scalar = HeterogeneousMemory(tiny_config)
+        batched = HeterogeneousMemory(tiny_config)
+        import numpy as np
+
+        pages = np.array([100, 101, 100, 102])
+        lines = np.zeros(4, dtype=int)
+        arrivals = np.array([0.0, 1e-6, 2e-6, 3e-6])
+        writes = np.zeros(4, dtype=bool)
+        expected = [
+            scalar.service(int(p), 0, float(t), False)
+            for p, t in zip(pages, arrivals)
+        ]
+        got = batched.service_batch(pages, lines, arrivals, writes)
+        assert got.tolist() == expected
+        assert ([e[:2] for e in scalar.page_entries()]
+                == [e[:2] for e in batched.page_entries()])
+
+    def test_empty_batch(self, hma):
+        import numpy as np
+
+        out = hma.service_batch(np.empty(0, dtype=int), np.empty(0, dtype=int),
+                                np.empty(0), np.empty(0, dtype=bool))
+        assert len(out) == 0
+
 
 def _tiny_system():
     from repro.config import MemoryConfig, SystemConfig
@@ -156,7 +284,7 @@ def test_frames_stay_unique_per_device(moves):
         else:
             hma.migrate_pairs([], [page], now=0.0)
     seen = set()
-    for page, (device, frame) in hma._page_table.items():
+    for _page, device, frame in hma.page_entries():
         key = (device, frame)
         assert key not in seen
         seen.add(key)

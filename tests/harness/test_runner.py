@@ -1,0 +1,177 @@
+"""Parallel runner and on-disk workload cache."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.runner import (
+    parallel_map,
+    prefetch_workloads,
+    prepare_workload_cached,
+    resolve_cache_dir,
+    resolve_jobs,
+    run_experiments,
+    workload_cache_key,
+)
+from repro.sim.system import prepare_workload
+
+ACCESSES = 1_500
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(_x):
+    raise RuntimeError("worker failure")
+
+
+class TestCacheKey:
+    def test_stable(self):
+        a = workload_cache_key("mcf", 1 / 1024, 8000, 0)
+        b = workload_cache_key("mcf", 1 / 1024, 8000, 0)
+        assert a == b
+
+    def test_sensitive_to_every_input(self):
+        base = workload_cache_key("mcf", 1 / 1024, 8000, 0)
+        assert workload_cache_key("milc", 1 / 1024, 8000, 0) != base
+        assert workload_cache_key("mcf", 1 / 512, 8000, 0) != base
+        assert workload_cache_key("mcf", 1 / 1024, 4000, 0) != base
+        assert workload_cache_key("mcf", 1 / 1024, 8000, 1) != base
+
+    def test_sensitive_to_config(self):
+        base = workload_cache_key("mcf", 1 / 1024, 8000, 0)
+        keyed = workload_cache_key("mcf", 1 / 1024, 8000, 0,
+                                   config=scaled_config(1 / 1024))
+        assert keyed != base
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path)
+        miss = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                       seed=1, cache_dir=cache_dir)
+        entries = os.listdir(cache_dir)
+        assert len(entries) == 1 and entries[0].startswith("prep-")
+        hit = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                      seed=1, cache_dir=cache_dir)
+        fresh = prepare_workload("mcf", accesses_per_core=ACCESSES, seed=1)
+        for prep in (miss, hit):
+            assert np.array_equal(prep.workload_trace.trace.address,
+                                  fresh.workload_trace.trace.address)
+            assert prep.ddr_baseline.ipc == fresh.ddr_baseline.ipc
+            assert prep.name == fresh.name
+
+    def test_corrupt_entry_regenerates(self, tmp_path):
+        cache_dir = str(tmp_path)
+        prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                seed=2, cache_dir=cache_dir)
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        prep = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                       seed=2, cache_dir=cache_dir)
+        assert prep.ddr_baseline.ipc > 0
+        with open(path, "rb") as fh:  # entry was rewritten
+            assert isinstance(pickle.load(fh), type(prep))
+
+    def test_no_cache_dir_is_passthrough(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        prep = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                       seed=3)
+        assert prep.ddr_baseline.ipc > 0
+        assert not os.listdir(tmp_path)
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache_dir(None) == str(tmp_path)
+        prepare_workload_cached("mcf", accesses_per_core=ACCESSES, seed=4)
+        assert os.listdir(tmp_path)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, range(10), jobs=1) == [
+            x * x for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(_square, range(20), jobs=4) == [
+            x * x for x in range(20)]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(_boom, range(4), jobs=2)
+        with pytest.raises(RuntimeError):
+            parallel_map(_boom, range(4), jobs=1)
+
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(None) == 7
+        assert resolve_jobs(2) == 2  # explicit argument wins
+
+
+class TestPrefetch:
+    def test_matches_serial_preparation(self, tmp_path):
+        names = ("mcf", "mix1")
+        preps = prefetch_workloads(names, accesses_per_core=ACCESSES,
+                                   seed=0, cache_dir=str(tmp_path), jobs=2)
+        assert list(preps) == list(names)
+        for name in names:
+            fresh = prepare_workload(name, accesses_per_core=ACCESSES, seed=0)
+            assert preps[name].ddr_baseline.ipc == fresh.ddr_baseline.ipc
+        assert len(os.listdir(tmp_path)) == len(names)
+
+
+class TestWorkloadCacheIntegration:
+    def test_workload_cache_uses_disk(self, tmp_path):
+        from repro.harness.experiments import WorkloadCache
+
+        cache = WorkloadCache(accesses_per_core=ACCESSES,
+                              cache_dir=str(tmp_path))
+        prep = cache.get("mcf")
+        assert os.listdir(tmp_path)
+        assert cache.get("mcf") is prep  # in-memory layer still first
+        warmed = WorkloadCache(accesses_per_core=ACCESSES,
+                               cache_dir=str(tmp_path))
+        assert warmed.get("mcf").ddr_baseline.ipc == prep.ddr_baseline.ipc
+
+    def test_prefetch_method(self, tmp_path):
+        from repro.harness.experiments import WorkloadCache
+
+        cache = WorkloadCache(accesses_per_core=ACCESSES,
+                              cache_dir=str(tmp_path), jobs=2)
+        assert cache.prefetch(("mcf", "milc")) is cache
+        assert cache.get("mcf").ddr_baseline.ipc > 0
+
+
+class TestReplicateJobs:
+    def test_parallel_matches_serial(self):
+        from repro.harness.replication import replicate
+
+        serial = replicate("mcf", _metric, seeds=(0, 1, 2),
+                           accesses_per_core=ACCESSES, jobs=1)
+        fanned = replicate("mcf", _metric, seeds=(0, 1, 2),
+                           accesses_per_core=ACCESSES, jobs=3)
+        assert serial.values == fanned.values
+
+
+def _metric(prep):
+    return prep.ddr_baseline.ipc
+
+
+def test_run_experiments_fan_out(tmp_path):
+    results = run_experiments(["table1", "table2"],
+                              accesses_per_core=ACCESSES,
+                              cache_dir=str(tmp_path), jobs=2)
+    assert [name for name, _ in results] == ["table1", "table2"]
+    for _name, figure in results:
+        assert figure.rows

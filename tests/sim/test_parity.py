@@ -1,0 +1,135 @@
+"""Bit-exact parity between the scalar and batched replay kernels.
+
+The batched kernels (pure-Python fused loop and the optional compiled
+one) must reproduce the scalar per-request oracle *exactly* — same
+IEEE-754 doubles, not merely close — for every migration mechanism.
+Any drift means the vectorised routing or the sequential busy-until
+resolution diverged from the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.migration import (
+    CrossCountersMigration,
+    PerformanceFocusedMigration,
+    ReliabilityAwareFCMigration,
+)
+from repro.core.placement import PerformanceFocusedPlacement
+from repro.dram.hma import FAST, HeterogeneousMemory
+from repro.sim import _ckernel
+from repro.sim.engine import KERNELS, _resolve_kernel, replay
+from repro.sim.system import prepare_workload
+
+BATCHED_KERNELS = ["batched-python"] + (
+    ["batched-native"] if _ckernel.available() else []
+)
+
+MECHANISMS = {
+    "static": None,
+    "perf-mig": PerformanceFocusedMigration,
+    "fc-mig": ReliabilityAwareFCMigration,
+    "cc-mig": CrossCountersMigration,
+}
+
+
+@pytest.fixture(scope="module")
+def prep():
+    return prepare_workload("mcf", accesses_per_core=2_000, seed=3)
+
+
+def _run(prep, kernel, mech_name):
+    mech_cls = MECHANISMS[mech_name]
+    hma = HeterogeneousMemory(prep.config)
+    fast_pages = PerformanceFocusedPlacement().select_fast_pages(
+        prep.stats, prep.capacity_pages)
+    hma.install_placement(fast_pages, prep.stats.pages)
+    wt = prep.workload_trace
+    result = replay(
+        prep.config, hma, wt.trace, times=wt.times,
+        mechanism=mech_cls() if mech_cls else None,
+        num_intervals=8 if mech_cls else 1,
+        core_windows=wt.core_mlp, kernel=kernel,
+    )
+    return result, hma
+
+
+def _assert_identical(ref, ref_hma, got, got_hma):
+    assert got.total_seconds == ref.total_seconds
+    assert got.mean_read_latency == ref.mean_read_latency
+    assert got.per_core_ipc == ref.per_core_ipc
+    assert got.ipc == ref.ipc
+    assert np.array_equal(got.interval_boundaries, ref.interval_boundaries)
+    assert got.fast_residency == ref.fast_residency
+    assert got.migrations.total == ref.migrations.total
+    assert (got.migrations.migration_seconds
+            == ref.migrations.migration_seconds)
+    for got_u, ref_u in zip(got.device_utilisation, ref.device_utilisation):
+        assert (got_u.reads, got_u.writes) == (ref_u.reads, ref_u.writes)
+        assert got_u.busy_time == ref_u.busy_time
+    # Device-object state converged identically too (banks, channels).
+    for got_dev, ref_dev in zip((got_hma.fast, got_hma.slow),
+                                (ref_hma.fast, ref_hma.slow)):
+        assert (list(got_dev.channel_busy_until)
+                == list(ref_dev.channel_busy_until))
+        assert got_dev.row_buffer_stats() == ref_dev.row_buffer_stats()
+        assert (got_dev.stats.total_read_latency
+                == ref_dev.stats.total_read_latency)
+    assert sorted(got_hma.pages_in(FAST)) == sorted(ref_hma.pages_in(FAST))
+
+
+@pytest.mark.parametrize("mech_name", list(MECHANISMS))
+@pytest.mark.parametrize("kernel", BATCHED_KERNELS)
+def test_batched_matches_scalar(prep, kernel, mech_name):
+    ref, ref_hma = _run(prep, "scalar", mech_name)
+    got, got_hma = _run(prep, kernel, mech_name)
+    _assert_identical(ref, ref_hma, got, got_hma)
+
+
+def test_default_kernel_matches_scalar(prep):
+    """``kernel=None`` (the production default) is also bit-exact."""
+    ref, ref_hma = _run(prep, "scalar", "perf-mig")
+    got, got_hma = _run(prep, None, "perf-mig")
+    _assert_identical(ref, ref_hma, got, got_hma)
+
+
+class TestKernelResolution:
+    def _hma(self, tiny_config):
+        return HeterogeneousMemory(tiny_config)
+
+    def test_default_prefers_batched(self, tiny_config):
+        resolved = _resolve_kernel(None, self._hma(tiny_config))
+        assert resolved in ("batched-native", "batched-python")
+
+    def test_env_override(self, tiny_config, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_KERNEL", "scalar")
+        assert _resolve_kernel(None, self._hma(tiny_config)) == "scalar"
+
+    def test_explicit_scalar(self, tiny_config):
+        assert _resolve_kernel("scalar", self._hma(tiny_config)) == "scalar"
+
+    def test_unknown_kernel_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            _resolve_kernel("vectorised", self._hma(tiny_config))
+
+    def test_all_names_exported(self):
+        assert set(KERNELS) == {"batched", "scalar", "batched-native",
+                                "batched-python"}
+
+    def test_batch_api_required_for_batched(self, tiny_config):
+        class NoBatch:
+            pass
+
+        assert _resolve_kernel(None, NoBatch()) == "scalar"
+        with pytest.raises(ValueError):
+            _resolve_kernel("batched", NoBatch())
+
+    def test_native_disabled_falls_back(self, tiny_config, monkeypatch):
+        # monkeypatch restores the memo afterwards, so the disabled
+        # probe does not leak into other tests.
+        monkeypatch.setattr(_ckernel, "_cached", None)
+        monkeypatch.setenv("REPRO_REPLAY_NATIVE", "0")
+        hma = self._hma(tiny_config)
+        assert _resolve_kernel("batched", hma) == "batched-python"
+        with pytest.raises(RuntimeError):
+            _resolve_kernel("batched-native", hma)

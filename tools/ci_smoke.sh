@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 smoke gate: unit tests + a fast replay-kernel sanity benchmark.
+#
+# Usage: tools/ci_smoke.sh [extra pytest args...]
+#
+# 1. Runs the full tier-1 unit suite (tests/), failing fast.
+# 2. Runs the replay-kernel throughput benchmark at a small scale with
+#    a relaxed JSON output path, so CI catches both correctness drift
+#    (the benchmark asserts bit-exact parity) and gross performance
+#    regressions without a long wall-clock bill.
+#
+# Environment:
+#   REPRO_SMOKE_ACCESSES  accesses/core for the kernel benchmark (default 4000)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 unit tests =="
+python -m pytest -x -q "$@"
+
+echo "== replay kernel smoke benchmark =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_REPLAY_JSON="$workdir/BENCH_replay.json" \
+python -m pytest benchmarks/bench_replay_kernel.py -q -s -p no:cacheprovider
+
+echo "== smoke OK =="
