@@ -82,6 +82,24 @@ def _add_runner_args(sub) -> None:
         help="persist prepared workloads (traces, profiles, baselines) "
              "to DIR so repeated runs skip trace synthesis "
              "(env REPRO_CACHE_DIR)")
+    sub.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint directory: completed experiments journal into "
+             "DIR/manifest.jsonl as they finish, so an interrupted run "
+             "can restart with --resume")
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="resume from --run-dir, rerunning only unfinished "
+             "experiments (requires --run-dir)")
+    sub.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SEC",
+        help="per-experiment timeout in seconds; a hung job is killed "
+             "and retried (env REPRO_JOB_TIMEOUT; enforced under "
+             "process fan-out)")
+    sub.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per failed or timed-out experiment, with "
+             "exponential backoff (env REPRO_RETRIES; default 0)")
 
 
 def _run_one(name: str, cache: WorkloadCache) -> None:
@@ -126,7 +144,10 @@ def _cmd_trace(args) -> int:
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not args.run_dir:
+        parser.error("--resume requires --run-dir")
     if args.command == "list":
         for name, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
@@ -156,6 +177,30 @@ def main(argv: "list[str] | None" = None) -> int:
               f"of {quad.total_pages} pages")
         return 0
     if args.command == "export":
+        if args.run_dir:
+            import os
+
+            from repro.harness.export import to_csv, to_json
+
+            names = (args.experiments if args.experiments
+                     else list(EXPERIMENTS))
+            for name in names:
+                if name not in EXPERIMENTS:
+                    print(f"unknown experiment {name!r}; try "
+                          "'repro-hma list'", file=sys.stderr)
+                    return 2
+            results, failed = _run_checkpointed(names, args)
+            os.makedirs(args.directory, exist_ok=True)
+            written = []
+            for name, result in results:
+                path = os.path.join(args.directory, f"{name}.{args.format}")
+                if args.format == "json":
+                    to_json(result, path)
+                else:
+                    to_csv(result, path)
+                written.append(path)
+            print(f"wrote {len(written)} files to {args.directory}")
+            return 1 if failed else 0
         from repro.harness.export import export_all
 
         cache = WorkloadCache(accesses_per_core=args.accesses,
@@ -176,14 +221,11 @@ def main(argv: "list[str] | None" = None) -> int:
         return 2
     jobs = _effective_jobs(args)
     targets = list(EXPERIMENTS) if name == "all" else [name]
-    if jobs != 1 and len(targets) > 1:
-        from repro.harness.runner import run_experiments
-
-        for _target, result in run_experiments(
-                targets, accesses_per_core=args.accesses, scale=args.scale,
-                seed=args.seed, cache_dir=args.cache_dir, jobs=jobs):
+    if args.run_dir or (jobs != 1 and len(targets) > 1):
+        results, failed = _run_checkpointed(targets, args)
+        for _target, result in results:
             result.print()
-        return 0
+        return 1 if failed else 0
     cache = WorkloadCache(accesses_per_core=args.accesses, scale=args.scale,
                           seed=args.seed, cache_dir=args.cache_dir, jobs=jobs)
     if jobs != 1:
@@ -191,6 +233,34 @@ def main(argv: "list[str] | None" = None) -> int:
     for target in targets:
         _run_one(target, cache)
     return 0
+
+
+def _run_checkpointed(targets, args):
+    """Fan experiments out with checkpoint/retry/timeout handling.
+
+    Returns ``(results, failed)`` where ``results`` are the completed
+    ``(name, FigureResult)`` pairs and ``failed`` the outcomes of jobs
+    that exhausted their retry budget — a partial run reports cleanly
+    instead of dying with a traceback.
+    """
+    from repro.harness.runner import run_experiments
+
+    report = run_experiments(
+        targets, accesses_per_core=args.accesses, scale=args.scale,
+        seed=args.seed, cache_dir=args.cache_dir,
+        jobs=_effective_jobs(args), checkpoint_dir=args.run_dir,
+        resume=args.resume, job_timeout=args.job_timeout,
+        retries=args.retries, return_report=True)
+    failed = report.failed
+    if failed:
+        print(f"warning: {report.summary()}", file=sys.stderr)
+        for outcome in failed:
+            print(f"  {outcome.key}: {outcome.status} after "
+                  f"{outcome.attempts} attempt(s): {outcome.error}",
+                  file=sys.stderr)
+    results = [outcome.result for outcome in report.outcomes
+               if outcome.succeeded]
+    return results, failed
 
 
 def _effective_jobs(args) -> "int | None":

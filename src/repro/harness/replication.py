@@ -72,6 +72,10 @@ def replicate(
     accesses_per_core: int = 10_000,
     jobs: "int | None" = 1,
     cache_dir: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    job_timeout: "float | None" = None,
+    retries: "int | None" = None,
 ) -> Replication:
     """Evaluate ``metric`` on fresh workload draws, one per seed.
 
@@ -79,12 +83,33 @@ def replicate(
     be a module-level callable so the workers can unpickle it); the
     default of 1 keeps the historical serial behaviour.  ``jobs=None``
     defers to ``REPRO_JOBS``/CPU count.
+
+    ``checkpoint_dir`` journals each seed's value as it completes, so
+    an interrupted replication restarted with ``resume=True`` reruns
+    only the unfinished seeds; ``job_timeout``/``retries`` bound each
+    seed's execution (defaults from ``REPRO_JOB_TIMEOUT`` /
+    ``REPRO_RETRIES``).  A seed that still fails raises
+    :class:`repro.harness.resilience.PartialResultError` with the
+    surviving values attached.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    from repro.harness.runner import parallel_map
+    from repro.harness.resilience import RunManifest, checkpointed_map, run_key
 
     items = [(workload, metric, scale, accesses_per_core, seed, cache_dir)
              for seed in seeds]
-    values = parallel_map(_replicate_seed, items, jobs=jobs)
-    return Replication(metric=metric_name, values=tuple(values))
+    manifest = None
+    if checkpoint_dir is not None:
+        manifest = RunManifest(
+            checkpoint_dir,
+            run_key=run_key(kind="replicate", workload=workload,
+                            metric=metric_name, scale=scale,
+                            accesses=accesses_per_core),
+            resume=resume)
+    report = checkpointed_map(
+        _replicate_seed, items, keys=[f"seed-{seed}" for seed in seeds],
+        manifest=manifest, store="json", jobs=jobs, timeout=job_timeout,
+        retries=retries)
+    report.raise_if_failed()
+    return Replication(metric=metric_name,
+                       values=tuple(float(v) for v in report.results))

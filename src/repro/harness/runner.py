@@ -7,59 +7,79 @@ accesses_per_core, seed, config)``, so this module adds two
 orthogonal accelerators used by ``experiments.py``, ``sweeps.py``,
 ``replication.py``, and the ``benchmarks/`` harness:
 
-* :func:`prepare_workload_cached` — a pickle cache on disk keyed by a
-  digest of the preparation inputs (including a hash of the system
-  config), so repeated figure runs skip synthesis entirely.  Writes
-  are atomic (`os.replace`), so concurrent workers racing on the same
-  key are safe.
+* :func:`prepare_workload_cached` — a cache of checksummed pickles on
+  disk keyed by a digest of the preparation inputs (including a hash
+  of the system config), so repeated figure runs skip synthesis
+  entirely.  Writes are atomic (`os.replace`), so concurrent workers
+  racing on the same key are safe; every entry embeds a schema
+  version and SHA-256 of its payload, and a corrupt, truncated, or
+  stale entry is quarantined to ``<cache>/corrupt/`` and recomputed
+  (see :mod:`repro.harness.resilience`).
 * :func:`parallel_map` — an order-preserving ``ProcessPoolExecutor``
   map with a ``fork`` start method, so worker functions defined in
   non-importable modules (pytest benchmark files) still unpickle in
   the children.  ``jobs <= 1`` or an unavailable ``fork`` degrades to
-  a serial in-process loop with identical semantics.
+  a serial in-process loop with identical semantics.  Built on
+  :func:`repro.harness.resilience.resilient_map`, it optionally
+  enforces per-job timeouts and bounded retries, survives worker
+  crashes (``BrokenProcessPool``), and can return the structured
+  per-job outcome report instead of raising.
 
 On top of those, :func:`prefetch_workloads` warms a cache directory
 for a whole workload list across cores, and :func:`run_experiments`
 fans complete experiment ids (``fig05``, ``table2``, ...) out across
-processes.
+processes with optional checkpoint/resume through a
+:class:`~repro.harness.resilience.RunManifest`.
 
 Environment knobs (CLI flags take precedence where both exist):
 
 * ``REPRO_JOBS`` — default worker count for ``parallel_map``
 * ``REPRO_CACHE_DIR`` — default on-disk cache directory
+* ``REPRO_JOB_TIMEOUT`` — default per-job timeout in seconds
+* ``REPRO_RETRIES`` — default retry budget per job
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing as mp
 import os
 import pickle
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 from repro.config import scaled_config
+from repro.harness.resilience import (
+    CacheIntegrityError,
+    FaultPlan,
+    MapReport,
+    PartialResultError,
+    RunManifest,
+    checkpointed_map,
+    load_entry,
+    quarantine_entry,
+    resilient_map,
+    resolve_job_timeout,
+    resolve_jobs,
+    resolve_retries,
+    run_key,
+    store_entry,
+)
 from repro.sim.system import DEFAULT_SCALE, PreparedWorkload, prepare_workload
 
+__all__ = [
+    "CACHE_VERSION", "FaultPlan", "MapReport", "PartialResultError",
+    "parallel_map", "prefetch_workloads", "prepare_workload_cached",
+    "resolve_cache_dir", "resolve_job_timeout", "resolve_jobs",
+    "resolve_retries", "run_experiments", "workload_cache_key",
+]
+
 #: Bump to invalidate every on-disk entry when the pickle layout changes.
-CACHE_VERSION = 1
+#: v2: entries carry an integrity header (schema version + checksum).
+CACHE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
-# Worker-count / cache-dir resolution
+# Cache-dir resolution
 # ---------------------------------------------------------------------------
-
-def resolve_jobs(jobs: "int | None" = None) -> int:
-    """Worker count: explicit argument, ``REPRO_JOBS``, else CPU count."""
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS")
-        if env:
-            jobs = int(env)
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
-
 
 def resolve_cache_dir(cache_dir: "str | None" = None) -> "str | None":
     """Cache directory: explicit argument else ``REPRO_CACHE_DIR``."""
@@ -103,27 +123,40 @@ def _cache_path(cache_dir: str, key: str) -> str:
 
 
 def _load_pickle(path: str):
+    """Load a raw pickle; a malformed file is deleted, not just skipped.
+
+    Malformed pickle streams raise far more than ``UnpicklingError``
+    (``ValueError``/``IndexError`` from bad opcodes, ``MemoryError``
+    from absurd length prefixes, ``AttributeError``/``ImportError``
+    from stale class paths); all of them mean the file is useless, and
+    leaving it in place would re-raise on every subsequent run.
+    """
     try:
         with open(path, "rb") as fh:
             return pickle.load(fh)
+    except FileNotFoundError:
+        return None
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError):
-        return None  # missing, truncated, or stale-format entry
-
-
-def _store_pickle(path: str, obj) -> None:
-    directory = os.path.dirname(path)
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)  # atomic: racing writers both win
-    except OSError:
+            ImportError, MemoryError, ValueError, IndexError, TypeError):
         try:
-            os.unlink(tmp)
+            os.unlink(path)
         except OSError:
             pass
+        return None
+
+
+def _load_cache_entry(path: str) -> "PreparedWorkload | None":
+    """A verified cache entry, or None (damaged entries quarantined)."""
+    try:
+        entry = load_entry(path)  # checksum + schema verified
+    except FileNotFoundError:
+        return None
+    except (OSError, CacheIntegrityError):
+        return None  # load_entry already quarantined the file
+    if isinstance(entry, PreparedWorkload):
+        return entry
+    quarantine_entry(path)  # valid container, stale payload type
+    return None
 
 
 def prepare_workload_cached(
@@ -137,7 +170,10 @@ def prepare_workload_cached(
     """:func:`prepare_workload` behind an on-disk pickle cache.
 
     With no cache directory (argument or ``REPRO_CACHE_DIR``) this is
-    a plain pass-through.  Corrupt or stale entries regenerate.
+    a plain pass-through.  Every entry is written with an integrity
+    header (schema version + SHA-256); a corrupt, truncated, bit-flipped,
+    or stale entry is quarantined to ``<cache>/corrupt/`` and
+    transparently recomputed.
     """
     cache_dir = resolve_cache_dir(cache_dir)
     if cache_dir is None:
@@ -149,14 +185,14 @@ def prepare_workload_cached(
                              config=scaled_config(scale),
                              ser_model=ser_model)
     path = _cache_path(cache_dir, key)
-    prep = _load_pickle(path)
-    if isinstance(prep, PreparedWorkload):
+    prep = _load_cache_entry(path)
+    if prep is not None:
         return prep
     prep = prepare_workload(
         workload, scale=scale, accesses_per_core=accesses_per_core,
         seed=seed, ser_model=ser_model,
     )
-    _store_pickle(path, prep)
+    store_entry(path, prep)  # atomic: racing writers both win
     return prep
 
 
@@ -164,31 +200,42 @@ def prepare_workload_cached(
 # Process-pool map
 # ---------------------------------------------------------------------------
 
-def _fork_context():
-    if "fork" in mp.get_all_start_methods():
-        return mp.get_context("fork")
-    return None
-
-
 def parallel_map(
     func: Callable,
     items: Iterable,
     jobs: "int | None" = None,
-) -> list:
-    """Order-preserving map over a process pool.
+    *,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    backoff: float = 0.5,
+    keys: "Sequence[str] | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+    return_report: bool = False,
+):
+    """Order-preserving map over a fault-tolerant process pool.
 
     Serial fallback when ``jobs <= 1``, when there is at most one
     item, or when the platform has no ``fork`` start method (forking
     is what lets workers unpickle functions from pytest-collected
-    modules).  Worker exceptions propagate to the caller either way.
+    modules).
+
+    Built on :func:`repro.harness.resilience.resilient_map`: each job
+    gets a per-attempt ``timeout`` (``REPRO_JOB_TIMEOUT``) and
+    ``retries`` retry budget (``REPRO_RETRIES``) with exponential
+    backoff, and a crashed worker breaks only its own job — the pool
+    is respawned and unfinished siblings re-dispatched.  By default
+    any job that still fails raises :class:`PartialResultError` (a
+    ``RuntimeError`` carrying the full per-job outcome report, so
+    completed results are never lost); with ``return_report=True`` the
+    :class:`MapReport` is returned instead and nothing raises.
     """
-    items = list(items)
-    jobs = min(resolve_jobs(jobs), len(items))
-    context = _fork_context()
-    if jobs <= 1 or context is None:
-        return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-        return list(pool.map(func, items))
+    report = resilient_map(func, items, jobs=jobs, timeout=timeout,
+                           retries=retries, backoff=backoff, keys=keys,
+                           fault_plan=fault_plan)
+    if return_report:
+        return report
+    report.raise_if_failed()
+    return report.results
 
 
 # ---------------------------------------------------------------------------
@@ -252,14 +299,42 @@ def run_experiments(
     seed: int = 0,
     cache_dir: "str | None" = None,
     jobs: "int | None" = None,
-) -> "list[tuple[str, object]]":
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    job_timeout: "float | None" = None,
+    retries: "int | None" = None,
+    return_report: bool = False,
+):
     """Run experiment ids across cores; ``[(name, FigureResult)]``.
 
     Results come back in the order of ``names``.  Experiments that
     share workloads benefit from ``cache_dir``: the first worker to
     prepare a workload persists it for every other worker and run.
+
+    ``checkpoint_dir`` journals each completed experiment (a
+    checksummed pickle per result) the moment it finishes; a later
+    call with ``resume=True`` serves finished experiments from the
+    journal and reruns only the rest.  ``job_timeout``/``retries``
+    bound each experiment's execution (see :func:`parallel_map`).
+    A failing experiment raises :class:`PartialResultError` carrying
+    every completed result — or set ``return_report=True`` to get the
+    structured :class:`MapReport` (``.results`` holds the
+    ``(name, FigureResult)`` tuples) without raising.
     """
     cache_dir = resolve_cache_dir(cache_dir)
     items = [(name, accesses_per_core, scale, seed, cache_dir)
              for name in names]
-    return parallel_map(_run_experiment_worker, items, jobs=jobs)
+    manifest = None
+    if checkpoint_dir is not None:
+        manifest = RunManifest(
+            checkpoint_dir,
+            run_key=run_key(kind="experiments", accesses=accesses_per_core,
+                            scale=scale, seed=seed),
+            resume=resume)
+    report = checkpointed_map(
+        _run_experiment_worker, items, keys=list(names), manifest=manifest,
+        store="pickle", jobs=jobs, timeout=job_timeout, retries=retries)
+    if return_report:
+        return report
+    report.raise_if_failed()
+    return report.results

@@ -34,6 +34,32 @@ def _config_with_fast_pages(base: SystemConfig, pages: int) -> SystemConfig:
     return replace(base, fast_memory=fast)
 
 
+def _capacity_row(item) -> list:
+    """One sweep row: every workload evaluated at one capacity fraction.
+
+    Module-level so process-pool workers can unpickle it; returns only
+    JSON-serialisable values so rows journal inline into a resume
+    manifest.
+    """
+    fraction, preps = item
+    perf_i, perf_s, wr2_i, wr2_s = [], [], [], []
+    for prep in preps.values():
+        pages = max(1, int(prep.workload_trace.footprint_pages * fraction))
+        config = _config_with_fast_pages(prep.config, pages)
+        small_prep = replace_config(prep, config)
+        perf = evaluate_static(small_prep, PerformanceFocusedPlacement())
+        wr2 = evaluate_static(small_prep, Wr2RatioPlacement())
+        perf_i.append(perf.ipc_vs_ddr)
+        perf_s.append(perf.ser_vs_ddr)
+        wr2_i.append(wr2.ipc_vs_ddr)
+        wr2_s.append(max(wr2.ser_vs_ddr, 1e-9))
+    return [
+        f"{fraction:.2f}",
+        float(gmean(perf_i)), float(gmean(perf_s)),
+        float(gmean(wr2_i)), float(gmean(wr2_s)),
+    ]
+
+
 def capacity_sweep(
     workloads=("mcf", "milc", "mix1"),
     fractions=(0.05, 0.1, 0.2, 0.4, 0.8),
@@ -42,6 +68,10 @@ def capacity_sweep(
     seed: int = 0,
     jobs: "int | None" = 1,
     cache_dir: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    job_timeout: "float | None" = None,
+    retries: "int | None" = None,
 ) -> FigureResult:
     """Sweep HBM capacity as a fraction of the workload footprint.
 
@@ -50,31 +80,35 @@ def capacity_sweep(
     gap narrows much more slowly — vulnerable data keeps flowing into
     the weak memory.  ``jobs``/``cache_dir`` parallelise and persist
     the workload preparation (see :mod:`repro.harness.runner`).
+
+    Each fraction is one fault-tolerant job: its finished row journals
+    into ``checkpoint_dir`` immediately, so a killed sweep restarted
+    with ``resume=True`` recomputes only the unfinished fractions, and
+    ``job_timeout``/``retries`` bound each fraction's execution.
     """
+    from repro.harness.resilience import (RunManifest, checkpointed_map,
+                                          run_key)
     from repro.harness.runner import prefetch_workloads
 
-    rows = []
     preps = prefetch_workloads(
         workloads, scale=scale, accesses_per_core=accesses_per_core,
         seed=seed, cache_dir=cache_dir, jobs=jobs,
     )
-    for fraction in fractions:
-        perf_i, perf_s, wr2_i, wr2_s = [], [], [], []
-        for wl, prep in preps.items():
-            pages = max(1, int(prep.workload_trace.footprint_pages * fraction))
-            config = _config_with_fast_pages(prep.config, pages)
-            small_prep = replace_config(prep, config)
-            perf = evaluate_static(small_prep, PerformanceFocusedPlacement())
-            wr2 = evaluate_static(small_prep, Wr2RatioPlacement())
-            perf_i.append(perf.ipc_vs_ddr)
-            perf_s.append(perf.ser_vs_ddr)
-            wr2_i.append(wr2.ipc_vs_ddr)
-            wr2_s.append(max(wr2.ser_vs_ddr, 1e-9))
-        rows.append([
-            f"{fraction:.2f}",
-            gmean(perf_i), gmean(perf_s),
-            gmean(wr2_i), gmean(wr2_s),
-        ])
+    manifest = None
+    if checkpoint_dir is not None:
+        manifest = RunManifest(
+            checkpoint_dir,
+            run_key=run_key(kind="capacity_sweep", workloads=list(workloads),
+                            scale=scale, accesses=accesses_per_core,
+                            seed=seed),
+            resume=resume)
+    report = checkpointed_map(
+        _capacity_row, [(fraction, preps) for fraction in fractions],
+        keys=[f"fraction-{fraction:.4f}" for fraction in fractions],
+        manifest=manifest, store="json", jobs=jobs, timeout=job_timeout,
+        retries=retries)
+    report.raise_if_failed()
+    rows = report.results
     return FigureResult(
         figure="Sweep",
         description="HBM capacity as a fraction of footprint",

@@ -12,8 +12,15 @@ directory and memoised per process.
 Everything degrades gracefully: if there is no C compiler, the build
 fails, or ``REPRO_REPLAY_NATIVE=0`` is set, :func:`load` returns
 ``None`` and the engine falls back to the pure-Python fused loop.
-Both produce bit-identical results (see ``tests/sim/test_parity.py``);
-the compiled loop is simply ~10x faster.
+Both produce bit-identical results (see ``tests/sim/test_parity.py``
+and ``tests/sim/test_ckernel_fallback.py``); the compiled loop is
+simply ~10x faster.
+
+Build *failure* is cached per process exactly like success: the first
+failed attempt emits one :class:`NativeKernelUnavailableWarning`
+carrying the compiler's stderr, and every later :func:`load` call
+returns ``None`` without re-invoking ``cc`` — a broken toolchain
+degrades once, not once per replay.
 """
 
 from __future__ import annotations
@@ -25,6 +32,15 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import warnings
+
+
+class NativeKernelUnavailableWarning(RuntimeWarning):
+    """The compiled replay kernel could not be built or loaded.
+
+    Emitted once per process; the engine transparently falls back to
+    the bit-identical pure-Python fused loop.
+    """
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -129,7 +145,9 @@ void repro_replay_chunk(
 """
 
 _lock = threading.Lock()
-_cached: "tuple[object] | None" = None  # (fn,) once resolved; fn may be None
+#: ``(fn, error)`` once resolved, success or failure alike — the build
+#: (and any compiler invocation) happens at most once per process.
+_cached: "tuple[object, str | None] | None" = None
 
 
 def _cache_dir() -> str:
@@ -140,15 +158,17 @@ def _cache_dir() -> str:
                         f"repro-ckernel-{os.getuid()}")
 
 
-def _build(so_path: str) -> bool:
+def _build(so_path: str) -> "str | None":
+    """Compile the kernel; returns None on success, an error detail on
+    failure (including the compiler's stderr where available)."""
     compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
     if compiler is None:
-        return False
+        return "no C compiler found (set CC, or install cc/gcc)"
     directory = os.path.dirname(so_path)
-    os.makedirs(directory, exist_ok=True)
     c_path = so_path[:-3] + ".c"
     tmp_so = so_path + f".tmp{os.getpid()}"
     try:
+        os.makedirs(directory, exist_ok=True)
         with open(c_path, "w") as fh:
             fh.write(_SOURCE)
         subprocess.run(
@@ -156,13 +176,17 @@ def _build(so_path: str) -> bool:
             check=True, capture_output=True, timeout=120,
         )
         os.replace(tmp_so, so_path)  # atomic under concurrent builds
-        return True
-    except (OSError, subprocess.SubprocessError):
+        return None
+    except (OSError, subprocess.SubprocessError) as exc:
         try:
             os.unlink(tmp_so)
         except OSError:
             pass
-        return False
+        stderr = getattr(exc, "stderr", None)
+        detail = f"{compiler}: {exc!r}"
+        if stderr:
+            detail += "\n" + stderr.decode(errors="replace").strip()
+        return detail
 
 
 def _bind(so_path: str):
@@ -187,24 +211,54 @@ def _bind(so_path: str):
 
 
 def load():
-    """The compiled chunk kernel, or ``None`` when unavailable."""
+    """The compiled chunk kernel, or ``None`` when unavailable.
+
+    The outcome — success *or* failure — is memoised per process, so a
+    broken toolchain costs exactly one ``cc`` invocation and one
+    :class:`NativeKernelUnavailableWarning` (with the compiler stderr)
+    before every caller silently gets the Python fallback.
+    """
     global _cached
     if _cached is not None:
         return _cached[0]
     with _lock:
         if _cached is not None:
             return _cached[0]
-        fn = None
+        fn, error = None, None
         if os.environ.get("REPRO_REPLAY_NATIVE") != "0":
             digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
             so_path = os.path.join(_cache_dir(), f"replay-{digest}.so")
             try:
-                if os.path.exists(so_path) or _build(so_path):
+                if not os.path.exists(so_path):
+                    error = _build(so_path)
+                if error is None:
                     fn = _bind(so_path)
-            except OSError:
-                fn = None
-        _cached = (fn,)
+            except OSError as exc:
+                fn, error = None, repr(exc)
+            if fn is None and error is None:
+                error = "unknown load failure"
+        _cached = (fn, error)
+        if error is not None:
+            warnings.warn(
+                "native replay kernel unavailable, falling back to the "
+                f"pure-Python fused loop (bit-identical, ~10x slower): "
+                f"{error}",
+                NativeKernelUnavailableWarning,
+                stacklevel=2,
+            )
         return fn
+
+
+def build_error() -> "str | None":
+    """The cached build/load failure detail, if any (after :func:`load`)."""
+    return _cached[1] if _cached is not None else None
+
+
+def _reset_for_tests() -> None:
+    """Forget the per-process memoised outcome (chaos tests only)."""
+    global _cached
+    with _lock:
+        _cached = None
 
 
 def available() -> bool:

@@ -65,7 +65,9 @@ class TestDiskCache:
             assert prep.ddr_baseline.ipc == fresh.ddr_baseline.ipc
             assert prep.name == fresh.name
 
-    def test_corrupt_entry_regenerates(self, tmp_path):
+    def test_corrupt_entry_quarantined_and_regenerated(self, tmp_path):
+        from repro.harness.resilience import load_entry
+
         cache_dir = str(tmp_path)
         prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
                                 seed=2, cache_dir=cache_dir)
@@ -75,8 +77,23 @@ class TestDiskCache:
         prep = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
                                        seed=2, cache_dir=cache_dir)
         assert prep.ddr_baseline.ipc > 0
-        with open(path, "rb") as fh:  # entry was rewritten
-            assert isinstance(pickle.load(fh), type(prep))
+        # Damaged entry quarantined, fresh checksummed entry written.
+        quarantined = os.listdir(os.path.join(cache_dir, "corrupt"))
+        assert quarantined == [os.path.basename(path)]
+        assert isinstance(load_entry(path), type(prep))
+
+    def test_stale_payload_type_quarantined(self, tmp_path):
+        from repro.harness.resilience import store_entry
+
+        cache_dir = str(tmp_path)
+        prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                seed=5, cache_dir=cache_dir)
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        store_entry(path, {"not": "a PreparedWorkload"})  # valid container
+        prep = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                       seed=5, cache_dir=cache_dir)
+        assert prep.ddr_baseline.ipc > 0
+        assert os.listdir(os.path.join(cache_dir, "corrupt"))
 
     def test_no_cache_dir_is_passthrough(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
@@ -90,6 +107,64 @@ class TestDiskCache:
         assert resolve_cache_dir(None) == str(tmp_path)
         prepare_workload_cached("mcf", accesses_per_core=ACCESSES, seed=4)
         assert os.listdir(tmp_path)
+
+    def test_load_pickle_deletes_malformed_file(self, tmp_path):
+        from repro.harness.runner import _load_pickle
+
+        path = str(tmp_path / "bad.pkl")
+        # A pickle stream with a bogus huge length prefix raises
+        # ValueError/MemoryError territory rather than UnpicklingError.
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps([1, 2, 3])[:-1] + b"\xff\xff")
+        assert _load_pickle(path) is None
+        assert not os.path.exists(path)  # deleted, not left to re-fail
+        assert _load_pickle(path) is None  # missing file stays a miss
+
+    def test_load_pickle_roundtrip(self, tmp_path):
+        from repro.harness.runner import _load_pickle
+
+        path = str(tmp_path / "ok.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump({"x": 1}, fh)
+        assert _load_pickle(path) == {"x": 1}
+        assert os.path.exists(path)
+
+
+def _race_one(cache_dir, barrier, queue):
+    barrier.wait(timeout=30)  # maximise overlap between the two writers
+    prep = prepare_workload_cached("mcf", accesses_per_core=ACCESSES,
+                                   seed=9, cache_dir=cache_dir)
+    queue.put(prep.ddr_baseline.ipc)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_one_key(self, tmp_path):
+        """os.replace atomicity: both racers succeed, one valid entry."""
+        import multiprocessing as mp
+
+        from repro.harness.resilience import load_entry
+        from repro.sim.system import PreparedWorkload
+
+        context = mp.get_context("fork")
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        procs = [context.Process(target=_race_one,
+                                 args=(str(tmp_path), barrier, queue))
+                 for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        ipcs = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert ipcs[0] == ipcs[1] > 0
+        entries = [f for f in os.listdir(tmp_path)
+                   if f.startswith("prep-") and f.endswith(".pkl")]
+        assert len(entries) == 1
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        entry = load_entry(os.path.join(str(tmp_path), entries[0]))
+        assert isinstance(entry, PreparedWorkload)
+        assert entry.ddr_baseline.ipc == ipcs[0]
 
 
 class TestParallelMap:

@@ -4,7 +4,13 @@
 # Usage: tools/ci_smoke.sh [extra pytest args...]
 #
 # 1. Runs the full tier-1 unit suite (tests/), failing fast.
-# 2. Runs the replay-kernel throughput benchmark at a small scale with
+# 2. Re-runs the chaos suites verbosely (worker SIGKILL, hangs past
+#    timeout, corrupted cache entries, compile failure) so a resilience
+#    regression is named in the CI log, not buried in the dots.
+# 3. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
+#    mid-run, resumes it, and asserts bit-identical rows with only the
+#    unfinished fractions recomputed.
+# 4. Runs the replay-kernel throughput benchmark at a small scale with
 #    a relaxed JSON output path, so CI catches both correctness drift
 #    (the benchmark asserts bit-exact parity) and gross performance
 #    regressions without a long wall-clock bill.
@@ -20,6 +26,13 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 unit tests =="
 python -m pytest -x -q "$@"
+
+echo "== chaos / fault-injection tests =="
+python -m pytest -q tests/harness/test_resilience.py \
+    tests/sim/test_ckernel_fallback.py
+
+echo "== kill/resume smoke =="
+python tools/kill_resume_smoke.py
 
 echo "== replay kernel smoke benchmark =="
 workdir="$(mktemp -d)"
