@@ -10,14 +10,18 @@ used again — exactly as in the paper's Figure 3:
 * (a) ``WR1 .. RD1 .. RD2 .. WR2``: ACE over ``[WR1, RD2]``.
 * (b) a strike between two writes with no intervening read is masked.
 
-Two equivalent implementations are provided:
+Three equivalent implementations are provided:
 
 * :class:`AceTracker` — an exact streaming tracker with explicit state
-  transitions (reference semantics; used directly by the dynamic
-  migration engine and heavily unit-tested), and
+  transitions (reference semantics; heavily unit-tested),
 * :func:`line_ace_times` — a vectorised batch computation over a full
-  trace, used for whole-workload AVF profiling.  A property test
-  asserts both agree on random traces.
+  trace, used for whole-workload AVF profiling, and
+* :class:`WindowedAceTracker` — a chunk-batched tracker for the
+  dynamic migration engine: each trace chunk is committed with the
+  same sorted-by-line vectorised pass as :func:`line_ace_times`, with
+  per-line boundary state (last access time, liveness) carried between
+  chunks and across measurement windows.  Property tests assert all
+  three agree bit-for-bit on random traces.
 """
 
 from __future__ import annotations
@@ -114,6 +118,136 @@ class AceTracker:
             out[line] = state.ace_time
             state.ace_time = 0.0
         return out
+
+
+class WindowedAceTracker:
+    """Chunk-batched ACE accumulator, equivalent to :class:`AceTracker`.
+
+    State lives in dense per-line arrays (window-committed ACE time,
+    last access time, touched flag), grown geometrically on demand.
+    :meth:`observe_chunk` commits a whole time-sorted chunk in one
+    vectorised pass: requests are stably sorted by line, each read
+    commits the span since the previous access of the same line —
+    the in-chunk predecessor, or the carried last access time for the
+    chunk's first occurrence of a line (``ace_start`` always equals
+    ``last_access`` in the streaming tracker, so one carried array
+    suffices) — and ``np.add.at`` folds the contributions per line in
+    time order, reproducing the streaming tracker's float additions
+    bit-for-bit.
+    """
+
+    def __init__(self, assume_live_at_start: bool = True) -> None:
+        self.assume_live_at_start = assume_live_at_start
+        self._last = np.zeros(1024)
+        self._touched = np.zeros(1024, dtype=bool)
+        self._ace = np.zeros(1024)
+        self._last_time = 0.0
+
+    def _ensure(self, max_line: int) -> None:
+        size = len(self._last)
+        if max_line < size:
+            return
+        while size <= max_line:
+            size *= 2
+        for name in ("_last", "_touched", "_ace"):
+            old = getattr(self, name)
+            new = np.zeros(size, dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    def access(self, line: int, time: float, is_write: bool) -> None:
+        """Record one access (scalar convenience wrapper)."""
+        self.observe_chunk(
+            np.array([line], dtype=np.int64),
+            np.array([time], dtype=np.float64),
+            np.array([bool(is_write)]),
+        )
+
+    def observe_chunk(self, lines: np.ndarray, times: np.ndarray,
+                      is_write: np.ndarray) -> None:
+        """Commit one time-sorted chunk of accesses."""
+        # Imported lazily: repro.core.__init__ pulls in avf.page, which
+        # imports this module, so a top-level import would be circular.
+        from repro.core.counters import check_parallel_arrays
+
+        check_parallel_arrays("WindowedAceTracker.observe_chunk",
+                              lines, times, is_write)
+        lines = np.asarray(lines, dtype=np.int64)
+        n = len(lines)
+        if n == 0:
+            return
+        times = np.asarray(times, dtype=np.float64)
+        if times[0] < self._last_time or np.any(np.diff(times) < 0):
+            raise ValueError("accesses must be fed in time order")
+        if lines.min() < 0:
+            raise ValueError("line ids must be non-negative")
+        writes = np.asarray(is_write, dtype=bool)
+        self._ensure(int(lines.max()))
+
+        order = np.argsort(lines, kind="stable")  # stable keeps time order
+        sl = lines[order]
+        st = times[order]
+        sw = writes[order]
+
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(sl[1:], sl[:-1], out=first[1:])
+        first_lines = sl[first]
+        carried = self._touched[first_lines]
+
+        prev = np.empty(n)
+        prev[1:] = st[:-1]
+        # First occurrence in the chunk: continue from the carried last
+        # access, or from the window start (0) for brand-new lines.
+        prev[first] = np.where(carried, self._last[first_lines], 0.0)
+
+        contrib = np.where(~sw, st - prev, 0.0)
+        if not self.assume_live_at_start:
+            never_seen = np.zeros(n, dtype=bool)
+            never_seen[first] = ~carried
+            contrib[never_seen & ~sw] = 0.0
+
+        np.add.at(self._ace, sl, contrib)
+
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        np.not_equal(sl[1:], sl[:-1], out=last[:-1])
+        self._last[sl[last]] = st[last]
+        self._touched[first_lines] = True
+        self._last_time = float(times[-1])
+
+    def ace_time(self, line: int) -> float:
+        """Committed ACE time of ``line`` in the current window."""
+        if 0 <= line < len(self._ace) and self._touched[line]:
+            return float(self._ace[line])
+        return 0.0
+
+    def line_ace_times(self) -> "dict[int, float]":
+        """All per-line committed ACE times (current window)."""
+        return {int(line): float(self._ace[line])
+                for line in np.flatnonzero(self._touched)}
+
+    def touched_lines(self) -> "list[int]":
+        return np.flatnonzero(self._touched).tolist()
+
+    def window_ace_of(self, lines: np.ndarray) -> np.ndarray:
+        """Current-window ACE time per line, 0.0 for untouched lines."""
+        lines = np.asarray(lines, dtype=np.int64)
+        out = np.zeros(len(lines))
+        valid = (lines >= 0) & (lines < len(self._ace))
+        out[valid] = self._ace[lines[valid]]
+        return out
+
+    def reset_window(self) -> "dict[int, float]":
+        """Close the window (same contract as
+        :meth:`AceTracker.reset_window`)."""
+        out = self.line_ace_times()
+        self._ace[:] = 0.0
+        return out
+
+    def clear_window(self) -> None:
+        """Zero the window accumulator without building the dict."""
+        self._ace[:] = 0.0
 
 
 def line_ace_times(

@@ -1,0 +1,216 @@
+"""Optional compiled Misra-Gries chunk kernel for the MEA tracker.
+
+:meth:`repro.core.mea.MeaTracker.record_many` is inherently sequential
+— membership changes on every insert and decrement-all step — so after
+the leading hit-run batch its cost is pure interpreter dispatch.  This
+module compiles the literal textbook update loop over the tracker's
+(at most ``capacity``-entry) map to a tiny shared library with the
+system C compiler and loads it through :mod:`ctypes`, exactly like
+:mod:`repro.sim._ckernel` does for the replay loop.  A linear scan
+over <= 32 entries is a handful of cycles in C, so the kernel makes
+per-access cost negligible.
+
+The kernel operates on the *residual* counts (textbook semantics);
+the Python offset formulation is provably state-equivalent under
+normalisation (see the property tests pinning both against each
+other), so the tracker converts its state to residual arrays, runs
+the chunk, and reloads — same members, same residual counts, same
+insertion order.
+
+Everything degrades gracefully: no compiler, a failed build, or
+``REPRO_MEA_NATIVE=0`` mean :func:`load` returns ``None`` and the
+tracker keeps its tuned pure-Python loop, which is bit-identical.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+
+
+class NativeMeaUnavailableWarning(RuntimeWarning):
+    """The compiled MEA kernel could not be built or loaded.
+
+    Emitted once per process; the tracker transparently falls back to
+    the bit-identical pure-Python update loop.
+    """
+
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Textbook Misra-Gries over one chunk.  entry_pages/entry_counts hold
+ * the map in insertion order (first *n_entries slots valid, counts are
+ * residuals, always >= 1).  A full-map miss decrements every entry and
+ * compacts the dead ones in place, preserving order — exactly the
+ * dict semantics of the Python tracker. */
+void repro_mea_chunk(
+    int64_t n,
+    const int64_t *pages,
+    int64_t capacity,
+    int64_t *entry_pages,
+    int64_t *entry_counts,
+    int64_t *n_entries)
+{
+    int64_t k = *n_entries;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t p = pages[i];
+        int64_t j = -1;
+        for (int64_t e = 0; e < k; e++) {
+            if (entry_pages[e] == p) { j = e; break; }
+        }
+        if (j >= 0) {
+            entry_counts[j]++;
+        } else if (k < capacity) {
+            entry_pages[k] = p;
+            entry_counts[k] = 1;
+            k++;
+        } else {
+            int64_t w = 0;
+            for (int64_t e = 0; e < k; e++) {
+                int64_t c = entry_counts[e] - 1;
+                if (c > 0) {
+                    entry_pages[w] = entry_pages[e];
+                    entry_counts[w] = c;
+                    w++;
+                }
+            }
+            k = w;
+        }
+    }
+    *n_entries = k;
+}
+"""
+
+_lock = threading.Lock()
+#: ``(fn, error)`` once resolved, success or failure alike — the build
+#: (and any compiler invocation) happens at most once per process.
+_cached: "tuple[object, str | None] | None" = None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_CKERNEL_DIR")
+    if override:
+        return override
+    return os.path.join(tempfile.gettempdir(),
+                        f"repro-ckernel-{os.getuid()}")
+
+
+def _build(so_path: str) -> "str | None":
+    """Compile the kernel; None on success, else an error detail."""
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return "no C compiler found (set CC, or install cc/gcc)"
+    directory = os.path.dirname(so_path)
+    c_path = so_path[:-3] + ".c"
+    tmp_so = so_path + f".tmp{os.getpid()}"
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(c_path, "w") as fh:
+            fh.write(_SOURCE)
+        subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-o", tmp_so, c_path],
+            check=True, capture_output=True, timeout=120,
+        )
+        os.replace(tmp_so, so_path)  # atomic under concurrent builds
+        return None
+    except (OSError, subprocess.SubprocessError) as exc:
+        try:
+            os.unlink(tmp_so)
+        except OSError:
+            pass
+        stderr = getattr(exc, "stderr", None)
+        detail = f"{compiler}: {exc!r}"
+        if stderr:
+            detail += "\n" + stderr.decode(errors="replace").strip()
+        return detail
+
+
+def _bind(so_path: str):
+    lib = ctypes.CDLL(so_path)
+    fn = lib.repro_mea_chunk
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    fn.argtypes = [ctypes.c_int64, p_i64, ctypes.c_int64,
+                   p_i64, p_i64, p_i64]
+    fn.restype = None
+    return fn
+
+
+def load():
+    """The compiled MEA chunk kernel, or ``None`` when unavailable.
+
+    The outcome — success *or* failure — is memoised per process, so a
+    broken toolchain costs exactly one ``cc`` invocation and one
+    :class:`NativeMeaUnavailableWarning` before every caller silently
+    gets the Python fallback.
+    """
+    global _cached
+    if _cached is not None:
+        return _cached[0]
+    with _lock:
+        if _cached is not None:
+            return _cached[0]
+        fn, error = None, None
+        if os.environ.get("REPRO_MEA_NATIVE") != "0":
+            digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+            so_path = os.path.join(_cache_dir(), f"mea-{digest}.so")
+            try:
+                if not os.path.exists(so_path):
+                    error = _build(so_path)
+                if error is None:
+                    fn = _bind(so_path)
+            except OSError as exc:
+                fn, error = None, repr(exc)
+            if fn is None and error is None:
+                error = "unknown load failure"
+        _cached = (fn, error)
+        if error is not None:
+            warnings.warn(
+                "native MEA kernel unavailable, falling back to the "
+                f"pure-Python update loop (bit-identical, slower): "
+                f"{error}",
+                NativeMeaUnavailableWarning,
+                stacklevel=2,
+            )
+        return fn
+
+
+def build_error() -> "str | None":
+    """The cached build/load failure detail, if any (after :func:`load`)."""
+    return _cached[1] if _cached is not None else None
+
+
+def _reset_for_tests() -> None:
+    """Forget the per-process memoised outcome (chaos tests only)."""
+    global _cached
+    with _lock:
+        _cached = None
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def _pi64(a):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def run_chunk(fn, pages, capacity, entry_pages, entry_counts,
+              n_entries: int) -> int:
+    """Invoke the compiled loop; returns the new entry count.
+
+    ``entry_pages``/``entry_counts`` are C-contiguous int64 arrays of
+    ``capacity`` slots holding the map in insertion order (the first
+    ``n_entries`` slots valid), mutated in place.  ``entry_counts``
+    carries residual counts on entry and exit.
+    """
+    count = ctypes.c_int64(n_entries)
+    fn(len(pages), _pi64(pages), int(capacity),
+       _pi64(entry_pages), _pi64(entry_counts), ctypes.byref(count))
+    return count.value

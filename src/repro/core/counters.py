@@ -12,13 +12,60 @@ hardware counters:
 
 The classes also expose the storage-cost arithmetic of Sections
 6.3/6.4 (8-bit saturating counters, 16 bits per page for FC).
+
+Two interchangeable backends implement the counter bank:
+
+* :class:`FullCounters` — sparse dict storage, one Python update per
+  unique page.  It is the reference oracle: simple, slow, and the
+  semantics the parity tests pin the fast path against.
+* :class:`ArrayFullCounters` — dense per-page read/write arrays
+  updated with ``np.bincount`` + clip saturation, so a whole trace
+  chunk lands in one vectorised pass and the planners can rank pages
+  without building per-page dicts.
+
+``make_counters`` picks the backend from the ``REPRO_POLICY_KERNEL``
+environment variable (``array``, the default, or ``sparse``).  Both
+backends are bit-identical: integer saturating counts, touched pages
+reported in ascending page order.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
+
+#: Recognised ``REPRO_POLICY_KERNEL`` / ``policy_kernel=`` values.
+POLICY_KERNELS = ("array", "sparse")
+
+
+def resolve_policy_kernel(kernel: "str | None" = None) -> str:
+    """Resolve the policy-layer backend (argument > env > default)."""
+    if kernel is None:
+        kernel = os.environ.get("REPRO_POLICY_KERNEL") or None
+    if kernel is None:
+        return "array"
+    if kernel not in POLICY_KERNELS:
+        raise ValueError(
+            f"policy kernel must be one of {POLICY_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+def check_parallel_arrays(name: str, pages, *others) -> None:
+    """Validate that parallel per-request arrays have matching lengths.
+
+    Mismatched arrays would otherwise mis-count silently through numpy
+    broadcasting (e.g. a scalar ``is_write`` selecting everything).
+    """
+    shapes = [np.shape(pages)] + [np.shape(o) for o in others if o is not None]
+    lengths = {s[0] if len(s) == 1 else None for s in shapes}
+    if len(lengths) > 1 or None in lengths:
+        raise ValueError(
+            f"{name}: parallel arrays must be 1-D with equal lengths, "
+            f"got shapes {shapes}"
+        )
 
 
 @dataclass
@@ -63,6 +110,8 @@ class FullCounters:
     them as the hardware would.
     """
 
+    kind = "sparse"
+
     def __init__(self, counter_bits: int = 8) -> None:
         if counter_bits <= 0:
             raise ValueError("counter_bits must be positive")
@@ -76,11 +125,14 @@ class FullCounters:
         table[page] = min(self.max_value, table.get(page, 0) + 1)
 
     def record_batch(self, pages: np.ndarray, is_write: np.ndarray) -> None:
-        """Vectorised bulk update for a trace chunk."""
+        """Bulk update for a trace chunk (one Python step per page)."""
+        check_parallel_arrays("record_batch", pages, is_write)
+        is_write = np.asarray(is_write, dtype=bool)
         for selector, table in ((is_write, self._writes), (~is_write, self._reads)):
             if not selector.any():
                 continue
-            unique, counts = np.unique(pages[selector], return_counts=True)
+            unique, counts = np.unique(np.asarray(pages)[selector],
+                                       return_counts=True)
             for page, count in zip(unique, counts):
                 page = int(page)
                 table[page] = min(self.max_value, table.get(page, 0) + int(count))
@@ -100,7 +152,35 @@ class FullCounters:
         return self.writes(page) / max(1, self.reads(page))
 
     def touched_pages(self) -> "list[int]":
-        return list(self._reads.keys() | self._writes.keys())
+        """Pages with any activity, in ascending page order.
+
+        The canonical ordering makes the planners deterministic and is
+        what the array backend reproduces bit-for-bit.
+        """
+        return sorted(self._reads.keys() | self._writes.keys())
+
+    def touched_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(pages, reads, writes)`` arrays in ascending page order."""
+        pages = np.array(self.touched_pages(), dtype=np.int64)
+        reads = np.array([self._reads.get(int(p), 0) for p in pages],
+                         dtype=np.int64)
+        writes = np.array([self._writes.get(int(p), 0) for p in pages],
+                          dtype=np.int64)
+        return pages, reads, writes
+
+    def reads_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page read counts for an int64 page array."""
+        return np.array([self._reads.get(int(p), 0) for p in pages],
+                        dtype=np.int64)
+
+    def writes_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page write counts for an int64 page array."""
+        return np.array([self._writes.get(int(p), 0) for p in pages],
+                        dtype=np.int64)
+
+    def hotness_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page access counts (reads + writes) for a page array."""
+        return self.reads_of(pages) + self.writes_of(pages)
 
     def snapshot(self) -> "dict[int, tuple[int, int]]":
         """page -> (reads, writes) for every touched page."""
@@ -123,3 +203,132 @@ class FullCounters:
             bits_per_page=counter_bits * counters_per_page,
             pages_tracked=pages_tracked,
         )
+
+
+class ArrayFullCounters:
+    """Dense array-backed read/write saturating counters.
+
+    Same observable behaviour as :class:`FullCounters` (saturation per
+    recorded batch, ascending-page ``touched_pages``), but the counter
+    bank is two flat int64 arrays indexed by page number, grown
+    geometrically on demand.  ``record_batch`` is a pair of
+    ``np.bincount`` + clip passes; ``touched_arrays`` is a
+    ``flatnonzero`` — no per-page Python work anywhere.
+
+    Page numbers from the trace generators are compact (0..footprint),
+    which keeps the arrays small.
+    """
+
+    kind = "array"
+
+    def __init__(self, counter_bits: int = 8) -> None:
+        if counter_bits <= 0:
+            raise ValueError("counter_bits must be positive")
+        self.counter_bits = counter_bits
+        self.max_value = (1 << counter_bits) - 1
+        self._reads = np.zeros(1024, dtype=np.int64)
+        self._writes = np.zeros(1024, dtype=np.int64)
+
+    def _ensure(self, max_page: int) -> None:
+        size = len(self._reads)
+        if max_page < size:
+            return
+        while size <= max_page:
+            size *= 2
+        reads = np.zeros(size, dtype=np.int64)
+        writes = np.zeros(size, dtype=np.int64)
+        reads[: len(self._reads)] = self._reads
+        writes[: len(self._writes)] = self._writes
+        self._reads = reads
+        self._writes = writes
+
+    def record(self, page: int, is_write: bool) -> None:
+        page = int(page)
+        if page < 0:
+            raise ValueError("page numbers must be non-negative")
+        self._ensure(page)
+        table = self._writes if is_write else self._reads
+        table[page] = min(self.max_value, int(table[page]) + 1)
+
+    def record_batch(self, pages: np.ndarray, is_write: np.ndarray) -> None:
+        """Vectorised bulk update: bincount + clip saturation."""
+        check_parallel_arrays("record_batch", pages, is_write)
+        if not len(pages):
+            return
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.min() < 0:
+            raise ValueError("page numbers must be non-negative")
+        is_write = np.asarray(is_write, dtype=bool)
+        self._ensure(int(pages.max()))
+        size = len(self._reads)
+        for selector, table in ((is_write, self._writes),
+                                (~is_write, self._reads)):
+            sel_pages = pages[selector]
+            if not len(sel_pages):
+                continue
+            table += np.bincount(sel_pages, minlength=size)
+            np.minimum(table, self.max_value, out=table)
+
+    def reads(self, page: int) -> int:
+        page = int(page)
+        return int(self._reads[page]) if page < len(self._reads) else 0
+
+    def writes(self, page: int) -> int:
+        page = int(page)
+        return int(self._writes[page]) if page < len(self._writes) else 0
+
+    def hotness(self, page: int) -> int:
+        """Raw access count: reads + writes."""
+        return self.reads(page) + self.writes(page)
+
+    def write_ratio(self, page: int) -> float:
+        """Run-time risk metric Wr/Rd (low ratio = high risk)."""
+        return self.writes(page) / max(1, self.reads(page))
+
+    def touched_pages(self) -> "list[int]":
+        return np.flatnonzero(self._reads | self._writes).tolist()
+
+    def touched_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(pages, reads, writes)`` arrays in ascending page order."""
+        pages = np.flatnonzero(self._reads | self._writes)
+        return pages, self._reads[pages], self._writes[pages]
+
+    def _lookup(self, table: np.ndarray, pages: np.ndarray) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.zeros(len(pages), dtype=np.int64)
+        valid = (pages >= 0) & (pages < len(table))
+        out[valid] = table[pages[valid]]
+        return out
+
+    def reads_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page read counts for an int64 page array."""
+        return self._lookup(self._reads, pages)
+
+    def writes_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page write counts for an int64 page array."""
+        return self._lookup(self._writes, pages)
+
+    def hotness_of(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page access counts (reads + writes) for a page array."""
+        return self.reads_of(pages) + self.writes_of(pages)
+
+    def snapshot(self) -> "dict[int, tuple[int, int]]":
+        """page -> (reads, writes) for every touched page."""
+        pages, reads, writes = self.touched_arrays()
+        return {int(p): (int(r), int(w))
+                for p, r, w in zip(pages, reads, writes)}
+
+    def reset(self) -> None:
+        """Clear all counters (done at each migration interval)."""
+        self._reads[:] = 0
+        self._writes[:] = 0
+
+    storage_cost = staticmethod(FullCounters.storage_cost)
+
+
+def make_counters(counter_bits: int = 8,
+                  kernel: "str | None" = None):
+    """Counter bank for the resolved policy kernel (see module doc)."""
+    if resolve_policy_kernel(kernel) == "array":
+        return ArrayFullCounters(counter_bits=counter_bits)
+    return FullCounters(counter_bits=counter_bits)

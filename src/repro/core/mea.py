@@ -9,11 +9,30 @@ MEA map to pick up to 32 globally hot pages every 50 microseconds.
 The classic guarantee holds: any element occurring more than
 ``n / (k + 1)`` times in a stream of length ``n`` is present in a
 ``k``-entry map at the end of the stream.
+
+Implementation note: the textbook "decrement every counter" step is
+O(k) per non-member access, which made ``record_many`` the single
+hottest Python loop in dynamic-migration replay.  The tracker instead
+stores counters relative to a global offset (classic Misra-Gries
+optimisation): a decrement-all becomes one ``offset += 1``, an insert
+stores ``offset + 1``, and an entry is dead once its stored value
+falls to the offset.  A lazily maintained lower bound on the minimum
+stored value defers the dead-entry scan until a drop can actually
+occur.  ``record_many`` additionally batches the leading run of
+member hits in each chunk vectorially (hits cannot change the member
+set, so the run is one ``np.isin`` + ``np.unique`` pass).  All of
+this is *exactly* equivalent to the per-access reference semantics
+— same members, same residual counts, same map order (pinned by
+property tests against a literal decrement-all reimplementation).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import _mea_native
 
 
 @dataclass
@@ -29,8 +48,18 @@ class MeaTracker:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        #: page -> stored count; the effective (residual) count is
+        #: ``stored - self._off``, always >= 1 for a live entry.
         self._counters: "dict[int, int]" = {}
+        #: Global decrement offset (number of decrement-all steps).
+        self._off = 0
+        #: Lower bound on ``min(self._counters.values())``; exact after
+        #: every insert and dead-entry scan, possibly stale-low after
+        #: member hits (safe: scans trigger no later than needed).
+        self._min = 0
         self.stream_length = 0
+
+    # -- streaming updates ---------------------------------------------------
 
     def record(self, page: int) -> None:
         """Process one access to ``page``."""
@@ -39,20 +68,118 @@ class MeaTracker:
         if page in counters:
             counters[page] += 1
         elif len(counters) < self.capacity:
-            counters[page] = 1
+            counters[page] = self._off + 1
+            self._min = self._off + 1
         else:
-            # Decrement-all step; drop counters that reach zero.
-            dead = []
-            for p in counters:
-                counters[p] -= 1
-                if counters[p] == 0:
-                    dead.append(p)
-            for p in dead:
-                del counters[p]
+            # Decrement-all step, amortised: bump the offset and scan
+            # for dead entries only when the minimum can have reached
+            # zero.
+            self._off += 1
+            if self._off >= self._min:
+                self._drop_dead()
+
+    def _drop_dead(self) -> None:
+        """Remove entries whose residual count reached zero."""
+        off = self._off
+        counters = self._counters
+        dead = [p for p, v in counters.items() if v <= off]
+        for p in dead:
+            del counters[p]
+        self._min = min(counters.values()) if counters else off
+
+    def _bump_members(self, member_pages: np.ndarray) -> None:
+        """Apply a batch of hits on current members (order-free)."""
+        if not len(member_pages):
+            return
+        counters = self._counters
+        unique, counts = np.unique(member_pages, return_counts=True)
+        for page, count in zip(unique.tolist(), counts.tolist()):
+            counters[page] += count
+
+    def _member_array(self) -> np.ndarray:
+        return np.fromiter(self._counters, np.int64, len(self._counters))
 
     def record_many(self, pages) -> None:
-        for page in pages:
-            self.record(int(page))
+        """Process a chunk of accesses.
+
+        When the compiled chunk kernel is available the whole chunk
+        runs in C over the (<= ``capacity``-entry) map held as flat
+        arrays — same members, same residual counts, same insertion
+        order.  Otherwise the maximal leading run of member hits
+        cannot change the map (hits never insert, drop, or move the
+        offset), so it lands in one ``np.isin`` + ``np.unique`` pass;
+        the remainder runs through a tuned offset-relative loop whose
+        per-access work is one dict probe — the decrement-all and
+        dead-entry scans of the textbook algorithm are amortised
+        behind the lazy minimum.
+        """
+        arr = np.asarray(pages, dtype=np.int64).ravel()
+        n = int(arr.size)
+        if n == 0:
+            return
+        if n >= 64:
+            native = _mea_native.load()
+            if native is not None:
+                self._record_many_native(native, np.ascontiguousarray(arr))
+                return
+        self.stream_length += n
+        counters = self._counters
+        start = 0
+        if n >= 32 and counters:
+            memb = np.isin(arr, self._member_array())
+            misses = np.flatnonzero(~memb)
+            start = int(misses[0]) if misses.size else n
+            if start:
+                self._bump_members(arr[:start])
+            if start >= n:
+                return
+        capacity = self.capacity
+        off = self._off
+        floor = self._min
+        get = counters.get
+        for page in arr[start:].tolist():
+            stored = get(page)
+            if stored is not None:
+                counters[page] = stored + 1
+            elif len(counters) < capacity:
+                counters[page] = off + 1
+                floor = off + 1
+            else:
+                off += 1
+                if off >= floor:
+                    dead = [p for p, v in counters.items() if v <= off]
+                    for p in dead:
+                        del counters[p]
+                    floor = min(counters.values()) if counters else off
+        self._off = off
+        self._min = floor
+
+    def _record_many_native(self, native, arr: np.ndarray) -> None:
+        """Run one chunk through the compiled textbook kernel.
+
+        The offset formulation is state-equivalent to residual counts
+        under normalisation (future behaviour depends only on members,
+        residuals, and insertion order), so the dict converts to flat
+        arrays, the kernel mutates them in place, and the dict reloads
+        normalised (``off = 0``).
+        """
+        self.stream_length += int(arr.size)
+        counters = self._counters
+        off = self._off
+        entry_pages = np.zeros(self.capacity, dtype=np.int64)
+        entry_counts = np.zeros(self.capacity, dtype=np.int64)
+        for i, (page, stored) in enumerate(counters.items()):
+            entry_pages[i] = page
+            entry_counts[i] = stored - off
+        k = _mea_native.run_chunk(native, arr, self.capacity,
+                                  entry_pages, entry_counts, len(counters))
+        counters.clear()
+        for i in range(k):
+            counters[int(entry_pages[i])] = int(entry_counts[i])
+        self._off = 0
+        self._min = int(entry_counts[:k].min()) if k else 0
+
+    # -- queries -------------------------------------------------------------
 
     def hot_pages(self, limit: "int | None" = None,
                   min_count: int = 1) -> "list[int]":
@@ -61,15 +188,18 @@ class MeaTracker:
         ``min_count`` filters one-hit wonders: a page must retain at
         least that residual count to be reported hot.
         """
+        off = self._off
         ranked = sorted(
-            ((p, c) for p, c in self._counters.items() if c >= min_count),
+            ((p, v - off) for p, v in self._counters.items()
+             if v - off >= min_count),
             key=lambda kv: -kv[1],
         )
         pages = [page for page, _count in ranked]
         return pages[:limit] if limit is not None else pages
 
     def count(self, page: int) -> int:
-        return self._counters.get(page, 0)
+        stored = self._counters.get(page)
+        return stored - self._off if stored is not None else 0
 
     def __len__(self) -> int:
         return len(self._counters)
@@ -77,6 +207,8 @@ class MeaTracker:
     def reset(self) -> None:
         """Clear the map for the next MEA interval."""
         self._counters.clear()
+        self._off = 0
+        self._min = 0
         self.stream_length = 0
 
     @staticmethod

@@ -19,6 +19,26 @@ Mechanisms:
 * :class:`CrossCountersMigration` — MEA hotness tracking system-wide
   (fires every MEA interval) plus Full-Counter risk tracking for HBM
   pages only (fires every FC interval) (Sec. 6.4).
+* :class:`OracleRiskMigration` — ablation upper bound driven by
+  measured ACE time instead of the Wr/Rd proxy.
+
+Each mechanism carries two interchangeable planner kernels selected by
+``policy_kernel`` (argument > ``REPRO_POLICY_KERNEL`` env > ``array``):
+
+* ``sparse`` — the original dict/sort implementation, kept as the
+  reference oracle.  Its iteration order is *canonical*: touched pages
+  ascend, residents are walked in ascending page order, and every
+  ``sorted`` tie therefore breaks toward the lower page number.
+* ``array`` — dense NumPy kernels: thresholds from array means,
+  candidate/victim selection with masks, composite-key
+  ``argpartition`` top-k and ``lexsort`` rankings, residency via
+  :meth:`~repro.dram.hma.HeterogeneousMemory.fast_mask` instead of
+  ``set(hma.pages_in(FAST))``.
+
+Both kernels produce bit-identical :data:`MigrationPlan` outputs
+(pinned by ``tests/core/test_policy_parity.py``); thresholds are
+``np.mean`` over identically-ordered values, and every ranking
+reproduces the canonical stable-sort tie-breaks.
 """
 
 from __future__ import annotations
@@ -27,15 +47,74 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.core.counters import FullCounters
+from repro.core.counters import (
+    FullCounters,
+    check_parallel_arrays,
+    make_counters,
+    resolve_policy_kernel,
+)
 from repro.core.mea import MeaTracker
 from repro.dram.hma import FAST, HeterogeneousMemory
 
 MigrationPlan = "tuple[list[int], list[int]]"
 
 
-def _mean_threshold(values: "list[float]") -> float:
-    return float(np.mean(values)) if values else 0.0
+def _mean_threshold(values) -> float:
+    """Mean of a list or array of per-page metrics (0.0 when empty).
+
+    Both kernels funnel through the same ``np.mean`` over values in
+    ascending page order, so the float result is bit-identical.
+    """
+    return float(np.mean(values)) if len(values) else 0.0
+
+
+def _top_hot_desc(pages: np.ndarray, hot: np.ndarray,
+                  k: "int | None") -> np.ndarray:
+    """Indices of the ``k`` hottest pages, hottest first.
+
+    Reproduces ``sorted(pages, key=lambda p: -hot[p])[:k]`` over an
+    ascending-page array (stable sort: ties break toward the lower
+    page).  Distinct pages get distinct composite keys, so a single
+    ``argpartition`` + descending sort realises the canonical order
+    without sorting the full array.
+    """
+    n = len(pages)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    span = int(pages[-1]) + 1
+    key = hot * span + (span - 1 - pages)
+    if k is None or k >= n:
+        return np.argsort(key)[::-1]
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.argpartition(key, n - k)[n - k:]
+    return idx[np.argsort(key[idx])[::-1]]
+
+
+def _bottom_hot_asc(pages: np.ndarray, hot: np.ndarray,
+                    k: "int | None") -> np.ndarray:
+    """Indices of the ``k`` coldest pages, coldest first.
+
+    Reproduces ``sorted(pages, key=lambda p: hot[p])[:k]`` over an
+    ascending-page array (ties toward the lower page).
+    """
+    n = len(pages)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    span = int(pages[-1]) + 1
+    key = hot * span + pages
+    if k is None or k >= n:
+        return np.argsort(key)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.argpartition(key, k - 1)[:k]
+    return idx[np.argsort(key[idx])]
+
+
+def _risk_ratio(writes: np.ndarray, reads: np.ndarray) -> np.ndarray:
+    """Vectorised Wr/Rd risk proxy, matching the scalar
+    ``writes / max(1, reads)`` division exactly."""
+    return writes / np.maximum(np.int64(1), reads)
 
 
 class MigrationMechanism(ABC):
@@ -44,6 +123,11 @@ class MigrationMechanism(ABC):
     name: str = "base"
     #: Fine-grained planning steps per coarse interval (1 = none).
     subintervals_per_interval: int = 1
+    #: Planner backend; see the module docstring.
+    policy_kernel: str = "sparse"
+
+    def _use_array_kernel(self, hma) -> bool:
+        return self.policy_kernel == "array" and hasattr(hma, "fast_mask")
 
     @abstractmethod
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
@@ -84,12 +168,14 @@ class PerformanceFocusedMigration(MigrationMechanism):
 
     def __init__(self, counter_bits: int = 8,
                  max_swap_fraction: float = 0.1,
-                 fixed_threshold: "int | None" = None) -> None:
+                 fixed_threshold: "int | None" = None,
+                 policy_kernel: "str | None" = None) -> None:
         if not 0 < max_swap_fraction <= 1:
             raise ValueError("max_swap_fraction must be in (0, 1]")
         if fixed_threshold is not None and fixed_threshold < 0:
             raise ValueError("fixed_threshold must be non-negative")
-        self.counters = FullCounters(counter_bits=counter_bits)
+        self.policy_kernel = resolve_policy_kernel(policy_kernel)
+        self.counters = make_counters(counter_bits, self.policy_kernel)
         #: Bound on per-interval exchange volume, as a fraction of HBM
         #: capacity — the migration engine cannot move more data per
         #: interval than the slow memory's bandwidth absorbs.
@@ -101,9 +187,16 @@ class PerformanceFocusedMigration(MigrationMechanism):
 
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
                       times: "np.ndarray | None" = None) -> None:
+        check_parallel_arrays(f"{self.name}.observe_chunk",
+                              pages, is_write, times)
         self.counters.record_batch(pages, is_write)
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        if self._use_array_kernel(hma):
+            return self._plan_array(hma)
+        return self._plan_sparse(hma)
+
+    def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
         touched = counters.touched_pages()
         hotness = {p: counters.hotness(p) for p in touched}
@@ -112,16 +205,19 @@ class PerformanceFocusedMigration(MigrationMechanism):
         else:
             threshold = _mean_threshold(list(hotness.values()))
 
-        in_fast = set(hma.pages_in(FAST))
+        in_fast_list = hma.pages_in(FAST)
+        in_fast = set(in_fast_list)
         budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
         # Hot pages currently off-package, hottest first.
         candidates_in = sorted(
-            (p for p, h in hotness.items() if h > threshold and p not in in_fast),
+            (p for p in touched if hotness[p] > threshold and p not in in_fast),
             key=lambda p: -hotness[p],
         )[:budget]
         # HBM pages ranked coldest first (untouched pages count 0);
         # swaps stop once a victim would be hotter than its replacement.
-        eviction_order = iter(sorted(in_fast, key=lambda p: hotness.get(p, 0)))
+        eviction_order = iter(
+            sorted(in_fast_list, key=lambda p: hotness.get(p, 0))
+        )
 
         free_slots = hma.fast_capacity_pages - len(in_fast)
         to_fast: "list[int]" = []
@@ -139,6 +235,45 @@ class PerformanceFocusedMigration(MigrationMechanism):
 
         counters.reset()
         return to_fast, to_slow
+
+    def _plan_array(self, hma) -> MigrationPlan:
+        counters = self.counters
+        pages, reads, writes = counters.touched_arrays()
+        hot = reads + writes
+        if self.fixed_threshold is not None:
+            threshold = float(self.fixed_threshold)
+        else:
+            threshold = _mean_threshold(hot)
+
+        in_fast = hma.pages_in_array(FAST)
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+        cand_mask = (hot > threshold) & ~hma.fast_mask(pages)
+        sel = _top_hot_desc(pages[cand_mask], hot[cand_mask], budget)
+        cand_pages = pages[cand_mask][sel]
+        cand_hot = hot[cand_mask][sel]
+
+        free_slots = hma.fast_capacity_pages - len(in_fast)
+        n_free = min(max(free_slots, 0), len(cand_pages))
+        to_fast = cand_pages[:n_free]
+        rem_pages = cand_pages[n_free:]
+        rem_hot = cand_hot[n_free:]
+        to_slow = np.empty(0, dtype=np.int64)
+        if len(rem_pages) and len(in_fast):
+            vic_hot = counters.hotness_of(in_fast)
+            vsel = _bottom_hot_asc(in_fast, vic_hot,
+                                   min(len(rem_pages), len(in_fast)))
+            vic_pages = in_fast[vsel]
+            vic_hot = vic_hot[vsel]
+            # Pair promotions with victims until a victim would be
+            # hotter than (or as hot as) its replacement.
+            k = min(len(rem_pages), len(vic_pages))
+            stop = vic_hot[:k] >= rem_hot[:k]
+            pairs = int(np.argmax(stop)) if stop.any() else k
+            to_fast = np.concatenate([to_fast, rem_pages[:pairs]])
+            to_slow = vic_pages[:pairs]
+
+        counters.reset()
+        return to_fast.tolist(), to_slow.tolist()
 
     def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
         # One 8-bit counter per addressable page.
@@ -160,17 +295,26 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
     name = "fc-migration"
 
     def __init__(self, counter_bits: int = 8,
-                 max_swap_fraction: float = 0.1) -> None:
+                 max_swap_fraction: float = 0.1,
+                 policy_kernel: "str | None" = None) -> None:
         if not 0 < max_swap_fraction <= 1:
             raise ValueError("max_swap_fraction must be in (0, 1]")
-        self.counters = FullCounters(counter_bits=counter_bits)
+        self.policy_kernel = resolve_policy_kernel(policy_kernel)
+        self.counters = make_counters(counter_bits, self.policy_kernel)
         self.max_swap_fraction = max_swap_fraction
 
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
                       times: "np.ndarray | None" = None) -> None:
+        check_parallel_arrays(f"{self.name}.observe_chunk",
+                              pages, is_write, times)
         self.counters.record_batch(pages, is_write)
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        if self._use_array_kernel(hma):
+            return self._plan_array(hma)
+        return self._plan_sparse(hma)
+
+    def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
         touched = counters.touched_pages()
         hotness = {p: counters.hotness(p) for p in touched}
@@ -179,7 +323,8 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
         # Low Wr/Rd means long live intervals, i.e. high risk.
         risk_threshold = _mean_threshold(list(risk.values()))
 
-        in_fast = set(hma.pages_in(FAST))
+        in_fast_list = hma.pages_in(FAST)
+        in_fast = set(in_fast_list)
 
         def is_good(page: int) -> bool:
             return (
@@ -207,13 +352,47 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
                     hotness.get(page, 0))
 
         evictable = sorted(
-            (p for p in in_fast if not is_good(p)), key=eviction_key
+            (p for p in in_fast_list if not is_good(p)), key=eviction_key
         )
         to_slow = evictable[:budget]
         free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
         to_fast = candidates_in[:free]
         counters.reset()
         return to_fast, to_slow
+
+    def _plan_array(self, hma) -> MigrationPlan:
+        counters = self.counters
+        pages, reads, writes = counters.touched_arrays()
+        hot = reads + writes
+        risk = _risk_ratio(writes, reads)
+        hot_threshold = _mean_threshold(hot)
+        risk_threshold = _mean_threshold(risk)
+
+        in_fast = hma.pages_in_array(FAST)
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+
+        good = (hot > hot_threshold) & (risk >= risk_threshold)
+        cand_mask = good & ~hma.fast_mask(pages)
+        sel = _top_hot_desc(pages[cand_mask], hot[cand_mask], budget)
+        candidates_in = pages[cand_mask][sel]
+
+        r_reads = counters.reads_of(in_fast)
+        r_writes = counters.writes_of(in_fast)
+        r_hot = r_reads + r_writes
+        r_risk = _risk_ratio(r_writes, r_reads)
+        evict = ~((r_hot > hot_threshold) & (r_risk >= risk_threshold))
+        e_pages = in_fast[evict]
+        e_hot = r_hot[evict]
+        e_risk = r_risk[evict]
+        # (risky-first flag, risk, hotness) ascending with ascending-
+        # page ties — lexsort keys are listed minor-to-major.
+        risky_flag = np.where((e_hot > 0) & (e_risk < risk_threshold), 0, 1)
+        order = np.lexsort((e_pages, e_hot, e_risk, risky_flag))
+        to_slow = e_pages[order][:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:max(free, 0)]
+        counters.reset()
+        return to_fast.tolist(), to_slow.tolist()
 
     def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
         # Two 8-bit counters per addressable page (Sec. 6.3: 8.5 MB for
@@ -242,14 +421,16 @@ class CrossCountersMigration(MigrationMechanism):
         subintervals_per_interval: int = 16,
         counter_bits: int = 16,
         max_promotions: int = 32,
+        policy_kernel: "str | None" = None,
     ) -> None:
         if subintervals_per_interval < 1:
             raise ValueError("subintervals_per_interval must be >= 1")
         if max_promotions < 1:
             raise ValueError("max_promotions must be >= 1")
+        self.policy_kernel = resolve_policy_kernel(policy_kernel)
         self.mea = MeaTracker(capacity=mea_capacity)
         self.max_promotions = max_promotions
-        self.counters = FullCounters(counter_bits=counter_bits)
+        self.counters = make_counters(counter_bits, self.policy_kernel)
         self.subintervals_per_interval = subintervals_per_interval
         #: High-risk pages awaiting demotion, set at FC intervals and
         #: drained by the performance unit at MEA intervals.
@@ -257,6 +438,8 @@ class CrossCountersMigration(MigrationMechanism):
 
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
                       times: "np.ndarray | None" = None) -> None:
+        check_parallel_arrays(f"{self.name}.observe_chunk",
+                              pages, is_write, times)
         # The MEA map sees every access; the risk counters are only
         # consulted for HBM residents (plan filters by residency).
         self.mea.record_many(pages)
@@ -269,19 +452,43 @@ class CrossCountersMigration(MigrationMechanism):
         high-risk pages — "migrations are performed in both directions"
         (Sec. 6.4.3).
         """
-        in_fast = set(hma.pages_in(FAST))
+        use_array = self._use_array_kernel(hma)
+        hot_all = self.mea.hot_pages()
+        hot_strong = self.mea.hot_pages(min_count=2)
+        self.mea.reset()
+
         # Two promotion tiers: any tracked page may fill a *free* HBM
         # frame, but displacing a resident takes a page the MEA map is
         # confident about (residual count >= 2).
-        weak = [p for p in self.mea.hot_pages()
-                if p not in in_fast][: self.max_promotions]
-        strong = [p for p in self.mea.hot_pages(min_count=2)
-                  if p not in in_fast][: self.max_promotions]
-        self.mea.reset()
+        if use_array:
+            in_fast_arr = hma.pages_in_array(FAST)
+            n_fast = len(in_fast_arr)
+            if hot_all:
+                resident = hma.fast_mask(np.asarray(hot_all, dtype=np.int64))
+                weak = [p for p, r in zip(hot_all, resident)
+                        if not r][: self.max_promotions]
+            else:
+                weak = []
+            if hot_strong:
+                resident = hma.fast_mask(
+                    np.asarray(hot_strong, dtype=np.int64))
+                strong = [p for p, r in zip(hot_strong, resident)
+                          if not r][: self.max_promotions]
+            else:
+                strong = []
+        else:
+            in_fast_list = hma.pages_in(FAST)
+            in_fast = set(in_fast_list)
+            n_fast = len(in_fast_list)
+            weak = [p for p in hot_all
+                    if p not in in_fast][: self.max_promotions]
+            strong = [p for p in hot_strong
+                      if p not in in_fast][: self.max_promotions]
+
         if not weak:
             return [], []
 
-        free = hma.fast_capacity_pages - len(in_fast)
+        free = hma.fast_capacity_pages - n_fast
         to_fast = weak[:free]
         promoted = set(to_fast)
         swappers = [p for p in strong if p not in promoted]
@@ -294,9 +501,24 @@ class CrossCountersMigration(MigrationMechanism):
         self._pending_out = self._pending_out[len(to_slow):]
         if len(to_slow) < len(swappers):
             extra = len(swappers) - len(to_slow)
-            victims = sorted(
-                in_fast, key=lambda p: self.counters.hotness(p)
-            )[:extra]
+            # Pages already queued for demotion must not be picked as
+            # cold victims too — a page can only leave HBM once.
+            if use_array:
+                if to_slow:
+                    keep = ~np.isin(in_fast_arr,
+                                    np.asarray(to_slow, dtype=np.int64))
+                    vic_pool = in_fast_arr[keep]
+                else:
+                    vic_pool = in_fast_arr
+                vic_hot = self.counters.hotness_of(vic_pool)
+                vsel = _bottom_hot_asc(vic_pool, vic_hot, extra)
+                victims = vic_pool[vsel].tolist()
+            else:
+                queued = set(to_slow)
+                victims = sorted(
+                    (p for p in in_fast_list if p not in queued),
+                    key=lambda p: self.counters.hotness(p),
+                )[:extra]
             to_slow = to_slow + victims
         return to_fast + swappers, to_slow
 
@@ -308,6 +530,11 @@ class CrossCountersMigration(MigrationMechanism):
         mechanism cannot drain the fast memory); cold pages leave HBM
         only as victims of the performance unit's promotions.
         """
+        if self._use_array_kernel(hma):
+            return self._plan_array(hma)
+        return self._plan_sparse(hma)
+
+    def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
         in_fast = hma.pages_in(FAST)
         risks = {p: counters.write_ratio(p) for p in in_fast
@@ -322,6 +549,22 @@ class CrossCountersMigration(MigrationMechanism):
         counters.reset()
         # The reliability unit only queues demotions; the performance
         # unit pairs them with promotions at the MEA steps that follow.
+        return [], []
+
+    def _plan_array(self, hma) -> MigrationPlan:
+        counters = self.counters
+        in_fast = hma.pages_in_array(FAST)
+        reads = counters.reads_of(in_fast)
+        writes = counters.writes_of(in_fast)
+        active = (reads + writes) > 0
+        r_pages = in_fast[active]
+        risks = _risk_ratio(writes[active], reads[active])
+        threshold = _mean_threshold(risks)
+        budget = max(1, hma.fast_capacity_pages // 4)
+        high = risks < threshold
+        order = np.lexsort((r_pages[high], risks[high]))
+        self._pending_out = r_pages[high][order][:budget].tolist()
+        counters.reset()
         return [], []
 
     def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
@@ -340,8 +583,11 @@ class OracleRiskMigration(MigrationMechanism):
     Identical exchange policy to
     :class:`ReliabilityAwareFCMigration`, but the risk metric is the
     page's actual ACE time accumulated during the interval (tracked at
-    page granularity with the streaming
-    :class:`~repro.avf.tracker.AceTracker`) instead of the Wr/Rd proxy.
+    page granularity) instead of the Wr/Rd proxy.  The ``array``
+    kernel uses the chunk-batched
+    :class:`~repro.avf.tracker.WindowedAceTracker`; the ``sparse``
+    kernel keeps the per-request streaming
+    :class:`~repro.avf.tracker.AceTracker` as the reference.
     Not hardware-realisable — AVF needs future knowledge the proxy
     approximates — so this mechanism exists to bound how much of the
     oracle's benefit the heuristic captures (paper Sec. 5.2/5.3
@@ -350,29 +596,45 @@ class OracleRiskMigration(MigrationMechanism):
 
     name = "oracle-risk-migration"
 
-    def __init__(self, max_swap_fraction: float = 0.1) -> None:
-        from repro.avf.tracker import AceTracker
+    def __init__(self, max_swap_fraction: float = 0.1,
+                 policy_kernel: "str | None" = None) -> None:
+        from repro.avf.tracker import AceTracker, WindowedAceTracker
 
         if not 0 < max_swap_fraction <= 1:
             raise ValueError("max_swap_fraction must be in (0, 1]")
-        self.counters = FullCounters()
-        self.tracker = AceTracker()
+        self.policy_kernel = resolve_policy_kernel(policy_kernel)
+        self.counters = make_counters(8, self.policy_kernel)
+        if self.policy_kernel == "array":
+            self.tracker = WindowedAceTracker()
+        else:
+            self.tracker = AceTracker()
         self.max_swap_fraction = max_swap_fraction
 
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
                       times: "np.ndarray | None" = None) -> None:
+        check_parallel_arrays(f"{self.name}.observe_chunk",
+                              pages, is_write, times)
         self.counters.record_batch(pages, is_write)
         if times is None:
             raise ValueError(
                 "OracleRiskMigration needs per-request times; run it "
                 "through the replay engine"
             )
+        if self.policy_kernel == "array":
+            self.tracker.observe_chunk(pages, times, is_write)
+            return
         access = self.tracker.access
-        for page, write, time in zip(pages.tolist(), is_write.tolist(),
-                                     times.tolist()):
+        for page, write, time in zip(np.asarray(pages).tolist(),
+                                     np.asarray(is_write).tolist(),
+                                     np.asarray(times).tolist()):
             access(int(page), float(time), bool(write))
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        if self._use_array_kernel(hma):
+            return self._plan_array(hma)
+        return self._plan_sparse(hma)
+
+    def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
         touched = counters.touched_pages()
         hotness = {p: counters.hotness(p) for p in touched}
@@ -381,7 +643,8 @@ class OracleRiskMigration(MigrationMechanism):
         ace_values = [ace.get(p, 0.0) for p in touched]
         ace_threshold = _mean_threshold(ace_values)
 
-        in_fast = set(hma.pages_in(FAST))
+        in_fast_list = hma.pages_in(FAST)
+        in_fast = set(in_fast_list)
 
         def is_good(page: int) -> bool:
             return (
@@ -395,7 +658,7 @@ class OracleRiskMigration(MigrationMechanism):
             key=lambda p: -hotness[p],
         )[:budget]
         evictable = sorted(
-            (p for p in in_fast if not is_good(p)),
+            (p for p in in_fast_list if not is_good(p)),
             key=lambda p: -ace.get(p, 0.0),
         )
         to_slow = evictable[:budget]
@@ -403,6 +666,36 @@ class OracleRiskMigration(MigrationMechanism):
         to_fast = candidates_in[:free]
         counters.reset()
         return to_fast, to_slow
+
+    def _plan_array(self, hma) -> MigrationPlan:
+        counters = self.counters
+        tracker = self.tracker
+        pages, reads, writes = counters.touched_arrays()
+        hot = reads + writes
+        ace = tracker.window_ace_of(pages)
+        in_fast = hma.pages_in_array(FAST)
+        r_ace = tracker.window_ace_of(in_fast)
+        tracker.clear_window()
+
+        hot_threshold = _mean_threshold(hot)
+        ace_threshold = _mean_threshold(ace)
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+
+        good = (hot > hot_threshold) & (ace <= ace_threshold)
+        cand_mask = good & ~hma.fast_mask(pages)
+        sel = _top_hot_desc(pages[cand_mask], hot[cand_mask], budget)
+        candidates_in = pages[cand_mask][sel]
+
+        r_hot = counters.hotness_of(in_fast)
+        evict = ~((r_hot > hot_threshold) & (r_ace <= ace_threshold))
+        e_pages = in_fast[evict]
+        # Highest measured ACE first, ascending-page ties.
+        order = np.lexsort((e_pages, -r_ace[evict]))
+        to_slow = e_pages[order][:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:max(free, 0)]
+        counters.reset()
+        return to_fast.tolist(), to_slow.tolist()
 
     def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
         # Not realisable in hardware; report the FC cost as a floor.

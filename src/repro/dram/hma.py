@@ -167,6 +167,22 @@ class HeterogeneousMemory:
     def pages_in(self, device: int) -> "list[int]":
         return np.flatnonzero(self._pt_device == device).tolist()
 
+    def pages_in_array(self, device: int) -> np.ndarray:
+        """Pages resident in ``device`` as an ascending int64 array."""
+        return np.flatnonzero(self._pt_device == device).astype(np.int64)
+
+    def fast_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Boolean mask: is each of ``pages`` resident in fast memory?
+
+        Vectorised residency test against the flat device column —
+        pages beyond the table (never mapped) are not resident.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        mask = np.zeros(len(pages), dtype=bool)
+        valid = (pages >= 0) & (pages < len(self._pt_device))
+        mask[valid] = self._pt_device[pages[valid]] == FAST
+        return mask
+
     def page_entries(self) -> "Iterator[tuple[int, int, int]]":
         """Iterate ``(page, device, frame)`` over every mapped page."""
         for page in np.flatnonzero(self._pt_device != _UNMAPPED).tolist():

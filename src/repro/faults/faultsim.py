@@ -26,6 +26,7 @@ placements, which is insensitive to this constant.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +44,39 @@ from repro.faults.fit import (
 DEFAULT_OVERLAP_WINDOW_HOURS = 12.0
 #: Default mission length: the field study's 11 months.
 DEFAULT_MISSION_HOURS = 11 * 30 * 24.0
+
+#: Recognised ``FaultSimulator.run(..., method=)`` /
+#: ``REPRO_FAULTSIM_METHOD`` values.
+FAULTSIM_METHODS = ("batched", "reference")
+
+
+def resolve_faultsim_method(method: "str | None" = None) -> str:
+    """Resolve the Monte-Carlo kernel (argument > env > default)."""
+    if method is None:
+        method = os.environ.get("REPRO_FAULTSIM_METHOD") or None
+    if method is None:
+        return "batched"
+    if method not in FAULTSIM_METHODS:
+        raise ValueError(
+            f"faultsim method must be one of {FAULTSIM_METHODS}, "
+            f"got {method!r}"
+        )
+    return method
+
+
+def resolve_fault_trials(trials: "int | None" = None) -> int:
+    """Monte-Carlo trial count for SER models (argument > env > 0).
+
+    ``0`` selects the analytic closed form.  The ``REPRO_FAULT_TRIALS``
+    environment variable lets experiment harnesses trade accuracy for
+    speed without code edits.
+    """
+    if trials is None:
+        raw = os.environ.get("REPRO_FAULT_TRIALS")
+        trials = int(raw) if raw else 0
+    if trials < 0:
+        raise ValueError("fault trials must be >= 0")
+    return trials
 
 
 @dataclass
@@ -97,13 +131,115 @@ class FaultSimulator:
             [self.rates.rate(c) * 1e-9 * self.chips * mission_hours
              for c in self._components]
         )
+        # Outcome lookup tables: singles depend only on the component,
+        # pairs only on (component_a, component_b, same_chip), so the
+        # batched kernel classifies whole event arrays by indexing.
+        singles = [self.ecc.classify_single(c) for c in self._components]
+        self._single_corrected = np.array(
+            [o is Outcome.CORRECTED for o in singles])
+        self._single_detected = np.array(
+            [o is Outcome.DETECTED for o in singles])
+        self._single_uncorrected = np.array(
+            [1.0 if o is Outcome.UNCORRECTED else 0.0 for o in singles])
+        n = len(self._components)
+        self._pair_lut = np.empty((n, n, 2))
+        for i, a in enumerate(self._components):
+            for j, b in enumerate(self._components):
+                for same in (0, 1):
+                    self._pair_lut[i, j, same] = self.ecc.pair_uncorrectable(
+                        a, b, bool(same), self.geometry
+                    )
 
     # -- core Monte-Carlo ----------------------------------------------------
 
-    def run(self, trials: int = 100_000) -> FaultSimResult:
-        """Simulate ``trials`` rank-missions and classify the outcomes."""
+    def run(self, trials: int = 100_000,
+            method: "str | None" = None) -> FaultSimResult:
+        """Simulate ``trials`` rank-missions and classify the outcomes.
+
+        ``method`` selects the kernel (argument > ``REPRO_FAULTSIM_METHOD``
+        env > ``batched``): ``reference`` is the original per-trial
+        Python loop with O(n^2) pair checks, kept as the oracle;
+        ``batched`` draws all events for all trials at once, classifies
+        singles through lookup tables, and enumerates pairs only inside
+        time-sorted overlap windows.  Both draw the same Poisson event
+        counts first, so corrected/detected totals and the single-fault
+        term are identical for a given seed; the pair term is a
+        statistically equivalent estimate of the same expectation
+        (cross-checked against :meth:`analytic_uncorrected_per_mission`).
+        """
         if trials <= 0:
             raise ValueError("trials must be positive")
+        if resolve_faultsim_method(method) == "batched":
+            return self._run_batched(trials)
+        return self._run_reference(trials)
+
+    def _run_batched(self, trials: int) -> FaultSimResult:
+        rng = self._rng
+        n_comp = len(self._components)
+        counts = rng.poisson(self._lambdas, size=(trials, n_comp))
+
+        # Singles: outcome depends only on the component, so the counts
+        # matrix classifies itself.
+        per_comp = counts.sum(axis=0)
+        corrected = int(per_comp[self._single_corrected].sum())
+        detected = int(per_comp[self._single_detected].sum())
+        expected_uncorrected = float(per_comp @ self._single_uncorrected)
+
+        # Pairs exist only in trials with >= 2 events.
+        totals = counts.sum(axis=1)
+        multi = totals >= 2
+        mcounts = counts[multi]
+        if len(mcounts):
+            n_events = totals[multi]
+            comp_idx = np.repeat(
+                np.tile(np.arange(n_comp), len(mcounts)), mcounts.ravel()
+            )
+            trial_idx = np.repeat(np.arange(len(mcounts)), n_events)
+            n_ev = len(comp_idx)
+            chips = rng.integers(self.chips, size=n_ev)
+            times = rng.random(n_ev) * self.mission_hours
+
+            # One flat time axis for all trials: spacing consecutive
+            # trials more than one overlap window apart means a single
+            # sorted searchsorted pass finds every in-window partner
+            # without ever pairing across trials.
+            window = self.overlap_window_hours
+            span = self.mission_hours + 2.0 * window
+            tkey = trial_idx * span + times
+            order = np.argsort(tkey, kind="stable")
+            tkey = tkey[order]
+            comp_idx = comp_idx[order]
+            chips = chips[order]
+
+            idx = np.arange(n_ev)
+            hi = np.searchsorted(tkey, tkey + window, side="right")
+            partners = hi - idx - 1  # in-window events strictly after i
+            total_pairs = int(partners.sum())
+            if total_pairs:
+                a_idx = np.repeat(idx, partners)
+                offsets = np.cumsum(partners) - partners
+                b_idx = (np.arange(total_pairs)
+                         - np.repeat(offsets, partners)
+                         + np.repeat(idx + 1, partners))
+                same = (chips[a_idx] == chips[b_idx]).astype(np.int64)
+                expected_uncorrected += float(
+                    self._pair_lut[comp_idx[a_idx], comp_idx[b_idx], same]
+                    .sum()
+                )
+
+        per_mission = expected_uncorrected / trials
+        return FaultSimResult(
+            memory_name=self.memory.name,
+            ecc_name=self.ecc.name,
+            trials=trials,
+            mission_hours=self.mission_hours,
+            corrected=corrected,
+            detected=detected,
+            uncorrected=expected_uncorrected,
+            expected_uncorrected_per_mission=per_mission,
+        )
+
+    def _run_reference(self, trials: int) -> FaultSimResult:
         rng = self._rng
         counts = rng.poisson(self._lambdas, size=(trials, len(self._components)))
         totals = counts.sum(axis=1)

@@ -16,6 +16,7 @@ from repro.config import SystemConfig
 from repro.avf.page import IntervalProfile, PageStats
 from repro.faults.faultsim import (
     DEFAULT_OVERLAP_WINDOW_HOURS,
+    resolve_fault_trials,
     uncorrected_fit_per_page,
 )
 
@@ -35,16 +36,18 @@ class SerModel:
     def for_system(
         cls,
         config: SystemConfig,
-        trials: int = 0,
+        trials: "int | None" = None,
         seed: int = 0,
         overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
     ) -> "SerModel":
         """Run the fault simulator for both memories.
 
-        ``trials=0`` (default) uses the analytic expectation, which is
-        exact for this model and avoids the millions of Monte-Carlo
+        ``trials`` defaults to the ``REPRO_FAULT_TRIALS`` environment
+        variable, else 0.  ``0`` uses the analytic expectation, which
+        is exact for this model and avoids the millions of Monte-Carlo
         trials the ChipKill tail needs.
         """
+        trials = resolve_fault_trials(trials)
         kwargs = dict(
             seed=seed,
             overlap_window_hours=overlap_window_hours,

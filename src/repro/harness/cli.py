@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 
+from repro.core.counters import POLICY_KERNELS
 from repro.harness.experiments import EXPERIMENTS, WorkloadCache
 from repro.sim.system import DEFAULT_SCALE
 
@@ -100,6 +102,16 @@ def _add_runner_args(sub) -> None:
         "--retries", type=int, default=None, metavar="N",
         help="retry budget per failed or timed-out experiment, with "
              "exponential backoff (env REPRO_RETRIES; default 0)")
+    sub.add_argument(
+        "--fault-trials", type=int, default=None, metavar="N",
+        help="Monte-Carlo trials for the fault simulator; 0 (default) "
+             "uses the exact analytic expectation "
+             "(env REPRO_FAULT_TRIALS)")
+    sub.add_argument(
+        "--policy-kernel", choices=POLICY_KERNELS, default=None,
+        help="migration policy-layer backend: vectorised 'array' "
+             "(default) or the dict-based 'sparse' reference "
+             "(env REPRO_POLICY_KERNEL)")
 
 
 def _run_one(name: str, cache: WorkloadCache) -> None:
@@ -148,6 +160,14 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not args.run_dir:
         parser.error("--resume requires --run-dir")
+    # Flags surface as environment variables so they reach both the
+    # in-process model constructors and process-fan-out workers.
+    if getattr(args, "fault_trials", None) is not None:
+        if args.fault_trials < 0:
+            parser.error("--fault-trials must be >= 0")
+        os.environ["REPRO_FAULT_TRIALS"] = str(args.fault_trials)
+    if getattr(args, "policy_kernel", None):
+        os.environ["REPRO_POLICY_KERNEL"] = args.policy_kernel
     if args.command == "list":
         for name, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
@@ -178,8 +198,6 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if args.command == "export":
         if args.run_dir:
-            import os
-
             from repro.harness.export import to_csv, to_json
 
             names = (args.experiments if args.experiments

@@ -101,6 +101,11 @@ def _residency_snapshot(hma) -> "set[int]":
     return set(hma.pages_in(FAST))
 
 
+def _page_list(seq) -> "list[int]":
+    """Normalise a planner's page sequence (list or ndarray) to a list."""
+    return seq.tolist() if isinstance(seq, np.ndarray) else list(seq)
+
+
 def _plan_migration(
     mechanism: MigrationMechanism, hma, chunk: int, sub: int
 ) -> "tuple[list[int], list[int]]":
@@ -111,9 +116,10 @@ def _plan_migration(
         # Mechanisms that defer actual movement to the fine
         # unit still get their sub-plan run at this boundary.
         sub_fast, sub_slow = mechanism.plan_sub(hma) if sub > 1 else ([], [])
-        return list(to_fast) + list(sub_fast), list(to_slow) + list(sub_slow)
+        return (_page_list(to_fast) + _page_list(sub_fast),
+                _page_list(to_slow) + _page_list(sub_slow))
     to_fast, to_slow = mechanism.plan_sub(hma)
-    return list(to_fast), list(to_slow)
+    return _page_list(to_fast), _page_list(to_slow)
 
 
 def _build_result(

@@ -10,7 +10,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.avf.tracker import AceTracker, line_ace_times
+from repro.avf.tracker import (AceTracker, WindowedAceTracker,
+                               line_ace_times)
 
 
 def run_stream(events, assume_live_at_start=True):
@@ -180,3 +181,126 @@ def test_ace_time_bounded_by_window(events):
     stream = run_stream(events)
     for line in stream.touched_lines():
         assert 0.0 <= stream.ace_time(line) <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# WindowedAceTracker: chunk-batched tracker vs the streaming reference
+# ---------------------------------------------------------------------------
+
+def _feed_chunked(tracker, events, cuts):
+    """Feed `events` to `tracker` split at positions `cuts`."""
+    bounds = [0] + sorted(cuts) + [len(events)]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        chunk = events[lo:hi]
+        if not chunk:
+            continue
+        tracker.observe_chunk(
+            np.array([e[0] for e in chunk], dtype=np.int64),
+            np.array([e[1] for e in chunk], dtype=np.float64),
+            np.array([e[2] for e in chunk]),
+        )
+
+
+class TestWindowedTracker:
+    def test_scalar_access_matches_stream(self):
+        events = [(0, 0.1, True), (0, 0.3, False), (1, 0.4, False),
+                  (0, 0.6, False), (1, 0.7, True), (0, 0.9, True)]
+        stream = run_stream(events)
+        windowed = WindowedAceTracker()
+        for line, time, w in events:
+            windowed.access(line, time, w)
+        assert windowed.line_ace_times() == stream.line_ace_times()
+
+    def test_rejects_out_of_order_chunks(self):
+        t = WindowedAceTracker()
+        t.observe_chunk(np.array([0]), np.array([0.5]), np.array([True]))
+        with pytest.raises(ValueError, match="time order"):
+            t.observe_chunk(np.array([0]), np.array([0.4]),
+                            np.array([False]))
+
+    def test_rejects_unsorted_within_chunk(self):
+        t = WindowedAceTracker()
+        with pytest.raises(ValueError, match="time order"):
+            t.observe_chunk(np.array([0, 1]), np.array([0.5, 0.4]),
+                            np.array([True, True]))
+
+    def test_rejects_negative_lines(self):
+        t = WindowedAceTracker()
+        with pytest.raises(ValueError, match="non-negative"):
+            t.observe_chunk(np.array([-1]), np.array([0.1]),
+                            np.array([True]))
+
+    def test_rejects_mismatched_lengths(self):
+        t = WindowedAceTracker()
+        with pytest.raises(ValueError, match="observe_chunk"):
+            t.observe_chunk(np.array([0, 1]), np.array([0.1]),
+                            np.array([True, False]))
+
+    def test_empty_chunk_is_noop(self):
+        t = WindowedAceTracker()
+        t.observe_chunk(np.empty(0, dtype=np.int64), np.empty(0),
+                        np.empty(0, dtype=bool))
+        assert t.touched_lines() == []
+
+    def test_grows_past_initial_capacity(self):
+        t = WindowedAceTracker()
+        t.observe_chunk(np.array([50_000]), np.array([0.1]),
+                        np.array([True]))
+        t.observe_chunk(np.array([50_000]), np.array([0.6]),
+                        np.array([False]))
+        assert t.ace_time(50_000) == pytest.approx(0.5)
+
+    def test_window_reset_carries_liveness(self):
+        """A write before the boundary + read after it lands the whole
+        span in the second window, exactly as the streaming tracker."""
+        events_a = [(0, 0.2, True)]
+        events_b = [(0, 0.8, False)]
+        stream = run_stream(events_a)
+        windowed = WindowedAceTracker()
+        _feed_chunked(windowed, events_a, [])
+        assert windowed.reset_window() == stream.reset_window()
+        for line, time, w in events_b:
+            stream.access(line, time, w)
+        _feed_chunked(windowed, events_b, [])
+        assert windowed.line_ace_times() == stream.line_ace_times()
+        assert windowed.ace_time(0) == pytest.approx(0.6)
+
+    def test_window_ace_of_untouched_is_zero(self):
+        t = WindowedAceTracker()
+        t.observe_chunk(np.array([3]), np.array([0.1]), np.array([True]))
+        out = t.window_ace_of(np.array([3, 7, -1, 10 ** 9]))
+        assert out.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 5), st.floats(0.0, 1.0), st.booleans()),
+        min_size=1, max_size=60,
+    ),
+    cuts=st.lists(st.integers(0, 60), max_size=4),
+    resets=st.integers(0, 2),
+    live=st.booleans(),
+)
+def test_windowed_equals_streaming(events, cuts, resets, live):
+    """Chunk-batched tracker == streaming reference, bit for bit,
+    across arbitrary chunking and window resets."""
+    events = sorted(events, key=lambda e: e[1])
+    cuts = [min(c, len(events)) for c in cuts]
+    stream = AceTracker(assume_live_at_start=live)
+    windowed = WindowedAceTracker(assume_live_at_start=live)
+
+    # Split the trace into `resets + 1` measurement windows, each fed
+    # to the windowed tracker in the chunk pattern given by `cuts`.
+    window_bounds = [len(events) * i // (resets + 1)
+                     for i in range(1, resets + 1)] + [len(events)]
+    lo = 0
+    for hi in window_bounds:
+        window = events[lo:hi]
+        for line, time, w in window:
+            stream.access(line, time, w)
+        _feed_chunked(windowed, window,
+                      [min(c, len(window)) for c in cuts])
+        # Exact equality: the committed sums must be bit-identical.
+        assert windowed.reset_window() == stream.reset_window()
+        lo = hi

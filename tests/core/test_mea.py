@@ -114,3 +114,137 @@ def test_residual_counts_underestimate_true_counts(stream):
     true = Counter(stream)
     for page in mea.hot_pages():
         assert mea.count(page) <= true[page]
+
+
+class TextbookMea:
+    """Literal Misra-Gries reference: decrement *every* counter on a
+    non-member access when the map is full — the O(k)-per-access
+    semantics that :class:`MeaTracker`'s offset formulation replaces.
+    """
+
+    def __init__(self, capacity=32):
+        self.capacity = capacity
+        self._counters = {}
+        self.stream_length = 0
+
+    def record(self, page):
+        self.stream_length += 1
+        counters = self._counters
+        if page in counters:
+            counters[page] += 1
+        elif len(counters) < self.capacity:
+            counters[page] = 1
+        else:
+            dead = []
+            for p in counters:
+                counters[p] -= 1
+                if counters[p] == 0:
+                    dead.append(p)
+            for p in dead:
+                del counters[p]
+
+    def record_many(self, pages):
+        import numpy as np
+
+        for page in np.asarray(pages, dtype=np.int64).ravel().tolist():
+            self.record(page)
+
+    def hot_pages(self, limit=None, min_count=1):
+        ranked = sorted(
+            ((p, v) for p, v in self._counters.items() if v >= min_count),
+            key=lambda kv: -kv[1],
+        )
+        pages = [page for page, _count in ranked]
+        return pages[:limit] if limit is not None else pages
+
+    def count(self, page):
+        return self._counters.get(page, 0)
+
+    def reset(self):
+        self._counters.clear()
+        self.stream_length = 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chunks=st.lists(
+        st.lists(st.integers(0, 25), max_size=80), min_size=1, max_size=6
+    ),
+    capacity=st.integers(2, 12),
+)
+def test_offset_formulation_equals_textbook(chunks, capacity):
+    """The offset/lazy-minimum tracker is *exactly* the textbook
+    decrement-all algorithm: same members, same residual counts, same
+    map (tie-break) order after any chunked stream."""
+    fast = MeaTracker(capacity=capacity)
+    slow = TextbookMea(capacity=capacity)
+    for chunk in chunks:
+        fast.record_many(chunk)
+        slow.record_many(chunk)
+        assert fast.hot_pages() == slow.hot_pages()
+        assert fast.hot_pages(min_count=2) == slow.hot_pages(min_count=2)
+        for page in slow.hot_pages():
+            assert fast.count(page) == slow.count(page)
+    assert fast.stream_length == slow.stream_length
+
+
+class TestNativeKernel:
+    """The compiled chunk kernel vs the pure-Python update loop."""
+
+    def _fill(self, tracker, rng, chunks=4, size=300, span=200):
+        for _ in range(chunks):
+            tracker.record_many(rng.integers(0, span, size=size))
+
+    def test_native_equals_python_fallback(self, monkeypatch):
+        import numpy as np
+
+        from repro.core import _mea_native
+
+        if not _mea_native.available():
+            pytest.skip("no C compiler in this environment")
+        rng = np.random.default_rng(3)
+        fast = MeaTracker(capacity=8)
+        self._fill(fast, rng)
+        monkeypatch.setenv("REPRO_MEA_NATIVE", "0")
+        _mea_native._reset_for_tests()
+        try:
+            rng = np.random.default_rng(3)
+            slow = MeaTracker(capacity=8)
+            self._fill(slow, rng)
+        finally:
+            _mea_native._reset_for_tests()
+        assert fast.hot_pages() == slow.hot_pages()
+        assert fast.hot_pages(min_count=2) == slow.hot_pages(min_count=2)
+        for page in slow.hot_pages():
+            assert fast.count(page) == slow.count(page)
+        assert fast.stream_length == slow.stream_length
+
+    def test_disabled_by_env(self, monkeypatch):
+        from repro.core import _mea_native
+
+        monkeypatch.setenv("REPRO_MEA_NATIVE", "0")
+        _mea_native._reset_for_tests()
+        try:
+            assert _mea_native.load() is None
+            # The tracker still works on large chunks via the fallback.
+            mea = MeaTracker(capacity=4)
+            mea.record_many(list(range(10)) * 20)
+            assert len(mea) <= 4
+        finally:
+            _mea_native._reset_for_tests()
+
+    def test_broken_compiler_degrades_once(self, tmp_path, monkeypatch):
+        from repro.core import _mea_native
+
+        monkeypatch.setenv("CC", str(tmp_path / "does-not-exist"))
+        monkeypatch.setenv("REPRO_CKERNEL_DIR", str(tmp_path / "ck"))
+        monkeypatch.delenv("REPRO_MEA_NATIVE", raising=False)
+        _mea_native._reset_for_tests()
+        try:
+            with pytest.warns(_mea_native.NativeMeaUnavailableWarning):
+                assert _mea_native.load() is None
+            assert _mea_native.build_error()
+            # Memoised: no second warning, still None.
+            assert _mea_native.load() is None
+        finally:
+            _mea_native._reset_for_tests()

@@ -175,6 +175,26 @@ class TestCrossCounters:
         assert cc_cost <= 700 * 1024
         assert cc_cost < fc.hardware_cost_bytes(total, fast) / 5
 
+    @pytest.mark.parametrize("kernel", ["array", "sparse"])
+    def test_pending_demotion_never_doubles_as_cold_victim(
+            self, hma, kernel):
+        """Regression: a page queued in ``_pending_out`` must not be
+        picked again as a cold-eviction victim in the same plan — a
+        page can only leave HBM once."""
+        mech = CrossCountersMigration(policy_kernel=kernel)
+        # Residents 2..15 warm, resident 1 lukewarm, resident 0 cold
+        # (untouched); two confident off-package MEA pages force two
+        # paired demotions while only one pending page is queued.
+        accesses = [(p, False) for p in range(2, 16) for _ in range(2)]
+        accesses += [(1, False)]
+        accesses += [(40, False)] * 4 + [(41, False)] * 4
+        observe(mech, accesses)
+        mech._pending_out = [0]
+        to_fast, to_slow = mech.plan_sub(hma)
+        assert to_fast == [40, 41]
+        assert to_slow == [0, 1]  # queued page 0, then coldest other
+        assert len(to_slow) == len(set(to_slow))
+
     def test_rejects_bad_subintervals(self):
         with pytest.raises(ValueError):
             CrossCountersMigration(subintervals_per_interval=0)

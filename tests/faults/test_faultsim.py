@@ -3,7 +3,10 @@
 import pytest
 
 from repro.config import ddr3_config, hbm_config
-from repro.faults.faultsim import FaultSimulator, uncorrected_fit_per_page
+from repro.faults.faultsim import (FaultSimulator,
+                                   resolve_fault_trials,
+                                   resolve_faultsim_method,
+                                   uncorrected_fit_per_page)
 
 
 class TestAnalytic:
@@ -90,3 +93,93 @@ class TestPerPageFit:
         assert full_hbm / full_ddr == pytest.approx(
             small_hbm / small_ddr, rel=0.01
         )
+
+
+class TestBatchedKernel:
+    """The batched run() vs the retained per-trial reference loop."""
+
+    def test_same_seed_same_fault_counts(self):
+        """Both kernels draw the identical Poisson counts matrix, so
+        the corrected/detected tallies match exactly."""
+        ref = FaultSimulator(hbm_config(), seed=11).run(
+            trials=20_000, method="reference")
+        bat = FaultSimulator(hbm_config(), seed=11).run(
+            trials=20_000, method="batched")
+        assert bat.corrected == ref.corrected
+        assert bat.detected == ref.detected
+        assert bat.trials == ref.trials
+
+    @pytest.mark.parametrize("factory", [hbm_config, ddr3_config])
+    def test_batched_matches_analytic_at_dense_rates(self, factory):
+        """At boosted FIT rates (event-dense regime, where the pair
+        term matters) the batched kernel stays on the analytic curve."""
+        from repro.faults.fit import rates_for_memory
+
+        memory = factory()
+        rates = rates_for_memory(memory).scaled(2000)
+        sim = FaultSimulator(memory, rates=rates, seed=4)
+        result = sim.run(trials=40_000, method="batched")
+        analytic = sim.analytic_uncorrected_per_mission()
+        assert result.expected_uncorrected_per_mission == pytest.approx(
+            analytic, rel=0.15
+        )
+
+    def test_batched_and_reference_agree_statistically(self):
+        """Different pair enumeration order, same distribution."""
+        from repro.faults.fit import rates_for_memory
+
+        memory = hbm_config()
+        rates = rates_for_memory(memory).scaled(2000)
+        ref = FaultSimulator(memory, rates=rates, seed=6).run(
+            trials=20_000, method="reference")
+        bat = FaultSimulator(memory, rates=rates, seed=6).run(
+            trials=20_000, method="batched")
+        assert bat.expected_uncorrected_per_mission == pytest.approx(
+            ref.expected_uncorrected_per_mission, rel=0.2
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            FaultSimulator(hbm_config()).run(trials=100,
+                                             method="vectorised")
+
+
+class TestResolution:
+    def test_method_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTSIM_METHOD", raising=False)
+        assert resolve_faultsim_method() == "batched"
+
+    def test_method_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTSIM_METHOD", "reference")
+        assert resolve_faultsim_method() == "reference"
+        assert resolve_faultsim_method("batched") == "batched"
+
+    def test_method_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTSIM_METHOD", "turbo")
+        with pytest.raises(ValueError, match="method"):
+            resolve_faultsim_method()
+
+    def test_trials_default_zero(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_TRIALS", raising=False)
+        assert resolve_fault_trials() == 0
+
+    def test_trials_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_TRIALS", "5000")
+        assert resolve_fault_trials() == 5000
+        assert resolve_fault_trials(12) == 12
+
+    def test_trials_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_fault_trials(-1)
+
+    def test_trials_env_reaches_ser_model(self, monkeypatch):
+        """SerModel.for_system picks the analytic path when the env
+        asks for 0 trials — exercised end to end."""
+        from repro.config import scaled_config
+        from repro.faults.ser import SerModel
+
+        monkeypatch.delenv("REPRO_FAULT_TRIALS", raising=False)
+        config = scaled_config(1 / 1024)
+        model = SerModel.for_system(config)
+        assert model.fit_fast_per_page > 0
+        assert model.fit_ratio > 100

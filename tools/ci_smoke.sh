@@ -10,10 +10,11 @@
 # 3. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
 #    mid-run, resumes it, and asserts bit-identical rows with only the
 #    unfinished fractions recomputed.
-# 4. Runs the replay-kernel throughput benchmark at a small scale with
-#    a relaxed JSON output path, so CI catches both correctness drift
-#    (the benchmark asserts bit-exact parity) and gross performance
-#    regressions without a long wall-clock bill.
+# 4. Runs the replay-kernel and policy-kernel throughput benchmarks at
+#    a small scale with relaxed JSON output paths, so CI catches both
+#    correctness drift (the benchmarks assert bit-exact parity of
+#    replay results, migration plans, and fault-simulator tallies) and
+#    gross performance regressions without a long wall-clock bill.
 #
 # Environment:
 #   REPRO_SMOKE_ACCESSES  accesses/core for the kernel benchmark (default 4000)
@@ -40,5 +41,11 @@ trap 'rm -rf "$workdir"' EXIT
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_REPLAY_JSON="$workdir/BENCH_replay.json" \
 python -m pytest benchmarks/bench_replay_kernel.py -q -s -p no:cacheprovider
+
+echo "== policy kernel smoke benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_FAULT_TRIALS=20000 \
+REPRO_BENCH_POLICY_JSON="$workdir/BENCH_policies.json" \
+python -m pytest benchmarks/bench_policy_kernels.py -q -s -p no:cacheprovider
 
 echo "== smoke OK =="
