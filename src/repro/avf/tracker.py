@@ -30,6 +30,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
+
+def _record_window_close(kind: str, window_total: float) -> None:
+    """Telemetry tap on a measurement-window close; no-op when off."""
+    registry = _metrics.get_registry()
+    registry.counter(f"{kind}.window_resets").inc()
+    registry.counter(f"{kind}.window_ace_seconds").inc(window_total)
+
 
 @dataclass
 class _LineState:
@@ -117,6 +126,8 @@ class AceTracker:
         for line, state in self._lines.items():
             out[line] = state.ace_time
             state.ace_time = 0.0
+        if _metrics.enabled():
+            _record_window_close("ace.streaming", sum(out.values()))
         return out
 
 
@@ -242,6 +253,8 @@ class WindowedAceTracker:
         """Close the window (same contract as
         :meth:`AceTracker.reset_window`)."""
         out = self.line_ace_times()
+        if _metrics.enabled():
+            _record_window_close("ace.windowed", float(self._ace.sum()))
         self._ace[:] = 0.0
         return out
 

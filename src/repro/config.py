@@ -15,6 +15,8 @@ Table 1 of the paper:
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: Bytes per 4 KB page, the placement/migration granularity.
@@ -241,3 +243,159 @@ def scaled_config(scale: float = 1 / 1024) -> SystemConfig:
         fast_memory=shrink(hbm_config()),
         slow_memory=shrink(ddr3_config()),
     )
+
+
+# ---------------------------------------------------------------------------
+# Runtime knobs (the REPRO_* environment variables)
+# ---------------------------------------------------------------------------
+#
+# Every runtime tunable that used to be an ad-hoc ``os.environ.get``
+# scattered across the engine, policy, fault, and harness layers is
+# declared here once, with its type, default, and documentation.  The
+# resolver order is uniform everywhere:
+#
+#     explicit argument  >  scoped override  >  environment  >  default
+#
+# Scoped overrides (:func:`knob_overrides`) are how the CLI and the
+# parallel experiment runner pass flags downstream *without* mutating
+# ``os.environ`` — a mutation would leak into every later run in the
+# process and be inherited by forked workers.
+#
+# ``repro-hma config`` prints the effective table.
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One typed runtime knob backed by a ``REPRO_*`` env variable."""
+
+    name: str
+    env: str
+    kind: str  # "int" | "float" | "str" | "bool"
+    default: object
+    help: str
+    choices: "tuple[str, ...] | None" = None
+
+    def parse(self, raw: str):
+        """Parse a (non-empty) environment string into the typed value."""
+        if self.kind == "int":
+            return int(raw)
+        if self.kind == "float":
+            return float(raw)
+        if self.kind == "bool":
+            return raw.strip().lower() not in ("0", "false", "no", "off")
+        value = raw
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"{self.name} ({self.env}) must be one of "
+                f"{self.choices}, got {value!r}"
+            )
+        return value
+
+
+def _knob_table(*knobs: Knob) -> "dict[str, Knob]":
+    return {knob.name: knob for knob in knobs}
+
+
+#: The full knob table, in display order.
+KNOBS: "dict[str, Knob]" = _knob_table(
+    Knob("replay_kernel", "REPRO_REPLAY_KERNEL", "str", None,
+         "replay engine kernel",
+         choices=("batched", "scalar", "batched-native", "batched-python")),
+    Knob("replay_native", "REPRO_REPLAY_NATIVE", "bool", True,
+         "compile the C replay loop (0 = pure Python)"),
+    Knob("mea_native", "REPRO_MEA_NATIVE", "bool", True,
+         "compile the C MEA chunk kernel (0 = pure Python)"),
+    Knob("ckernel_dir", "REPRO_CKERNEL_DIR", "str", None,
+         "cache directory for compiled kernels"),
+    Knob("policy_kernel", "REPRO_POLICY_KERNEL", "str", "array",
+         "migration policy-layer backend",
+         choices=("array", "sparse")),
+    Knob("fault_trials", "REPRO_FAULT_TRIALS", "int", 0,
+         "Monte-Carlo fault-sim trials (0 = analytic)"),
+    Knob("faultsim_method", "REPRO_FAULTSIM_METHOD", "str", "batched",
+         "fault-simulator Monte-Carlo kernel",
+         choices=("batched", "reference")),
+    Knob("jobs", "REPRO_JOBS", "int", None,
+         "worker processes for experiment fan-out (unset = one per CPU)"),
+    Knob("cache_dir", "REPRO_CACHE_DIR", "str", None,
+         "on-disk prepared-workload cache directory"),
+    Knob("job_timeout", "REPRO_JOB_TIMEOUT", "float", None,
+         "per-job timeout in seconds (unset = no timeout)"),
+    Knob("retries", "REPRO_RETRIES", "int", 0,
+         "retry budget per failed or timed-out job"),
+    Knob("telemetry", "REPRO_TELEMETRY", "bool", False,
+         "enable metrics, tracing spans, epoch snapshots, run registry"),
+    Knob("obs_dir", "REPRO_OBS_DIR", "str", None,
+         "observability directory (run registry + span exports; "
+         "unset = ./.repro-obs)"),
+)
+
+#: Process-local scoped overrides (see :func:`knob_overrides`).
+_KNOB_OVERRIDES: "dict[str, object]" = {}
+
+
+def knob_value(name: str, explicit=None):
+    """Resolve one knob: explicit arg > override > environment > default."""
+    knob = KNOBS[name]
+    if explicit is not None:
+        return explicit
+    if name in _KNOB_OVERRIDES:
+        return _KNOB_OVERRIDES[name]
+    raw = os.environ.get(knob.env)
+    if raw:  # empty string counts as unset, matching the legacy readers
+        return knob.parse(raw)
+    return knob.default
+
+
+def knob_source(name: str) -> str:
+    """Where :func:`knob_value` found the knob: override/env/default."""
+    knob = KNOBS[name]
+    if name in _KNOB_OVERRIDES:
+        return "override"
+    if os.environ.get(knob.env):
+        return f"env:{knob.env}"
+    return "default"
+
+
+@contextmanager
+def knob_overrides(**values):
+    """Scoped knob overrides that never touch ``os.environ``.
+
+    ``None`` values are ignored (treated as "not overridden"), so
+    callers can forward optional CLI flags verbatim.  Restores the
+    previous override state on exit, even on error.
+    """
+    staged = {}
+    for name, value in values.items():
+        if value is None:
+            continue
+        if name not in KNOBS:
+            raise KeyError(f"unknown knob {name!r}")
+        knob = KNOBS[name]
+        if knob.choices is not None and value not in knob.choices:
+            raise ValueError(
+                f"{name} must be one of {knob.choices}, got {value!r}"
+            )
+        staged[name] = value
+    saved = {name: _KNOB_OVERRIDES[name]
+             for name in staged if name in _KNOB_OVERRIDES}
+    _KNOB_OVERRIDES.update(staged)
+    try:
+        yield
+    finally:
+        for name in staged:
+            if name in saved:
+                _KNOB_OVERRIDES[name] = saved[name]
+            else:
+                _KNOB_OVERRIDES.pop(name, None)
+
+
+def knob_report() -> "list[tuple[str, str, str, str, str]]":
+    """``(name, env, effective value, source, help)`` for every knob."""
+    rows = []
+    for knob in KNOBS.values():
+        value = knob_value(knob.name)
+        rows.append((knob.name, knob.env,
+                     "" if value is None else str(value),
+                     knob_source(knob.name), knob.help))
+    return rows

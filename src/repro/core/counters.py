@@ -41,11 +41,11 @@ POLICY_KERNELS = ("array", "sparse")
 
 
 def resolve_policy_kernel(kernel: "str | None" = None) -> str:
-    """Resolve the policy-layer backend (argument > env > default)."""
-    if kernel is None:
-        kernel = os.environ.get("REPRO_POLICY_KERNEL") or None
-    if kernel is None:
-        return "array"
+    """Resolve the policy-layer backend via the ``policy_kernel`` knob
+    (argument > scoped override > ``REPRO_POLICY_KERNEL`` > default)."""
+    from repro.config import knob_value
+
+    kernel = knob_value("policy_kernel", kernel)
     if kernel not in POLICY_KERNELS:
         raise ValueError(
             f"policy kernel must be one of {POLICY_KERNELS}, got {kernel!r}"

@@ -55,6 +55,7 @@ from repro.core.counters import (
 )
 from repro.core.mea import MeaTracker
 from repro.dram.hma import FAST, HeterogeneousMemory
+from repro.obs import metrics as _metrics
 
 MigrationPlan = "tuple[list[int], list[int]]"
 
@@ -155,6 +156,24 @@ class MigrationMechanism(ABC):
         """Additional tracking storage the mechanism needs."""
         return 0
 
+    def window_ace_total(self) -> float:
+        """Total ACE time accumulated in the current tracking window.
+
+        Telemetry hook: the replay engine samples this just before a
+        plan (plans reset the window).  Proxy-based mechanisms have no
+        ACE measurement and report 0.
+        """
+        return 0.0
+
+    def _record_plan(self, plan: MigrationPlan) -> MigrationPlan:
+        """Telemetry tap on a plan decision; a no-op when disabled."""
+        registry = _metrics.get_registry()
+        to_fast, to_slow = plan
+        registry.counter(f"plan.{self.name}.calls").inc()
+        registry.counter(f"plan.{self.name}.to_fast").inc(len(to_fast))
+        registry.counter(f"plan.{self.name}.to_slow").inc(len(to_slow))
+        return plan
+
 
 class PerformanceFocusedMigration(MigrationMechanism):
     """State-of-the-art hotness-only migration (Meswani et al. [40]).
@@ -193,8 +212,8 @@ class PerformanceFocusedMigration(MigrationMechanism):
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
         if self._use_array_kernel(hma):
-            return self._plan_array(hma)
-        return self._plan_sparse(hma)
+            return self._record_plan(self._plan_array(hma))
+        return self._record_plan(self._plan_sparse(hma))
 
     def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
@@ -311,8 +330,8 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
         if self._use_array_kernel(hma):
-            return self._plan_array(hma)
-        return self._plan_sparse(hma)
+            return self._record_plan(self._plan_array(hma))
+        return self._record_plan(self._plan_sparse(hma))
 
     def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
@@ -531,8 +550,8 @@ class CrossCountersMigration(MigrationMechanism):
         only as victims of the performance unit's promotions.
         """
         if self._use_array_kernel(hma):
-            return self._plan_array(hma)
-        return self._plan_sparse(hma)
+            return self._record_plan(self._plan_array(hma))
+        return self._record_plan(self._plan_sparse(hma))
 
     def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters
@@ -629,10 +648,13 @@ class OracleRiskMigration(MigrationMechanism):
                                      np.asarray(times).tolist()):
             access(int(page), float(time), bool(write))
 
+    def window_ace_total(self) -> float:
+        return float(sum(self.tracker.line_ace_times().values()))
+
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
         if self._use_array_kernel(hma):
-            return self._plan_array(hma)
-        return self._plan_sparse(hma)
+            return self._record_plan(self._plan_array(hma))
+        return self._record_plan(self._plan_sparse(hma))
 
     def _plan_sparse(self, hma) -> MigrationPlan:
         counters = self.counters

@@ -51,11 +51,11 @@ FAULTSIM_METHODS = ("batched", "reference")
 
 
 def resolve_faultsim_method(method: "str | None" = None) -> str:
-    """Resolve the Monte-Carlo kernel (argument > env > default)."""
-    if method is None:
-        method = os.environ.get("REPRO_FAULTSIM_METHOD") or None
-    if method is None:
-        return "batched"
+    """Resolve the Monte-Carlo kernel via the ``faultsim_method`` knob
+    (argument > scoped override > ``REPRO_FAULTSIM_METHOD`` > default)."""
+    from repro.config import knob_value
+
+    method = knob_value("faultsim_method", method)
     if method not in FAULTSIM_METHODS:
         raise ValueError(
             f"faultsim method must be one of {FAULTSIM_METHODS}, "
@@ -65,15 +65,15 @@ def resolve_faultsim_method(method: "str | None" = None) -> str:
 
 
 def resolve_fault_trials(trials: "int | None" = None) -> int:
-    """Monte-Carlo trial count for SER models (argument > env > 0).
+    """Monte-Carlo trial count for SER models via the ``fault_trials``
+    knob (argument > scoped override > ``REPRO_FAULT_TRIALS`` > 0).
 
-    ``0`` selects the analytic closed form.  The ``REPRO_FAULT_TRIALS``
-    environment variable lets experiment harnesses trade accuracy for
-    speed without code edits.
+    ``0`` selects the analytic closed form; the knob lets experiment
+    harnesses trade accuracy for speed without code edits.
     """
-    if trials is None:
-        raw = os.environ.get("REPRO_FAULT_TRIALS")
-        trials = int(raw) if raw else 0
+    from repro.config import knob_value
+
+    trials = int(knob_value("fault_trials", trials))
     if trials < 0:
         raise ValueError("fault trials must be >= 0")
     return trials
@@ -169,9 +169,23 @@ class FaultSimulator:
         """
         if trials <= 0:
             raise ValueError("trials must be positive")
-        if resolve_faultsim_method(method) == "batched":
-            return self._run_batched(trials)
-        return self._run_reference(trials)
+        from repro.obs import metrics as _metrics
+        from repro.obs.tracing import span
+
+        method = resolve_faultsim_method(method)
+        with span("faultsim.run", memory=self.memory.name,
+                  ecc=self.ecc.name, trials=trials, method=method):
+            if method == "batched":
+                result = self._run_batched(trials)
+            else:
+                result = self._run_reference(trials)
+        registry = _metrics.get_registry()
+        registry.counter("faultsim.campaigns").inc()
+        registry.counter("faultsim.trials").inc(trials)
+        registry.counter("faultsim.corrected").inc(result.corrected)
+        registry.counter("faultsim.detected").inc(result.detected)
+        registry.counter("faultsim.uncorrected").inc(result.uncorrected)
+        return result
 
     def _run_batched(self, trials: int) -> FaultSimResult:
         rng = self._rng

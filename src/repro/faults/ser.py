@@ -109,3 +109,30 @@ class SerModel:
                 else:
                     total += avf * self.fit_slow_per_page
         return total
+
+    def ser_dynamic_series(
+        self,
+        intervals: IntervalProfile,
+        fast_residency: "list[set[int]]",
+    ) -> "list[float]":
+        """Per-interval SER contributions under migration (telemetry).
+
+        Same accounting as :meth:`ser_dynamic` sliced by interval, for
+        epoch snapshot series; :meth:`ser_dynamic` keeps its own single
+        accumulation so its float rounding is untouched.
+        """
+        if len(fast_residency) != intervals.num_intervals:
+            raise ValueError(
+                "need one residency set per interval "
+                f"({intervals.num_intervals}), got {len(fast_residency)}"
+            )
+        series = []
+        for avf_map, resident in zip(intervals.interval_avf, fast_residency):
+            total = 0.0
+            for page, avf in avf_map.items():
+                if page in resident:
+                    total += avf * self.fit_fast_per_page
+                else:
+                    total += avf * self.fit_slow_per_page
+            series.append(total)
+        return series

@@ -5,6 +5,10 @@ Usage::
     repro-hma list
     repro-hma run fig05 [--accesses 20000] [--scale 0.0009765625]
     repro-hma run all --jobs 0 --cache-dir ~/.cache/repro-hma
+    repro-hma run fig14 --telemetry --obs-dir .repro-obs
+    repro-hma config
+    repro-hma report fig14
+    repro-hma compare fig14-1 fig14-2
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import inspect
 import os
 import sys
 
+from repro.config import knob_overrides
 from repro.core.counters import POLICY_KERNELS
 from repro.harness.experiments import EXPERIMENTS, WorkloadCache
 from repro.sim.system import DEFAULT_SCALE
@@ -71,6 +76,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="capacity/footprint scale (default 1/1024)")
     run.add_argument("--seed", type=int, default=0)
     _add_runner_args(run)
+
+    sub.add_parser(
+        "config", help="show every REPRO_* knob, its value, and where "
+                       "the value came from"
+    )
+
+    report = sub.add_parser(
+        "report", help="render one recorded run (metrics + epoch series)"
+    )
+    report.add_argument("run", help="run id (fig14-2) or label (fig14 = "
+                                    "latest run with that label)")
+    report.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="observability directory holding runs.sqlite "
+                             "(env REPRO_OBS_DIR; default ./.repro-obs)")
+
+    compare = sub.add_parser(
+        "compare", help="diff two recorded runs; exits 1 on regression"
+    )
+    compare.add_argument("run_a", help="baseline run id or label")
+    compare.add_argument("run_b", help="candidate run id or label")
+    compare.add_argument("--obs-dir", default=None, metavar="DIR",
+                         help="observability directory holding runs.sqlite "
+                              "(env REPRO_OBS_DIR; default ./.repro-obs)")
+    compare.add_argument("--threshold", type=float, default=0.02,
+                         metavar="FRAC",
+                         help="relative change that counts as a regression "
+                              "(default 0.02 = 2%%)")
+    compare.add_argument("--bench-root", default=None, metavar="DIR",
+                         help="also check the candidate's metrics against "
+                              "the BENCH_*.json floors found under DIR")
     return parser
 
 
@@ -112,14 +147,34 @@ def _add_runner_args(sub) -> None:
         help="migration policy-layer backend: vectorised 'array' "
              "(default) or the dict-based 'sparse' reference "
              "(env REPRO_POLICY_KERNEL)")
+    sub.add_argument(
+        "--telemetry", action="store_true",
+        help="record metrics, epoch snapshots, and tracing spans for "
+             "each experiment into the run registry "
+             "(env REPRO_TELEMETRY)")
+    sub.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="where the run registry and span exports live "
+             "(env REPRO_OBS_DIR; default ./.repro-obs)")
 
 
-def _run_one(name: str, cache: WorkloadCache) -> None:
+def _run_one(name: str, cache: WorkloadCache, args) -> None:
+    from repro.obs import run_context
+
     func = EXPERIMENTS[name]
     kwargs = {}
     if "cache" in inspect.signature(func).parameters:
         kwargs["cache"] = cache
-    func(**kwargs).print()
+    enabled = True if getattr(args, "telemetry", False) else None
+    with run_context(name,
+                     config={"experiment": name, "accesses": args.accesses,
+                             "scale": args.scale, "seed": args.seed},
+                     obs_dir=getattr(args, "obs_dir", None),
+                     enabled=enabled) as ctx:
+        result = func(**kwargs)
+        if ctx is not None and getattr(result, "summary", None):
+            ctx.add_metrics(result.summary)
+    result.print()
 
 
 def _cmd_workloads() -> int:
@@ -160,14 +215,21 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not args.run_dir:
         parser.error("--resume requires --run-dir")
-    # Flags surface as environment variables so they reach both the
-    # in-process model constructors and process-fan-out workers.
-    if getattr(args, "fault_trials", None) is not None:
-        if args.fault_trials < 0:
-            parser.error("--fault-trials must be >= 0")
-        os.environ["REPRO_FAULT_TRIALS"] = str(args.fault_trials)
-    if getattr(args, "policy_kernel", None):
-        os.environ["REPRO_POLICY_KERNEL"] = args.policy_kernel
+    if getattr(args, "fault_trials", None) is not None and args.fault_trials < 0:
+        parser.error("--fault-trials must be >= 0")
+    # Flags become scoped knob overrides (never os.environ mutations,
+    # which would leak into later runs in the same process); the
+    # process-fan-out path instead forwards them as explicit arguments
+    # to run_experiments so workers see them too.
+    with knob_overrides(
+            fault_trials=getattr(args, "fault_trials", None),
+            policy_kernel=getattr(args, "policy_kernel", None),
+            telemetry=True if getattr(args, "telemetry", False) else None,
+            obs_dir=getattr(args, "obs_dir", None)):
+        return _dispatch(parser, args)
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     if args.command == "list":
         for name, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
@@ -177,6 +239,12 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_workloads()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "config":
+        return _cmd_config()
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "scatter":
         from repro.core.quadrant import quadrant_split
         from repro.harness.plots import ascii_scatter
@@ -249,8 +317,59 @@ def main(argv: "list[str] | None" = None) -> int:
     if jobs != 1:
         cache.prefetch()
     for target in targets:
-        _run_one(target, cache)
+        _run_one(target, cache, args)
     return 0
+
+
+def _cmd_config() -> int:
+    from repro.config import knob_report
+    from repro.harness.reporting import format_table
+
+    print(format_table(("knob", "env", "value", "source", "description"),
+                       knob_report()))
+    return 0
+
+
+def _open_registry(obs_dir):
+    from repro.obs.registry import RunRegistry, registry_path
+
+    return RunRegistry(registry_path(obs_dir))
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import render_run_report
+
+    registry = _open_registry(args.obs_dir)
+    run = registry.resolve(args.run)
+    if run is None:
+        print(f"no run {args.run!r} in {registry.path}", file=sys.stderr)
+        return 2
+    print(render_run_report(registry, run))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.obs import report as obs_report
+
+    registry = _open_registry(args.obs_dir)
+    run_a = registry.resolve(args.run_a)
+    run_b = registry.resolve(args.run_b)
+    for ref, run in ((args.run_a, run_a), (args.run_b, run_b)):
+        if run is None:
+            print(f"no run {ref!r} in {registry.path}", file=sys.stderr)
+            return 2
+    diffs = obs_report.diff_metrics(registry.metrics(run_a.run_id),
+                                    registry.metrics(run_b.run_id),
+                                    threshold=args.threshold)
+    bench = []
+    if args.bench_root:
+        floors = obs_report.load_bench_floors(args.bench_root)
+        bench = obs_report.check_bench_floors(
+            registry.metrics(run_b.run_id), floors,
+            threshold=args.threshold)
+    print(obs_report.render_compare(run_a, run_b, diffs, bench))
+    regressed = obs_report.find_regressions(diffs) or bench
+    return 1 if regressed else 0
 
 
 def _run_checkpointed(targets, args):
@@ -268,7 +387,9 @@ def _run_checkpointed(targets, args):
         seed=args.seed, cache_dir=args.cache_dir,
         jobs=_effective_jobs(args), checkpoint_dir=args.run_dir,
         resume=args.resume, job_timeout=args.job_timeout,
-        retries=args.retries, return_report=True)
+        retries=args.retries, fault_trials=args.fault_trials,
+        policy_kernel=args.policy_kernel, telemetry=args.telemetry,
+        obs_dir=args.obs_dir, return_report=True)
     failed = report.failed
     if failed:
         print(f"warning: {report.summary()}", file=sys.stderr)

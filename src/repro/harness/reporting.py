@@ -7,6 +7,7 @@ against the paper side by side.
 
 from __future__ import annotations
 
+import unicodedata
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -32,22 +33,43 @@ def format_cell(value) -> str:
     return str(value)
 
 
+def display_width(text: str) -> int:
+    """Terminal cell count of ``text`` (East-Asian wide chars take 2)."""
+    return sum(2 if unicodedata.east_asian_width(ch) in ("W", "F") else 1
+               for ch in text)
+
+
+def _pad(text: str, width: int) -> str:
+    return text + " " * max(0, width - display_width(text))
+
+
 def format_table(
     headers: "Sequence[str]", rows: "Sequence[Sequence]", title: str = ""
 ) -> str:
-    """Render an aligned text table."""
+    """Render an aligned text table.
+
+    Alignment uses terminal display width, so mixed-width unicode
+    (e.g. CJK workload names) keeps columns straight.  Short rows are
+    padded with empty cells; extra cells beyond the headers are kept.
+    """
     str_rows = [[format_cell(c) for c in row] for row in rows]
+    ncols = max([len(headers)] + [len(r) for r in str_rows])
+    header_cells = list(headers) + [""] * (ncols - len(headers))
+    for row in str_rows:
+        row.extend([""] * (ncols - len(row)))
     widths = [
-        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
-        for i, h in enumerate(headers)
+        max(display_width(header_cells[i]),
+            *(display_width(r[i]) for r in str_rows)) if str_rows
+        else display_width(header_cells[i])
+        for i in range(ncols)
     ]
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(_pad(h, w) for h, w in zip(header_cells, widths)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(_pad(c, w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 
 

@@ -70,37 +70,37 @@ MANIFEST_VERSION = 1
 # ---------------------------------------------------------------------------
 
 def resolve_jobs(jobs: "int | None" = None) -> int:
-    """Worker count: explicit argument, ``REPRO_JOBS``, else CPU count."""
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS")
-        if env:
-            jobs = int(env)
+    """Worker count via the ``jobs`` knob (argument > scoped override >
+    ``REPRO_JOBS``), else CPU count."""
+    from repro.config import knob_value
+
+    jobs = knob_value("jobs", jobs)
     if jobs is None:
         jobs = os.cpu_count() or 1
-    return max(1, jobs)
+    return max(1, int(jobs))
 
 
 def resolve_job_timeout(timeout: "float | None" = None) -> "float | None":
-    """Per-job timeout: explicit argument, ``REPRO_JOB_TIMEOUT``, else off.
+    """Per-job timeout via the ``job_timeout`` knob (argument > scoped
+    override > ``REPRO_JOB_TIMEOUT``), else off.
 
     Non-positive values disable the timeout.
     """
-    if timeout is None:
-        env = os.environ.get("REPRO_JOB_TIMEOUT")
-        if env:
-            timeout = float(env)
+    from repro.config import knob_value
+
+    timeout = knob_value("job_timeout", timeout)
     if timeout is not None and timeout <= 0:
         return None
     return timeout
 
 
 def resolve_retries(retries: "int | None" = None) -> int:
-    """Retry budget: explicit argument, ``REPRO_RETRIES``, else 0."""
-    if retries is None:
-        env = os.environ.get("REPRO_RETRIES")
-        if env:
-            retries = int(env)
-    return max(0, retries or 0)
+    """Retry budget via the ``retries`` knob (argument > scoped
+    override > ``REPRO_RETRIES``), else 0."""
+    from repro.config import knob_value
+
+    retries = knob_value("retries", retries)
+    return max(0, int(retries or 0))
 
 
 # ---------------------------------------------------------------------------

@@ -82,10 +82,11 @@ CACHE_VERSION = 2
 # ---------------------------------------------------------------------------
 
 def resolve_cache_dir(cache_dir: "str | None" = None) -> "str | None":
-    """Cache directory: explicit argument else ``REPRO_CACHE_DIR``."""
-    if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    return cache_dir
+    """Cache directory via the ``cache_dir`` knob (argument > scoped
+    override > ``REPRO_CACHE_DIR``)."""
+    from repro.config import knob_value
+
+    return knob_value("cache_dir", cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -278,10 +279,13 @@ def prefetch_workloads(
 def _run_experiment_worker(item):
     import inspect
 
-    name, accesses, scale, seed, cache_dir = item
+    (name, accesses, scale, seed, cache_dir,
+     fault_trials, policy_kernel, telemetry, obs_dir) = item
     # Imported lazily so forked workers reuse the parent's modules and
     # fresh processes pay the import only once each.
+    from repro.config import knob_overrides
     from repro.harness.experiments import EXPERIMENTS, WorkloadCache
+    from repro.obs import run_context
 
     cache = WorkloadCache(accesses_per_core=accesses, scale=scale,
                           seed=seed, cache_dir=cache_dir)
@@ -289,7 +293,21 @@ def _run_experiment_worker(item):
     kwargs = {}
     if "cache" in inspect.signature(func).parameters:
         kwargs["cache"] = cache
-    return name, func(**kwargs)
+    # Scoped overrides, not os.environ: each worker gets exactly the
+    # knobs the CLI passed for *this* run, and nothing leaks into later
+    # runs or sibling workers.
+    with knob_overrides(fault_trials=fault_trials,
+                        policy_kernel=policy_kernel):
+        with run_context(
+                name,
+                config={"experiment": name, "accesses": accesses,
+                        "scale": scale, "seed": seed},
+                obs_dir=obs_dir,
+                enabled=True if telemetry else None) as ctx:
+            result = func(**kwargs)
+            if ctx is not None and getattr(result, "summary", None):
+                ctx.add_metrics(result.summary)
+    return name, result
 
 
 def run_experiments(
@@ -304,6 +322,10 @@ def run_experiments(
     job_timeout: "float | None" = None,
     retries: "int | None" = None,
     return_report: bool = False,
+    fault_trials: "int | None" = None,
+    policy_kernel: "str | None" = None,
+    telemetry: bool = False,
+    obs_dir: "str | None" = None,
 ):
     """Run experiment ids across cores; ``[(name, FigureResult)]``.
 
@@ -322,14 +344,20 @@ def run_experiments(
     ``(name, FigureResult)`` tuples) without raising.
     """
     cache_dir = resolve_cache_dir(cache_dir)
-    items = [(name, accesses_per_core, scale, seed, cache_dir)
+    items = [(name, accesses_per_core, scale, seed, cache_dir,
+              fault_trials, policy_kernel, telemetry, obs_dir)
              for name in names]
     manifest = None
     if checkpoint_dir is not None:
         manifest = RunManifest(
             checkpoint_dir,
+            # fault_trials/policy_kernel change the numbers, so they are
+            # part of the run key: a resume with different knobs reruns
+            # instead of serving stale checkpointed results.
             run_key=run_key(kind="experiments", accesses=accesses_per_core,
-                            scale=scale, seed=seed),
+                            scale=scale, seed=seed,
+                            fault_trials=fault_trials,
+                            policy_kernel=policy_kernel),
             resume=resume)
     report = checkpointed_map(
         _run_experiment_worker, items, keys=list(names), manifest=manifest,

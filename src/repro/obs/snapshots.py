@@ -1,0 +1,167 @@
+"""Epoch-level time-series snapshots of simulator state.
+
+The replay kernels call :func:`replay_sink` once per replay; it returns
+``None`` when telemetry is off (so the chunk loop pays one ``is None``
+check) or a :class:`ReplaySink` whose ``on_epoch`` captures a row per
+migration epoch: cumulative migration traffic, HBM occupancy, the
+per-epoch read/write mix split by tier, and the policy's windowed ACE
+for the epoch.  Rows accumulate into a :class:`SnapshotSeries`, which
+the run registry persists as ``(series, epoch, name, value)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import metrics
+
+#: Column order for tabular rendering of a series.
+SNAPSHOT_FIELDS = (
+    "epoch",
+    "migrations_to_fast",
+    "migrations_to_slow",
+    "migration_seconds",
+    "hbm_occupancy",
+    "hbm_capacity",
+    "fast_reads",
+    "fast_writes",
+    "slow_reads",
+    "slow_writes",
+    "windowed_ace",
+)
+
+
+@dataclass
+class EpochSnapshot:
+    """State captured at one migration-epoch boundary.
+
+    Migration counters are cumulative; the read/write mix is the delta
+    for this epoch alone.
+    """
+
+    epoch: int
+    migrations_to_fast: int = 0
+    migrations_to_slow: int = 0
+    migration_seconds: float = 0.0
+    hbm_occupancy: int = 0
+    hbm_capacity: int = 0
+    fast_reads: int = 0
+    fast_writes: int = 0
+    slow_reads: int = 0
+    slow_writes: int = 0
+    windowed_ace: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in SNAPSHOT_FIELDS}
+        out.update(self.extra)
+        return out
+
+
+class SnapshotSeries:
+    """An ordered list of :class:`EpochSnapshot` rows plus helpers."""
+
+    def __init__(self, name: str = "replay") -> None:
+        self.name = name
+        self.rows: "list[EpochSnapshot]" = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def append(self, row: EpochSnapshot) -> None:
+        self.rows.append(row)
+
+    def metric_series(self, name: str) -> "list[float]":
+        """All values of one column (core field or extra) in epoch order."""
+        out = []
+        for row in self.rows:
+            if name in row.extra:
+                out.append(row.extra[name])
+            else:
+                out.append(getattr(row, name))
+        return out
+
+    def annotate(self, name: str, values) -> None:
+        """Attach a parallel per-epoch column (e.g. per-interval SER)."""
+        values = list(values)
+        if len(values) != len(self.rows):
+            raise ValueError(
+                f"annotation {name!r} has {len(values)} values for "
+                f"{len(self.rows)} epochs")
+        for row, value in zip(self.rows, values):
+            row.extra[name] = value
+
+    def columns(self) -> "list[str]":
+        cols = list(SNAPSHOT_FIELDS)
+        seen = set(cols)
+        for row in self.rows:
+            for key in row.extra:
+                if key not in seen:
+                    seen.add(key)
+                    cols.append(key)
+        return cols
+
+    def to_dicts(self) -> "list[dict]":
+        return [row.as_dict() for row in self.rows]
+
+    @classmethod
+    def from_dicts(cls, name: str, rows) -> "SnapshotSeries":
+        series = cls(name)
+        core = set(SNAPSHOT_FIELDS)
+        for raw in rows:
+            snap = EpochSnapshot(epoch=int(raw.get("epoch", len(series))))
+            for key, value in raw.items():
+                if key == "epoch":
+                    continue
+                if key in core:
+                    setattr(snap, key, value)
+                else:
+                    snap.extra[key] = value
+            series.append(snap)
+        return series
+
+
+class ReplaySink:
+    """Collects epoch snapshots from a live replay over one memory.
+
+    Tracks the previous epoch's tier counters so each row carries the
+    per-epoch read/write delta rather than a running total.
+    """
+
+    def __init__(self, hma) -> None:
+        self._hma = hma
+        self.series = SnapshotSeries()
+        self._prev = (hma.fast.stats.reads, hma.fast.stats.writes,
+                      hma.slow.stats.reads, hma.slow.stats.writes)
+
+    def on_epoch(self, epoch: int, fast_reads: int, fast_writes: int,
+                 slow_reads: int, slow_writes: int,
+                 windowed_ace: float = 0.0) -> None:
+        """Record one epoch; tier counters are cumulative-so-far values."""
+        hma = self._hma
+        stats = hma.migration_stats
+        pf, pfw, ps, psw = self._prev
+        self._prev = (fast_reads, fast_writes, slow_reads, slow_writes)
+        self.series.append(EpochSnapshot(
+            epoch=epoch,
+            migrations_to_fast=stats.migrations_to_fast,
+            migrations_to_slow=stats.migrations_to_slow,
+            migration_seconds=stats.migration_seconds,
+            hbm_occupancy=hma.fast_occupancy(),
+            hbm_capacity=hma.fast_capacity_pages,
+            fast_reads=fast_reads - pf,
+            fast_writes=fast_writes - pfw,
+            slow_reads=slow_reads - ps,
+            slow_writes=slow_writes - psw,
+            windowed_ace=float(windowed_ace),
+        ))
+
+
+def replay_sink(hma) -> "ReplaySink | None":
+    """A sink for this replay, or ``None`` when telemetry is off."""
+    if not metrics.enabled():
+        return None
+    return ReplaySink(hma)

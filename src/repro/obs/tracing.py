@@ -1,0 +1,173 @@
+"""Span-based tracing with wall/CPU time and JSONL export.
+
+A span measures one named region of work::
+
+    from repro.obs.tracing import span
+
+    with span("replay_epoch", epoch=3, mechanism="fc-migration"):
+        ...
+
+When no recorder is active (telemetry off) :func:`span` returns a
+shared no-op context manager — no allocation, no clock reads.  When a
+:class:`SpanRecorder` is installed (normally by
+:func:`repro.obs.run_context`) each span captures wall time
+(``time.perf_counter``), CPU time (``time.process_time``), an epoch
+timestamp, free-form attributes, and its parent span for nesting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+
+
+class Span:
+    """One timed region; mutated in place by its recorder."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_epoch",
+                 "wall_seconds", "cpu_seconds", "attrs",
+                 "_wall0", "_cpu0")
+
+    def __init__(self, name: str, span_id: int, parent_id: "int | None",
+                 attrs: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_epoch = time.time()
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def finish(self) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall0
+        self.cpu_seconds = time.process_time() - self._cpu0
+
+    def as_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_epoch": self.start_epoch,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class _ActiveSpan:
+    """Context manager pairing a Span with its recorder's stack."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._recorder._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.finish()
+        self._recorder._pop(self._span)
+
+
+class _NullSpan:
+    """Shared do-nothing span context manager."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: dict = {}
+    wall_seconds = 0.0
+    cpu_seconds = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects finished spans; per-thread nesting via a local stack."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: "list[Span]" = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        parent = self._stack()[-1].span_id if self._stack() else None
+        return _ActiveSpan(self, Span(name, next(self._ids), parent, attrs))
+
+    def _stack(self) -> "list[Span]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # misnested exit; drop it and everything above
+            del stack[stack.index(span):]
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> "list[Span]":
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> "list[Span]":
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def export_jsonl(self, path: str) -> int:
+        """Write all finished spans as one JSON object per line."""
+        spans = self.spans
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for item in spans:
+                fh.write(json.dumps(item.as_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+
+#: Recorder installed by the active run context (or tests).
+_current: "SpanRecorder | None" = None
+
+
+def set_current_recorder(recorder: "SpanRecorder | None"):
+    """Install ``recorder`` as the process recorder; returns the previous."""
+    global _current
+    previous = _current
+    _current = recorder
+    return previous
+
+
+def current_recorder() -> "SpanRecorder | None":
+    return _current
+
+
+def span(name: str, **attrs):
+    """Open a span on the active recorder, or a no-op when tracing is off."""
+    recorder = _current
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, **attrs)

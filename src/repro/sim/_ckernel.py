@@ -151,7 +151,9 @@ _cached: "tuple[object, str | None] | None" = None
 
 
 def _cache_dir() -> str:
-    override = os.environ.get("REPRO_CKERNEL_DIR")
+    from repro.config import knob_value
+
+    override = knob_value("ckernel_dir")
     if override:
         return override
     return os.path.join(tempfile.gettempdir(),
@@ -224,8 +226,10 @@ def load():
     with _lock:
         if _cached is not None:
             return _cached[0]
+        from repro.config import knob_value
+
         fn, error = None, None
-        if os.environ.get("REPRO_REPLAY_NATIVE") != "0":
+        if knob_value("replay_native"):
             digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
             so_path = os.path.join(_cache_dir(), f"replay-{digest}.so")
             try:

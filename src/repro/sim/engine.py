@@ -46,6 +46,9 @@ from repro.dram.hma import (
     flatten_bank_state,
     restore_bank_state,
 )
+from repro.obs import metrics as _metrics
+from repro.obs.snapshots import replay_sink
+from repro.obs.tracing import span
 from repro.sim.cpu import ReplayCore
 from repro.sim.results import DeviceUtilisation, ReplayResult
 from repro.trace.record import Trace
@@ -71,7 +74,9 @@ def _resolve_kernel(kernel: "str | None", hma) -> str:
         hasattr(hma, "route_batch") and hasattr(hma, "fast_pages_snapshot")
     )
     if kernel is None:
-        kernel = os.environ.get("REPRO_REPLAY_KERNEL") or None
+        from repro.config import knob_value
+
+        kernel = knob_value("replay_kernel", kernel)
     if kernel is None:
         if not supported:
             return "scalar"
@@ -207,13 +212,27 @@ def replay(
     if core_windows is not None and len(core_windows) != config.num_cores:
         raise ValueError("core_windows must have one entry per core")
 
+    # Telemetry: None when disabled, so the kernels' chunk loops pay a
+    # single ``is None`` test per epoch.
+    sink = replay_sink(hma)
     args = (config, hma, trace, times, mechanism, core_windows,
-            starts, stops, bounds, total_chunks, sub)
-    if kernel == "scalar":
-        return _replay_scalar(*args)
-    if kernel == "batched-native":
-        return _replay_batched_native(*args)
-    return _replay_batched(*args)
+            starts, stops, bounds, total_chunks, sub, sink)
+    with span("replay", kernel=kernel, requests=len(trace),
+              chunks=total_chunks,
+              mechanism=mechanism.name if mechanism else None):
+        if kernel == "scalar":
+            result = _replay_scalar(*args)
+        elif kernel == "batched-native":
+            result = _replay_batched_native(*args)
+        else:
+            result = _replay_batched(*args)
+    if sink is not None:
+        result.snapshots = sink.series
+        registry = _metrics.get_registry()
+        registry.counter("replay.requests").inc(len(trace))
+        registry.counter("replay.chunks").inc(total_chunks)
+        registry.counter("replay.runs").inc()
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +241,7 @@ def replay(
 
 def _replay_scalar(
     config, hma, trace, times, mechanism, core_windows,
-    starts, stops, bounds, total_chunks, sub,
+    starts, stops, bounds, total_chunks, sub, sink=None,
 ) -> ReplayResult:
     cores = [
         ReplayCore(
@@ -274,11 +293,20 @@ def _replay_scalar(
                 read_count += 1
 
         # -- migration at the boundary --
+        window_ace = 0.0
+        if sink is not None and mechanism is not None:
+            # Sampled before the plan: planning resets the window.
+            window_ace = mechanism.window_ace_total()
         if mechanism is not None and chunk < total_chunks - 1:
             now = max(c.time for c in cores)
             to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
             if to_fast or to_slow:
                 hma.migrate_pairs(to_fast, to_slow, now)
+
+        if sink is not None:
+            sink.on_epoch(chunk, hma.fast.stats.reads,
+                          hma.fast.stats.writes, hma.slow.stats.reads,
+                          hma.slow.stats.writes, window_ace)
 
     final = max(core.drain() for core in cores) if cores else 0.0
     return _build_result(
@@ -331,7 +359,7 @@ def _seq_sum(initial: float, values: np.ndarray) -> float:
 
 def _replay_batched(
     config, hma, trace, times, mechanism, core_windows,
-    starts, stops, bounds, total_chunks, sub,
+    starts, stops, bounds, total_chunks, sub, sink=None,
 ) -> ReplayResult:
     num_cores = config.num_cores
     spi = 1.0 / (config.core.issue_width * config.core.frequency_hz)
@@ -521,6 +549,10 @@ def _replay_batched(
                                            np.full(count, burst))
 
         # -- migration at the boundary --
+        window_ace = 0.0
+        if sink is not None and mechanism is not None:
+            # Sampled before the plan: planning resets the window.
+            window_ace = mechanism.window_ace_total()
         if mechanism is not None and chunk < total_chunks - 1:
             now = max(core_time)
             to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
@@ -532,6 +564,10 @@ def _replay_batched(
                 chan_busy = (list(fast.channel_busy_until)
                              + list(slow.channel_busy_until))
                 busy_acc = [fast.stats.busy_time, slow.stats.busy_time]
+
+        if sink is not None:
+            sink.on_epoch(chunk, reads_ct[0], writes_ct[0],
+                          reads_ct[1], writes_ct[1], window_ace)
 
     final = 0.0
     for c in range(num_cores):
@@ -562,7 +598,7 @@ def _replay_batched(
 
 def _replay_batched_native(
     config, hma, trace, times, mechanism, core_windows,
-    starts, stops, bounds, total_chunks, sub,
+    starts, stops, bounds, total_chunks, sub, sink=None,
 ) -> ReplayResult:
     """The batched kernel with the fused loop compiled to C.
 
@@ -675,6 +711,10 @@ def _replay_batched_native(
             )
 
         # -- migration at the boundary --
+        window_ace = 0.0
+        if sink is not None and mechanism is not None:
+            # Sampled before the plan: planning resets the window.
+            window_ace = mechanism.window_ace_total()
         if mechanism is not None and chunk < total_chunks - 1:
             now = float(core_time.max())
             to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
@@ -685,6 +725,10 @@ def _replay_batched_native(
                                      + list(slow.channel_busy_until))
                 busy_acc = np.array([fast.stats.busy_time,
                                      slow.stats.busy_time])
+
+        if sink is not None:
+            sink.on_epoch(chunk, reads_ct[0], writes_ct[0],
+                          reads_ct[1], writes_ct[1], window_ace)
 
     core_times = core_time.tolist()
     final = 0.0

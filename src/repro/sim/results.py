@@ -53,6 +53,9 @@ class ReplayResult:
     interval_boundaries: np.ndarray = field(
         default_factory=lambda: np.empty(0)
     )
+    #: Epoch telemetry (:class:`repro.obs.snapshots.SnapshotSeries`)
+    #: when the replay ran with telemetry enabled, else ``None``.
+    snapshots: "object | None" = None
 
     @property
     def total_cycles(self) -> float:

@@ -28,6 +28,7 @@ from repro.core.migration import MigrationMechanism
 from repro.core.placement import PerformanceFocusedPlacement, PlacementPolicy
 from repro.dram.hma import HeterogeneousMemory
 from repro.faults.ser import SerModel
+from repro.obs import current_run
 from repro.sim.engine import replay
 from repro.sim.results import ExperimentResult
 from repro.trace.workloads import Workload, WorkloadTrace
@@ -126,6 +127,21 @@ def evaluate_static(
     )
 
 
+def _attach_run_series(tag: str, result, ser_series) -> None:
+    """Hand a replay's epoch snapshots to the active telemetry run.
+
+    Annotates the series with per-epoch SER when the lengths line up
+    (one residency set per epoch) before attaching it under ``tag``.
+    """
+    ctx = current_run()
+    series = result.snapshots
+    if ctx is None or series is None:
+        return
+    if ser_series is not None and len(ser_series) == len(series):
+        series.annotate("ser", ser_series)
+    ctx.add_series(tag, series)
+
+
 def evaluate_migration(
     prep: PreparedWorkload,
     mechanism: MigrationMechanism,
@@ -152,6 +168,11 @@ def evaluate_migration(
     )
     intervals = profile_intervals(wt.trace, wt.times, result.interval_boundaries)
     ser = prep.ser_model.ser_dynamic(intervals, result.fast_residency)
+    if result.snapshots is not None:
+        _attach_run_series(
+            f"{prep.name}:{mechanism.name}", result,
+            prep.ser_model.ser_dynamic_series(intervals,
+                                              result.fast_residency))
     base = prep.ddr_baseline
     return ExperimentResult(
         workload=prep.name,
@@ -230,6 +251,11 @@ def evaluate_annotation_migration(
     )
     intervals = profile_intervals(wt.trace, wt.times, result.interval_boundaries)
     ser = prep.ser_model.ser_dynamic(intervals, result.fast_residency)
+    if result.snapshots is not None:
+        _attach_run_series(
+            f"{prep.name}:annotations+{mechanism.name}", result,
+            prep.ser_model.ser_dynamic_series(intervals,
+                                              result.fast_residency))
     base = prep.ddr_baseline
     return (
         ExperimentResult(

@@ -1,8 +1,15 @@
 """Unit tests for reporting helpers."""
 
+import math
+
 import pytest
 
-from repro.harness.reporting import format_cell, format_table, gmean
+from repro.harness.reporting import (
+    display_width,
+    format_cell,
+    format_table,
+    gmean,
+)
 
 
 class TestGmean:
@@ -53,3 +60,44 @@ class TestFormatTable:
     def test_empty_rows(self):
         out = format_table(["x", "y"], [])
         assert "x" in out
+
+    def test_short_rows_padded(self):
+        out = format_table(["a", "b", "c"], [[1], [2, 3, 4]])
+        lines = out.splitlines()
+        assert lines[2].rstrip() == "1"
+        assert lines[3].split() == ["2", "3", "4"]
+
+    def test_extra_cells_beyond_headers_kept(self):
+        out = format_table(["a"], [[1, 2, 3]])
+        assert "3" in out.splitlines()[-1]
+
+    def test_nan_and_inf_render(self):
+        out = format_table(["v"], [[math.nan], [math.inf], [-math.inf]])
+        lines = out.splitlines()
+        assert lines[2].strip() == "nan"
+        assert lines[3].strip() == "inf"
+        assert lines[4].strip() == "-inf"
+
+    def test_wide_unicode_alignment(self):
+        # CJK names occupy two terminal cells per char; the next
+        # column must still start at the same display offset.
+        out = format_table(["name", "v"], [["漢字", 1], ["ascii", 22]])
+        lines = out.splitlines()
+        values = []
+        for line in lines[2:]:
+            cells = line.split()
+            values.append(
+                display_width(line[: line.rindex(cells[-1])]))
+        assert values[0] == values[1]
+
+
+class TestDisplayWidth:
+    def test_ascii(self):
+        assert display_width("abc") == 3
+
+    def test_cjk_counts_double(self):
+        assert display_width("漢字") == 4
+        assert display_width("x漢") == 3
+
+    def test_empty(self):
+        assert display_width("") == 0

@@ -1,0 +1,14 @@
+"""Shared hygiene for observability tests: reset module-level state."""
+
+import pytest
+
+from repro.obs import metrics, tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    metrics.reset()
+    tracing.set_current_recorder(None)
+    yield
+    metrics.reset()
+    tracing.set_current_recorder(None)

@@ -1,0 +1,55 @@
+"""End-to-end telemetry: a real migration replay under run_context."""
+
+import pytest
+
+from repro.core.migration import ReliabilityAwareFCMigration
+from repro.obs import run_context
+from repro.obs.registry import RunRegistry
+from repro.obs.snapshots import SNAPSHOT_FIELDS
+from repro.sim.system import evaluate_migration, prepare_workload
+
+
+@pytest.fixture(scope="module")
+def prep():
+    return prepare_workload("mcf", accesses_per_core=1500)
+
+
+def test_migration_run_records_everything(prep, tmp_path):
+    with run_context("itest", config={"wl": "mcf"},
+                     obs_dir=str(tmp_path), enabled=True):
+        result = evaluate_migration(
+            prep, ReliabilityAwareFCMigration(), num_intervals=4)
+    reg = RunRegistry(str(tmp_path / "registry.sqlite"))
+    run = reg.resolve("itest")
+    assert run is not None and run.status == "completed"
+
+    metrics = reg.metrics(run.run_id)
+    assert metrics["replay.runs"] == 1.0
+    assert metrics["replay.chunks"] == 4.0
+    assert metrics["plan.fc-migration.calls"] == 3.0  # n_intervals - 1
+
+    names = reg.series_names(run.run_id)
+    assert names == ["mcf:fc-migration"]
+    series = reg.series(run.run_id, names[0])
+    assert len(series) == 4
+    for field in SNAPSHOT_FIELDS:
+        assert len(series.metric_series(field)) == 4
+    # Annotated per-interval SER sums to the scheme's total SER.
+    assert sum(series.metric_series("ser")) == pytest.approx(result.ser)
+    # Cumulative migration counters are monotone.
+    to_fast = series.metric_series("migrations_to_fast")
+    assert to_fast == sorted(to_fast)
+    assert to_fast[-1] + series.metric_series("migrations_to_slow")[-1] \
+        == result.migrations
+
+
+def test_telemetry_off_is_bit_identical(prep):
+    mech = ReliabilityAwareFCMigration
+    plain = evaluate_migration(prep, mech(), num_intervals=4)
+    import tempfile
+    with tempfile.TemporaryDirectory() as obs_dir:
+        with run_context("parity", obs_dir=obs_dir, enabled=True):
+            traced = evaluate_migration(prep, mech(), num_intervals=4)
+    assert traced.ipc == plain.ipc
+    assert traced.ser == plain.ser
+    assert traced.migrations == plain.migrations

@@ -1,0 +1,157 @@
+"""Unit tests for the SQLite run registry and run_context glue."""
+
+import json
+import math
+import os
+
+import repro.obs as obs
+from repro.obs import metrics, run_context
+from repro.obs.registry import (
+    RunRegistry,
+    config_hash,
+    default_obs_dir,
+    registry_path,
+)
+from repro.obs.snapshots import EpochSnapshot, SnapshotSeries
+
+
+def _registry(tmp_path):
+    return RunRegistry(str(tmp_path / "registry.sqlite"))
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_differs_on_value(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestPaths:
+    def test_default_obs_dir_via_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", "/tmp/somewhere")
+        assert default_obs_dir() == "/tmp/somewhere"
+        assert registry_path() == "/tmp/somewhere/registry.sqlite"
+
+    def test_default_obs_dir_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        assert default_obs_dir().endswith(".repro-obs")
+
+
+class TestRecordAndRead:
+    def test_round_trip(self, tmp_path):
+        reg = _registry(tmp_path)
+        series = SnapshotSeries()
+        series.append(EpochSnapshot(epoch=0, fast_reads=3))
+        series.append(EpochSnapshot(epoch=1, fast_reads=9))
+        run_id = reg.record_run(
+            "exp", config={"seed": 1}, metrics={"ipc": 1.5},
+            series={"main": series}, artifacts={"spans": "/tmp/x"})
+        assert run_id == "exp-1"
+        run = reg.get_run(run_id)
+        assert run.label == "exp"
+        assert run.config == {"seed": 1}
+        assert run.artifacts == {"spans": "/tmp/x"}
+        assert run.status == "completed"
+        assert reg.metrics(run_id) == {"ipc": 1.5}
+        assert reg.series_names(run_id) == ["main"]
+        back = reg.series(run_id, "main")
+        assert back.metric_series("fast_reads") == [3.0, 9.0]
+
+    def test_ids_increment_per_label(self, tmp_path):
+        reg = _registry(tmp_path)
+        assert reg.record_run("a") == "a-1"
+        assert reg.record_run("a") == "a-2"
+        assert reg.record_run("b") == "b-1"
+
+    def test_latest_and_resolve(self, tmp_path):
+        reg = _registry(tmp_path)
+        reg.record_run("a")
+        reg.record_run("a")
+        assert reg.latest("a").run_id == "a-2"
+        assert reg.resolve("a").run_id == "a-2"  # bare label
+        assert reg.resolve("a-1").run_id == "a-1"  # exact id
+        assert reg.resolve("nope") is None
+
+    def test_list_runs_filter(self, tmp_path):
+        reg = _registry(tmp_path)
+        reg.record_run("a")
+        reg.record_run("b")
+        assert [r.run_id for r in reg.list_runs()] == ["a-1", "b-1"]
+        assert [r.run_id for r in reg.list_runs("b")] == ["b-1"]
+
+    def test_nan_metric_becomes_null(self, tmp_path):
+        reg = _registry(tmp_path)
+        run_id = reg.record_run("x", metrics={"bad": math.nan, "ok": 1.0})
+        stored = reg.metrics(run_id)
+        assert stored["ok"] == 1.0
+        assert stored["bad"] is None
+
+    def test_series_from_plain_dicts(self, tmp_path):
+        reg = _registry(tmp_path)
+        run_id = reg.record_run(
+            "x", series={"s": [{"epoch": 0, "v": 2.0}, {"epoch": 1, "v": 4.0}]})
+        assert reg.series(run_id, "s").metric_series("v") == [2.0, 4.0]
+
+
+class TestRunContext:
+    def test_disabled_yields_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        metrics.reset()
+        with run_context("quiet") as ctx:
+            assert ctx is None
+        assert obs.current_run() is None
+
+    def test_enabled_records_run(self, tmp_path):
+        with run_context("demo", config={"k": 1},
+                         obs_dir=str(tmp_path), enabled=True) as ctx:
+            assert obs.current_run() is ctx
+            metrics.get_registry().counter("events").inc(4)
+            with obs.span("stage"):
+                pass
+            series = SnapshotSeries()
+            series.append(EpochSnapshot(epoch=0))
+            ctx.add_series("trace", series)
+            ctx.add_metrics({"score": 2.5, "skip": "not-a-number"})
+        assert obs.current_run() is None
+        reg = RunRegistry(str(tmp_path / "registry.sqlite"))
+        run = reg.resolve("demo")
+        assert run.run_id == "demo-1"
+        stored = reg.metrics(run.run_id)
+        assert stored["events"] == 4.0
+        assert stored["score"] == 2.5
+        assert "skip" not in stored
+        assert reg.series_names(run.run_id) == ["trace"]
+        spans_path = run.artifacts["spans"]
+        assert os.path.exists(spans_path)
+        names = [json.loads(line)["name"]
+                 for line in open(spans_path, encoding="utf-8")]
+        assert names == ["stage"]
+
+    def test_failure_marks_status(self, tmp_path):
+        try:
+            with run_context("boom", obs_dir=str(tmp_path), enabled=True):
+                raise RuntimeError("die")
+        except RuntimeError:
+            pass
+        reg = RunRegistry(str(tmp_path / "registry.sqlite"))
+        assert reg.resolve("boom").status == "failed"
+
+    def test_duplicate_series_names_suffixed(self, tmp_path):
+        with run_context("dup", obs_dir=str(tmp_path), enabled=True) as ctx:
+            for _ in range(2):
+                series = SnapshotSeries()
+                series.append(EpochSnapshot(epoch=0))
+                ctx.add_series("same", series)
+        reg = RunRegistry(str(tmp_path / "registry.sqlite"))
+        assert reg.series_names("dup-1") == ["same", "same#2"]
+
+    def test_restores_previous_registry(self, tmp_path):
+        outer = metrics.MetricsRegistry()
+        prev = metrics.install(outer)
+        try:
+            with run_context("inner", obs_dir=str(tmp_path), enabled=True):
+                assert metrics.get_registry() is not outer
+            assert metrics.get_registry() is outer
+        finally:
+            metrics.install(prev)

@@ -1,0 +1,112 @@
+"""Unit tests for epoch snapshots and the replay sink."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.snapshots import (
+    SNAPSHOT_FIELDS,
+    EpochSnapshot,
+    ReplaySink,
+    SnapshotSeries,
+    replay_sink,
+)
+
+
+class _Stats:
+    def __init__(self, reads=0, writes=0):
+        self.reads = reads
+        self.writes = writes
+
+
+class _MigrationStats:
+    def __init__(self):
+        self.migrations_to_fast = 0
+        self.migrations_to_slow = 0
+        self.migration_seconds = 0.0
+
+
+class _FakeHma:
+    """Just enough surface for ReplaySink."""
+
+    def __init__(self):
+        self.fast = type("T", (), {"stats": _Stats(10, 5)})()
+        self.slow = type("T", (), {"stats": _Stats(100, 50)})()
+        self.migration_stats = _MigrationStats()
+        self.fast_capacity_pages = 256
+        self._occ = 17
+
+    def fast_occupancy(self):
+        return self._occ
+
+
+class TestSnapshotSeries:
+    def test_append_len_iter(self):
+        s = SnapshotSeries("x")
+        s.append(EpochSnapshot(epoch=0))
+        s.append(EpochSnapshot(epoch=1))
+        assert len(s) == 2
+        assert [r.epoch for r in s] == [0, 1]
+
+    def test_metric_series_core_and_extra(self):
+        s = SnapshotSeries()
+        s.append(EpochSnapshot(epoch=0, fast_reads=3))
+        s.append(EpochSnapshot(epoch=1, fast_reads=7))
+        assert s.metric_series("fast_reads") == [3, 7]
+        s.annotate("ser", [0.1, 0.2])
+        assert s.metric_series("ser") == [0.1, 0.2]
+
+    def test_annotate_length_mismatch_raises(self):
+        s = SnapshotSeries()
+        s.append(EpochSnapshot(epoch=0))
+        with pytest.raises(ValueError):
+            s.annotate("ser", [1.0, 2.0])
+
+    def test_columns_include_extras_after_core(self):
+        s = SnapshotSeries()
+        s.append(EpochSnapshot(epoch=0))
+        s.annotate("ser", [0.5])
+        cols = s.columns()
+        assert cols[:len(SNAPSHOT_FIELDS)] == list(SNAPSHOT_FIELDS)
+        assert cols[-1] == "ser"
+
+    def test_dict_round_trip(self):
+        s = SnapshotSeries("orig")
+        s.append(EpochSnapshot(epoch=0, hbm_occupancy=9, slow_writes=4))
+        s.annotate("ser", [1.25])
+        back = SnapshotSeries.from_dicts("copy", s.to_dicts())
+        assert back.name == "copy"
+        assert back.metric_series("hbm_occupancy") == [9]
+        assert back.metric_series("slow_writes") == [4]
+        assert back.metric_series("ser") == [1.25]
+
+
+class TestReplaySink:
+    def test_rows_carry_per_epoch_deltas(self):
+        hma = _FakeHma()
+        sink = ReplaySink(hma)  # baseline: fast 10/5, slow 100/50
+        sink.on_epoch(0, 15, 8, 120, 55, windowed_ace=2.5)
+        sink.on_epoch(1, 20, 8, 125, 60)
+        r0, r1 = sink.series.rows
+        assert (r0.fast_reads, r0.fast_writes) == (5, 3)
+        assert (r0.slow_reads, r0.slow_writes) == (20, 5)
+        assert r0.windowed_ace == 2.5
+        assert (r1.fast_reads, r1.fast_writes) == (5, 0)
+        assert (r1.slow_reads, r1.slow_writes) == (5, 5)
+
+    def test_rows_capture_hma_state(self):
+        hma = _FakeHma()
+        hma.migration_stats.migrations_to_fast = 3
+        sink = ReplaySink(hma)
+        sink.on_epoch(0, 10, 5, 100, 50)
+        row = sink.series.rows[0]
+        assert row.migrations_to_fast == 3
+        assert row.hbm_occupancy == 17
+        assert row.hbm_capacity == 256
+
+    def test_factory_returns_none_when_disabled(self):
+        metrics.disable()
+        assert replay_sink(_FakeHma()) is None
+
+    def test_factory_returns_sink_when_enabled(self):
+        metrics.enable()
+        assert isinstance(replay_sink(_FakeHma()), ReplaySink)

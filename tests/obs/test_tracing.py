@@ -1,0 +1,88 @@
+"""Unit tests for span tracing."""
+
+import json
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    SpanRecorder,
+    current_recorder,
+    set_current_recorder,
+    span,
+)
+
+
+class TestRecorder:
+    def test_span_records_timing(self):
+        rec = SpanRecorder()
+        with rec.span("work", k="v") as s:
+            pass
+        assert s.wall_seconds >= 0.0
+        assert s.cpu_seconds >= 0.0
+        assert rec.spans == [s]
+        assert s.attrs == {"k": "v"}
+
+    def test_nesting_sets_parent(self):
+        rec = SpanRecorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Finished in exit order: inner first.
+        assert [s.name for s in rec.spans] == ["inner", "outer"]
+
+    def test_misnested_exit_tolerated(self):
+        rec = SpanRecorder()
+        a = rec.span("a")
+        b = rec.span("b")
+        a.__enter__()
+        b.__enter__()
+        a.__exit__(None, None, None)  # out of order
+        assert {s.name for s in rec.spans} == {"a"}
+        # The stack is drained past the misnested span.
+        with rec.span("c") as c:
+            pass
+        assert c.parent_id is None
+
+    def test_drain_empties(self):
+        rec = SpanRecorder()
+        with rec.span("x"):
+            pass
+        assert len(rec.drain()) == 1
+        assert rec.spans == []
+
+    def test_export_jsonl(self, tmp_path):
+        rec = SpanRecorder()
+        with rec.span("alpha", epoch=3):
+            pass
+        path = tmp_path / "deep" / "spans.jsonl"
+        assert rec.export_jsonl(str(path)) == 1
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["name"] == "alpha"
+        assert rows[0]["attrs"] == {"epoch": 3}
+        assert rows[0]["wall_seconds"] >= 0.0
+
+
+class TestModuleApi:
+    def test_span_without_recorder_is_null(self):
+        assert current_recorder() is None
+        s = span("anything", a=1)
+        assert s is NULL_SPAN
+        with s as inner:
+            assert inner is NULL_SPAN
+
+    def test_span_routes_to_current_recorder(self):
+        rec = SpanRecorder()
+        prev = set_current_recorder(rec)
+        try:
+            with span("routed"):
+                pass
+        finally:
+            set_current_recorder(prev)
+        assert [s.name for s in rec.spans] == ["routed"]
+
+    def test_set_current_returns_previous(self):
+        rec1, rec2 = SpanRecorder(), SpanRecorder()
+        assert set_current_recorder(rec1) is None
+        assert set_current_recorder(rec2) is rec1
+        set_current_recorder(None)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import (
+    KNOBS,
     LINE_SIZE,
     LINES_PER_PAGE,
     PAGE_SIZE,
@@ -13,6 +14,10 @@ from repro.config import (
     ddr3_config,
     default_config,
     hbm_config,
+    knob_overrides,
+    knob_report,
+    knob_source,
+    knob_value,
     scaled_config,
 )
 
@@ -129,3 +134,83 @@ class TestScaledConfig:
     def test_full_scale_identity_capacity(self):
         cfg = scaled_config(1.0)
         assert cfg.fast_memory.capacity_bytes == 1 << 30
+
+
+class TestKnobs:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_TRIALS", raising=False)
+        assert knob_value("fault_trials") == 0
+        assert knob_source("fault_trials") == "default"
+
+    def test_env_parses_typed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_TRIALS", "25")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_TELEMETRY", "yes")
+        assert knob_value("fault_trials") == 25
+        assert knob_value("job_timeout") == 1.5
+        assert knob_value("telemetry") is True
+        assert knob_source("fault_trials") == "env:REPRO_FAULT_TRIALS"
+
+    def test_bool_falsey_spellings(self, monkeypatch):
+        for raw in ("0", "false", "no", "off", "False", "OFF"):
+            monkeypatch.setenv("REPRO_TELEMETRY", raw)
+            assert knob_value("telemetry") is False, raw
+
+    def test_empty_env_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY_KERNEL", "")
+        assert knob_value("policy_kernel") == "array"
+        assert knob_source("policy_kernel") == "default"
+
+    def test_explicit_beats_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_TRIALS", "25")
+        with knob_overrides(fault_trials=50):
+            assert knob_value("fault_trials", 99) == 99
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_TRIALS", "25")
+        with knob_overrides(fault_trials=50):
+            assert knob_value("fault_trials") == 50
+            assert knob_source("fault_trials") == "override"
+        assert knob_value("fault_trials") == 25
+
+    def test_override_none_means_not_overridden(self):
+        with knob_overrides(fault_trials=None):
+            assert knob_source("fault_trials") != "override"
+
+    def test_overrides_nest_and_restore(self):
+        with knob_overrides(policy_kernel="sparse"):
+            with knob_overrides(policy_kernel="array"):
+                assert knob_value("policy_kernel") == "array"
+            assert knob_value("policy_kernel") == "sparse"
+        assert knob_source("policy_kernel") == "default"
+
+    def test_override_unknown_knob_raises(self):
+        with pytest.raises(KeyError):
+            with knob_overrides(not_a_knob=1):
+                pass
+
+    def test_override_bad_choice_raises(self):
+        with pytest.raises(ValueError):
+            with knob_overrides(policy_kernel="cuda"):
+                pass
+
+    def test_env_bad_choice_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTSIM_METHOD", "magic")
+        with pytest.raises(ValueError, match="faultsim_method"):
+            knob_value("faultsim_method")
+
+    def test_overrides_never_touch_environ(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_POLICY_KERNEL", raising=False)
+        with knob_overrides(policy_kernel="sparse"):
+            assert "REPRO_POLICY_KERNEL" not in os.environ
+
+    def test_report_covers_every_knob(self):
+        rows = knob_report()
+        assert [row[0] for row in rows] == list(KNOBS)
+        for name, env, value, source, help_ in rows:
+            assert env.startswith("REPRO_")
+            assert source in ("default", "override") or \
+                source.startswith("env:")
+            assert help_

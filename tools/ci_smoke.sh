@@ -15,6 +15,13 @@
 #    correctness drift (the benchmarks assert bit-exact parity of
 #    replay results, migration plans, and fault-simulator tallies) and
 #    gross performance regressions without a long wall-clock bill.
+# 5. Runs the telemetry smoke: a tiny migration experiment twice with
+#    REPRO_TELEMETRY on, asserting the run registry holds both rows
+#    with non-empty epoch series, that `report` renders, and that a
+#    self-`compare` of the two identical runs exits 0.
+# 6. Runs the telemetry-overhead benchmark, asserting the dormant
+#    (telemetry-off) instrumentation stays within 2% of the bare
+#    engine and that telemetry never perturbs simulation results.
 #
 # Environment:
 #   REPRO_SMOKE_ACCESSES  accesses/core for the kernel benchmark (default 4000)
@@ -47,5 +54,34 @@ REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_FAULT_TRIALS=20000 \
 REPRO_BENCH_POLICY_JSON="$workdir/BENCH_policies.json" \
 python -m pytest benchmarks/bench_policy_kernels.py -q -s -p no:cacheprovider
+
+echo "== telemetry smoke =="
+obsdir="$workdir/obs"
+for _ in 1 2; do
+    REPRO_TELEMETRY=1 REPRO_OBS_DIR="$obsdir" \
+    python -m repro.harness.cli run fig12 --accesses 1500 > /dev/null
+done
+python - "$obsdir" <<'EOF'
+import sys
+from repro.obs.registry import RunRegistry, registry_path
+
+reg = RunRegistry(registry_path(sys.argv[1]))
+runs = reg.list_runs("fig12")
+assert len(runs) == 2, f"expected 2 registry rows, got {len(runs)}"
+for run in runs:
+    assert run.status == "completed", run
+    names = reg.series_names(run.run_id)
+    assert names, f"{run.run_id} recorded no epoch series"
+    assert all(len(reg.series(run.run_id, n)) > 0 for n in names)
+print(f"registry OK: {[r.run_id for r in runs]}, "
+      f"{len(reg.series_names(runs[0].run_id))} series each")
+EOF
+python -m repro.harness.cli report fig12 --obs-dir "$obsdir" > /dev/null
+python -m repro.harness.cli compare fig12-1 fig12-2 --obs-dir "$obsdir"
+
+echo "== telemetry overhead benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_OBS_JSON="$workdir/BENCH_obs.json" \
+python -m pytest benchmarks/bench_obs_overhead.py -q -s -p no:cacheprovider
 
 echo "== smoke OK =="
