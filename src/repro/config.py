@@ -312,6 +312,8 @@ KNOBS: "dict[str, Knob]" = _knob_table(
          choices=("array", "sparse")),
     Knob("fault_trials", "REPRO_FAULT_TRIALS", "int", 0,
          "Monte-Carlo fault-sim trials (0 = analytic)"),
+    Knob("seed", "REPRO_SEED", "int", 0,
+         "global RNG seed: trace synthesis and fault-sim Monte-Carlo"),
     Knob("faultsim_method", "REPRO_FAULTSIM_METHOD", "str", "batched",
          "fault-simulator Monte-Carlo kernel",
          choices=("batched", "reference")),

@@ -114,10 +114,13 @@ class FaultSimulator:
         geometry: ChipGeometry = ChipGeometry(),
         overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
         mission_hours: float = DEFAULT_MISSION_HOURS,
-        seed: int = 0,
+        seed: "int | None" = None,
     ) -> None:
+        from repro.config import knob_value
+
         if overlap_window_hours <= 0 or mission_hours <= 0:
             raise ValueError("window and mission must be positive")
+        seed = knob_value("seed", seed)
         self.memory = memory
         self.rates = rates if rates is not None else rates_for_memory(memory)
         self.geometry = geometry
@@ -349,7 +352,7 @@ class FaultSimulator:
 def uncorrected_fit_per_page(
     memory: MemoryConfig,
     trials: int = 100_000,
-    seed: int = 0,
+    seed: "int | None" = None,
     overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
     analytic: bool = False,
 ) -> float:

@@ -37,7 +37,7 @@ class SerModel:
         cls,
         config: SystemConfig,
         trials: "int | None" = None,
-        seed: int = 0,
+        seed: "int | None" = None,
         overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
     ) -> "SerModel":
         """Run the fault simulator for both memories.

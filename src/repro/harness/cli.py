@@ -18,7 +18,7 @@ import inspect
 import os
 import sys
 
-from repro.config import knob_overrides
+from repro.config import knob_overrides, knob_value
 from repro.core.counters import POLICY_KERNELS
 from repro.harness.experiments import EXPERIMENTS, WorkloadCache
 from repro.sim.system import DEFAULT_SCALE
@@ -43,7 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("output", help="output path (.npz or .trace text)")
     trace.add_argument("--accesses", type=int, default=20_000)
     trace.add_argument("--scale", type=float, default=DEFAULT_SCALE)
-    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--seed", type=int, default=None,
+                   help="trace-synthesis RNG seed "
+                        "(env REPRO_SEED; default 0)")
 
     export = sub.add_parser(
         "export", help="run experiments and write CSV/JSON files"
@@ -55,7 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="json")
     export.add_argument("--accesses", type=int, default=20_000)
     export.add_argument("--scale", type=float, default=DEFAULT_SCALE)
-    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--seed", type=int, default=None,
+                    help="trace/fault-sim RNG seed "
+                         "(env REPRO_SEED; default 0)")
     _add_runner_args(export)
 
     scatter = sub.add_parser(
@@ -64,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     scatter.add_argument("workload")
     scatter.add_argument("--accesses", type=int, default=20_000)
     scatter.add_argument("--scale", type=float, default=DEFAULT_SCALE)
-    scatter.add_argument("--seed", type=int, default=0)
+    scatter.add_argument("--seed", type=int, default=None,
+                     help="trace-synthesis RNG seed "
+                          "(env REPRO_SEED; default 0)")
     scatter.add_argument("--width", type=int, default=70)
     scatter.add_argument("--height", type=int, default=22)
 
@@ -74,13 +80,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory accesses per core (default 20000)")
     run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                      help="capacity/footprint scale (default 1/1024)")
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--seed", type=int, default=None,
+                 help="trace/fault-sim RNG seed "
+                      "(env REPRO_SEED; default 0)")
     _add_runner_args(run)
 
     sub.add_parser(
         "config", help="show every REPRO_* knob, its value, and where "
                        "the value came from"
     )
+
+    verify = sub.add_parser(
+        "verify", help="run the verification ladder: cross-kernel "
+                       "differential fuzz, paper invariants, and the "
+                       "EXPERIMENTS.md replication shape gate; exits "
+                       "nonzero on any divergence or regression"
+    )
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="CI budget: 25 fuzz cases and small gate workloads "
+             "(the full ladder defaults to 50 cases)")
+    verify.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="fuzz case count override (default 25 quick / 50 full)")
+    verify.add_argument(
+        "--fuzz-seed", type=int, default=0, metavar="S",
+        help="seed of the differential fuzzer's case stream "
+             "(default 0; gate workloads use a fixed seed regardless)")
+    verify.add_argument(
+        "--gates", default="fuzz,invariants,replication", metavar="LIST",
+        help="comma-separated subset of gates to run "
+             "(fuzz, invariants, replication)")
+    verify.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="where shrunken divergence artifacts are dumped "
+             "(default: ./.repro-verify)")
+    verify.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also write the machine-readable verdict to PATH")
+    verify.add_argument(
+        "--replay-artifact", default=None, metavar="PATH",
+        help="re-run one dumped divergence artifact instead of the "
+             "ladder")
+    verify.add_argument(
+        "--verbose", action="store_true",
+        help="print gate progress while running")
 
     report = sub.add_parser(
         "report", help="render one recorded run (metrics + epoch series)"
@@ -221,6 +265,11 @@ def main(argv: "list[str] | None" = None) -> int:
     # which would leak into later runs in the same process); the
     # process-fan-out path instead forwards them as explicit arguments
     # to run_experiments so workers see them too.
+    # Resolve --seed once (flag > REPRO_SEED > 0) so process fan-out
+    # workers — which do not inherit scoped overrides — receive the
+    # explicit value.
+    if hasattr(args, "seed"):
+        args.seed = knob_value("seed", args.seed)
     with knob_overrides(
             fault_trials=getattr(args, "fault_trials", None),
             policy_kernel=getattr(args, "policy_kernel", None),
@@ -241,6 +290,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return _cmd_trace(args)
     if args.command == "config":
         return _cmd_config()
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "compare":
@@ -319,6 +370,39 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     for target in targets:
         _run_one(target, cache, args)
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.obs.report import render_verify_report
+    from repro.verify import VerifyReport, run_verify
+
+    if args.replay_artifact:
+        from repro.verify.differential import replay_artifact
+
+        result = replay_artifact(args.replay_artifact)
+        status = "STILL DIVERGES" if not result.passed else "no longer " \
+            "reproduces (fixed, or environment-dependent)"
+        print(f"{result.name}: {status}")
+        if result.details:
+            print(f"  {result.details}")
+        return 1 if not result.passed else 0
+
+    gates = tuple(g.strip() for g in args.gates.split(",") if g.strip())
+    unknown = set(gates) - {"fuzz", "invariants", "replication"}
+    if unknown:
+        print(f"unknown gate(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    artifact_dir = args.artifact_dir or ".repro-verify"
+    progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) \
+        if args.verbose else None
+    report: VerifyReport = run_verify(
+        quick=args.quick, cases=args.cases, seed=args.fuzz_seed,
+        artifact_dir=artifact_dir, gates=gates, progress=progress)
+    if args.json_path:
+        report.save(args.json_path)
+    print(render_verify_report(report))
+    return 0 if report.passed else 1
 
 
 def _cmd_config() -> int:

@@ -24,7 +24,7 @@ from repro.avf.heuristics import (
     write_ratio_avf_correlation,
     write_ratio_histogram,
 )
-from repro.config import default_config, scaled_config
+from repro.config import default_config, knob_value, scaled_config
 from repro.core.migration import (
     CrossCountersMigration,
     PerformanceFocusedMigration,
@@ -104,16 +104,17 @@ class WorkloadCache:
         self,
         accesses_per_core: int = DEFAULT_ACCESSES,
         scale: float = DEFAULT_SCALE,
-        seed: int = 0,
+        seed: "int | None" = None,
         cache_dir: "str | None" = None,
         jobs: "int | None" = None,
     ) -> None:
         self.accesses_per_core = accesses_per_core
         self.scale = scale
-        self.seed = seed
+        self.seed = knob_value("seed", seed)
         self.cache_dir = cache_dir
         self.jobs = jobs
-        self._ser_model = SerModel.for_system(scaled_config(scale))
+        self._ser_model = SerModel.for_system(scaled_config(scale),
+                                              seed=self.seed)
         self._cache: "dict[str, PreparedWorkload]" = {}
 
     def get(self, name: str) -> PreparedWorkload:
@@ -220,7 +221,7 @@ def fig01_frontier(
     cache: "WorkloadCache | None" = None,
     accesses_per_core: int = DEFAULT_ACCESSES,
     scale: float = DEFAULT_SCALE,
-    seed: int = 0,
+    seed: "int | None" = None,
 ) -> FigureResult:
     """Fig. 1: each point places a different proportion of hot pages in
     the fast memory; performance rises while reliability collapses."""
@@ -258,7 +259,7 @@ def fig02_avf(
     cache: "WorkloadCache | None" = None,
     accesses_per_core: int = DEFAULT_ACCESSES,
     scale: float = DEFAULT_SCALE,
-    seed: int = 0,
+    seed: "int | None" = None,
 ) -> FigureResult:
     """Fig. 2: average memory AVF varies widely across applications
     (paper: 1.7% for astar up to 22.5% for milc)."""
@@ -329,7 +330,7 @@ def fig04_quadrants(
     cache: "WorkloadCache | None" = None,
     accesses_per_core: int = DEFAULT_ACCESSES,
     scale: float = DEFAULT_SCALE,
-    seed: int = 0,
+    seed: "int | None" = None,
 ) -> FigureResult:
     """Fig. 4: page distribution across the four hotness-risk
     quadrants; hot & low-risk pages are 9-39% of the footprint."""
@@ -405,7 +406,7 @@ def _static_figure(
 
 def fig05_perf_focused(workloads=ALL_WORKLOADS, cache=None,
                        accesses_per_core=DEFAULT_ACCESSES,
-                       scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                       scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 5: performance-focused placement boosts IPC ~1.6x but
     inflates SER ~287x relative to DDR-only."""
     return _static_figure(
@@ -418,7 +419,7 @@ def fig05_perf_focused(workloads=ALL_WORKLOADS, cache=None,
 
 def fig07_rel_focused(workloads=ALL_WORKLOADS, cache=None,
                       accesses_per_core=DEFAULT_ACCESSES,
-                      scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                      scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 7: reliability-focused placement cuts SER ~5x at ~17%
     performance loss relative to performance-focused placement."""
     return _static_figure(
@@ -431,7 +432,7 @@ def fig07_rel_focused(workloads=ALL_WORKLOADS, cache=None,
 
 def fig08_balanced(workloads=ALL_WORKLOADS, cache=None,
                    accesses_per_core=DEFAULT_ACCESSES,
-                   scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                   scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 8: balanced (hot & low-risk quadrant) placement cuts SER
     ~3x at ~14% performance loss vs performance-focused."""
     return _static_figure(
@@ -444,7 +445,7 @@ def fig08_balanced(workloads=ALL_WORKLOADS, cache=None,
 
 def fig10_wr_ratio(workloads=ALL_WORKLOADS, cache=None,
                    accesses_per_core=DEFAULT_ACCESSES,
-                   scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                   scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 10: Wr-ratio heuristic placement cuts SER ~1.8x at ~8.1%
     performance loss vs performance-focused."""
     return _static_figure(
@@ -457,7 +458,7 @@ def fig10_wr_ratio(workloads=ALL_WORKLOADS, cache=None,
 
 def fig11_wr2_ratio(workloads=ALL_WORKLOADS, cache=None,
                     accesses_per_core=DEFAULT_ACCESSES,
-                    scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                    scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 11: Wr^2-ratio placement cuts SER ~1.6x at only ~1%
     performance loss vs performance-focused."""
     return _static_figure(
@@ -478,7 +479,7 @@ def fig06_correlation(
     cache=None,
     accesses_per_core=DEFAULT_ACCESSES,
     scale=DEFAULT_SCALE,
-    seed=0,
+    seed=None,
 ) -> FigureResult:
     """Fig. 6: hotness and AVF of the hottest pages correlate weakly
     (paper: rho = 0.08 over the full footprint of mix1)."""
@@ -508,7 +509,7 @@ def fig09_write_ratio(
     cache=None,
     accesses_per_core=DEFAULT_ACCESSES,
     scale=DEFAULT_SCALE,
-    seed=0,
+    seed=None,
 ) -> FigureResult:
     """Fig. 9: write ratio anti-correlates with AVF (paper rho = -0.32)
     and most pages are read-heavy, with a write-heavy tail."""
@@ -539,7 +540,7 @@ def fig12_perf_migration(
     cache=None,
     accesses_per_core=DEFAULT_ACCESSES,
     scale=DEFAULT_SCALE,
-    seed=0,
+    seed=None,
     num_intervals=DEFAULT_INTERVALS,
 ) -> FigureResult:
     """Fig. 12: performance-focused migration gets within ~6% of the
@@ -580,7 +581,7 @@ def fig13_interval_sweep(
     cache=None,
     accesses_per_core=DEFAULT_ACCESSES,
     scale=DEFAULT_SCALE,
-    seed=0,
+    seed=None,
 ) -> FigureResult:
     """Fig. 13: sweep over the migration interval.
 
@@ -656,7 +657,7 @@ def _migration_vs_perf(
 
 def fig14_fc_migration(workloads=ALL_WORKLOADS, cache=None,
                        accesses_per_core=DEFAULT_ACCESSES,
-                       scale=DEFAULT_SCALE, seed=0,
+                       scale=DEFAULT_SCALE, seed=None,
                        num_intervals=DEFAULT_INTERVALS) -> FigureResult:
     """Fig. 14: Full-Counter reliability-aware migration cuts SER ~1.8x
     at ~6% performance loss vs performance-focused migration."""
@@ -670,7 +671,7 @@ def fig14_fc_migration(workloads=ALL_WORKLOADS, cache=None,
 
 def fig15_cc_migration(workloads=ALL_WORKLOADS, cache=None,
                        accesses_per_core=DEFAULT_ACCESSES,
-                       scale=DEFAULT_SCALE, seed=0,
+                       scale=DEFAULT_SCALE, seed=None,
                        num_intervals=DEFAULT_INTERVALS) -> FigureResult:
     """Fig. 15: Cross-Counters migration cuts SER ~1.5x at ~4.9%
     performance loss vs performance-focused migration, with far less
@@ -689,7 +690,7 @@ def fig15_cc_migration(workloads=ALL_WORKLOADS, cache=None,
 
 def fig16_annotations(workloads=ALL_WORKLOADS, cache=None,
                       accesses_per_core=DEFAULT_ACCESSES,
-                      scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                      scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 16: annotation-pinned placement cuts SER ~1.3x at ~1.1%
     performance loss vs the performance-focused oracle."""
     cache = _cache(cache, accesses_per_core, scale, seed)
@@ -718,7 +719,7 @@ def fig16_annotations(workloads=ALL_WORKLOADS, cache=None,
 
 def fig17_annotation_counts(workloads=ALL_WORKLOADS, cache=None,
                             accesses_per_core=DEFAULT_ACCESSES,
-                            scale=DEFAULT_SCALE, seed=0) -> FigureResult:
+                            scale=DEFAULT_SCALE, seed=None) -> FigureResult:
     """Fig. 17: a handful of annotated structures covers the HBM
     capacity for most workloads (paper average ~8)."""
     cache = _cache(cache, accesses_per_core, scale, seed)
@@ -748,7 +749,7 @@ def fig17_annotation_counts(workloads=ALL_WORKLOADS, cache=None,
 
 def table3_summary(workloads=ALL_WORKLOADS, cache=None,
                    accesses_per_core=DEFAULT_ACCESSES,
-                   scale=DEFAULT_SCALE, seed=0,
+                   scale=DEFAULT_SCALE, seed=None,
                    num_intervals=DEFAULT_INTERVALS) -> FigureResult:
     """Table 3: IPC degradation and SER improvement of every scheme,
     each normalised to its performance-focused counterpart."""

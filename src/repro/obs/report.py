@@ -222,3 +222,37 @@ def render_compare(run_a: RunRecord, run_b: RunRecord,
     lines.append(f"{total} regression(s) "
                  f"across {len(diffs)} compared metric(s)")
     return "\n".join(lines)
+
+
+def render_verify_report(report) -> str:
+    """Human rendering of a :class:`repro.verify.verdict.VerifyReport`.
+
+    One summary row per gate family, then one row per failed check
+    (pass rows would drown the signal — a quick run has 130+ checks).
+    """
+    lines = []
+    fam_rows = []
+    for family, (ok, total) in report.family_counts().items():
+        fam_rows.append((family, f"{ok}/{total}",
+                         "ok" if ok == total else "FAIL"))
+    lines.append(format_table(
+        ("gate", "passed", "status"), fam_rows,
+        title=f"verification ladder (seed {report.seed}, "
+              f"{'quick' if report.quick else 'full'}, "
+              f"{report.elapsed_seconds:.1f}s)"))
+    failures = report.failures
+    if failures:
+        lines.append("")
+        lines.append(format_table(
+            ("check", "family", "details"),
+            [(f.name, f.family, f.details) for f in failures],
+            title=f"{len(failures)} FAILED check(s)"))
+        artifacts = [f.artifact for f in failures if f.artifact]
+        if artifacts:
+            lines.append("")
+            lines.append("repro artifacts (replay with "
+                         "'repro-hma verify --replay-artifact <path>'):")
+            lines.extend(f"  {path}" for path in artifacts)
+    lines.append("")
+    lines.append("VERDICT: " + ("PASS" if report.passed else "FAIL"))
+    return "\n".join(lines)

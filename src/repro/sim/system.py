@@ -63,7 +63,7 @@ def prepare_workload(
     config: "SystemConfig | None" = None,
     scale: float = DEFAULT_SCALE,
     accesses_per_core: int = 20_000,
-    seed: int = 0,
+    seed: "int | None" = None,
     ser_model: "SerModel | None" = None,
 ) -> PreparedWorkload:
     """Generate, profile, and baseline one workload."""
@@ -278,7 +278,7 @@ def run_placement_experiment(
     config: "SystemConfig | None" = None,
     scale: float = DEFAULT_SCALE,
     accesses_per_core: int = 20_000,
-    seed: int = 0,
+    seed: "int | None" = None,
 ) -> ExperimentResult:
     """One-shot convenience wrapper: prepare + evaluate a placement."""
     prep = prepare_workload(
@@ -295,7 +295,7 @@ def run_migration_experiment(
     scale: float = DEFAULT_SCALE,
     accesses_per_core: int = 20_000,
     num_intervals: int = 16,
-    seed: int = 0,
+    seed: "int | None" = None,
     initial_policy: "PlacementPolicy | None" = None,
 ) -> ExperimentResult:
     """One-shot convenience wrapper: prepare + evaluate a migration."""

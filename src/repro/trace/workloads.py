@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import PAGE_SIZE
+from repro.config import PAGE_SIZE, knob_value
 from repro.trace.record import Trace
 from repro.trace.synthetic import (
     GeneratedCoreTrace,
@@ -414,7 +414,7 @@ class Workload:
         self,
         scale: float = 1.0,
         accesses_per_core: int = 50_000,
-        seed: int = 0,
+        seed: "int | None" = None,
         phases: int = 8,
     ) -> WorkloadTrace:
         """Generate the interleaved multi-core memory trace.
@@ -422,8 +422,10 @@ class Workload:
         ``scale`` shrinks every footprint proportionally (pair it with
         :func:`repro.config.scaled_config`); access counts stay as
         requested so per-page hotness rises at small scales, which
-        keeps the hot/cold contrast intact.
+        keeps the hot/cold contrast intact.  ``seed`` defaults to the
+        ``seed`` knob (``REPRO_SEED``, else 0).
         """
+        seed = knob_value("seed", seed)
         cores: "list[GeneratedCoreTrace]" = []
         next_page = 0
         total_pages = 0

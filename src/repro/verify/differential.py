@@ -1,0 +1,339 @@
+"""Cross-kernel differential checks and the seeded fuzz driver.
+
+Every redundant implementation pair in the simulator is compared on
+randomized :class:`~repro.verify.cases.DiffCase` scenarios:
+
+* ``replay-kernels``   — scalar oracle vs fused-Python vs compiled-C
+  replay (:mod:`repro.sim.engine`), full result digests bit-exact.
+* ``policy-kernels``   — ``sparse`` dict-based vs ``array`` vectorized
+  migration planning, compared through whole replays so plan order,
+  tie-breaks, and residency all participate.
+* ``mea``              — Misra-Gries tracker with the compiled chunk
+  kernel vs the pure-Python update loop.
+* ``ace``              — streaming :class:`AceTracker` vs chunk-batched
+  :class:`WindowedAceTracker` vs the batch :func:`line_ace_times`.
+* ``faultsim``         — batched vs reference Monte-Carlo kernels
+  (identical Poisson draws, so corrected/detected tallies are exact).
+
+A check returns ``None`` on agreement or a human-readable mismatch
+description.  The fuzz driver shrinks failures greedily and dumps a
+self-contained JSON artifact (see ``docs/testing.md`` for how to
+replay one).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.config import knob_overrides
+from repro.verify.cases import (
+    DiffCase,
+    build_config,
+    build_placement,
+    build_trace,
+    core_windows,
+    load_artifact,
+    random_case,
+    save_artifact,
+    shrink_case,
+)
+from repro.verify.verdict import CheckResult
+
+
+# ---------------------------------------------------------------------------
+# Replay digests
+# ---------------------------------------------------------------------------
+
+
+def _digest(result) -> dict:
+    """Canonical, exactly-comparable form of a ReplayResult."""
+    return {
+        "instructions": int(result.instructions),
+        "requests": int(result.requests),
+        "total_seconds": float(result.total_seconds),
+        "ipc": float(result.ipc),
+        "mean_read_latency": float(result.mean_read_latency),
+        "per_core_ipc": tuple(float(x) for x in result.per_core_ipc),
+        "migrations": (result.migrations.migrations_to_fast,
+                       result.migrations.migrations_to_slow,
+                       float(result.migrations.migration_seconds)),
+        "fast_residency": tuple(
+            tuple(sorted(int(p) for p in resident))
+            for resident in result.fast_residency),
+        "interval_boundaries": tuple(
+            int(b) for b in result.interval_boundaries),
+        "devices": tuple(
+            (d.name, int(d.reads), int(d.writes), float(d.busy_time))
+            for d in result.device_utilisation),
+    }
+
+
+def _first_diff(digests: "dict[str, dict]") -> "str | None":
+    """Describe the first field differing between any two digests."""
+    names = list(digests)
+    base_name = names[0]
+    base = digests[base_name]
+    for other_name in names[1:]:
+        other = digests[other_name]
+        for key in base:
+            if base[key] != other[key]:
+                return (f"{key}: {base_name}={base[key]!r} "
+                        f"{other_name}={other[key]!r}")
+    return None
+
+
+def _make_mechanism(name: "str | None", policy_kernel: "str | None" = None):
+    from repro.core.migration import (
+        CrossCountersMigration,
+        OracleRiskMigration,
+        PerformanceFocusedMigration,
+        ReliabilityAwareFCMigration,
+    )
+
+    factories = {
+        "perf-migration": PerformanceFocusedMigration,
+        "fc-migration": ReliabilityAwareFCMigration,
+        "cc-migration": CrossCountersMigration,
+        "oracle-risk-migration": OracleRiskMigration,
+    }
+    if name is None:
+        return None
+    return factories[name](policy_kernel=policy_kernel)
+
+
+def _replay_case(case: DiffCase, kernel: str,
+                 policy_kernel: "str | None" = None) -> dict:
+    from repro.dram.hma import HeterogeneousMemory
+    from repro.sim.engine import replay
+
+    config = build_config(case)
+    trace, times = build_trace(case)
+    fast, all_pages = build_placement(case)
+    hma = HeterogeneousMemory(config)
+    hma.install_placement(fast, all_pages)
+    result = replay(
+        config, hma, trace, times,
+        mechanism=_make_mechanism(case.mechanism, policy_kernel),
+        num_intervals=case.num_intervals if case.mechanism else 1,
+        core_windows=core_windows(case),
+        kernel=kernel,
+    )
+    return _digest(result)
+
+
+# ---------------------------------------------------------------------------
+# Check families
+# ---------------------------------------------------------------------------
+
+
+def check_replay_kernels(case: DiffCase) -> "str | None":
+    """Scalar oracle vs fused Python vs compiled C replay."""
+    from repro.sim import _ckernel
+
+    kernels = ["scalar", "batched-python"]
+    if _ckernel.available():
+        kernels.append("batched-native")
+    digests = {k: _replay_case(case, k) for k in kernels}
+    return _first_diff(digests)
+
+
+def check_policy_kernels(case: DiffCase) -> "str | None":
+    """Sparse (dict) vs array (vectorized) migration planning."""
+    mechanism = case.mechanism or "fc-migration"
+    case = DiffCase.from_dict({**case.to_dict(), "mechanism": mechanism})
+    digests = {
+        pk: _replay_case(case, "batched", policy_kernel=pk)
+        for pk in ("sparse", "array")
+    }
+    return _first_diff(digests)
+
+
+def _mea_state(tracker) -> "tuple":
+    return (
+        len(tracker),
+        tuple(tracker.hot_pages()),
+        tuple(sorted((int(p), tracker.count(int(p)))
+                     for p in tracker.hot_pages(min_count=0))),
+    )
+
+
+def check_mea(case: DiffCase) -> "str | None":
+    """Compiled MEA chunk kernel vs the pure-Python update loop."""
+    from repro.core.mea import MeaTracker
+
+    trace, _times = build_trace(case)
+    pages = (trace.address // 4096).astype(np.int64)
+    capacity = max(2, case.fast_pages // 2)
+    chunks = np.array_split(pages, max(1, case.num_intervals))
+    with knob_overrides(mea_native=False):
+        python_tracker = MeaTracker(capacity=capacity)
+    native_tracker = MeaTracker(capacity=capacity)
+    for idx, chunk in enumerate(chunks):
+        with knob_overrides(mea_native=False):
+            python_tracker.record_many(chunk)
+        native_tracker.record_many(chunk)
+        py_state = _mea_state(python_tracker)
+        nat_state = _mea_state(native_tracker)
+        if py_state != nat_state:
+            return (f"MEA state diverged after chunk {idx}: "
+                    f"python={py_state!r} native={nat_state!r}")
+    return None
+
+
+def check_ace_trackers(case: DiffCase) -> "str | None":
+    """Streaming vs windowed vs batch ACE accounting."""
+    from repro.avf.tracker import (
+        AceTracker,
+        WindowedAceTracker,
+        line_ace_times,
+    )
+
+    trace, times = build_trace(case)
+    lines = (trace.address // 64).astype(np.int64)
+    writes = trace.is_write
+
+    streaming = AceTracker()
+    windowed = WindowedAceTracker()
+    bounds = np.linspace(0, len(lines), case.num_intervals + 1).astype(int)
+    for w in range(case.num_intervals):
+        lo, hi = bounds[w], bounds[w + 1]
+        for i in range(lo, hi):
+            streaming.access(int(lines[i]), float(times[i]), bool(writes[i]))
+        windowed.observe_chunk(lines[lo:hi], times[lo:hi], writes[lo:hi])
+        s_win = streaming.reset_window()
+        w_win = windowed.reset_window()
+        if s_win != w_win:
+            missing = set(s_win) ^ set(w_win)
+            return (f"window {w}: streaming and windowed ACE differ "
+                    f"(lines {sorted(missing)[:5]} or values)")
+    # Batch one-shot variant over the whole stream, fresh trackers.
+    batch_lines, batch_ace = line_ace_times(lines, times, writes)
+    oracle = AceTracker()
+    for i in range(len(lines)):
+        oracle.access(int(lines[i]), float(times[i]), bool(writes[i]))
+    expect = oracle.line_ace_times()
+    got = {int(l): float(a) for l, a in zip(batch_lines, batch_ace)}
+    got = {l: a for l, a in got.items() if a or l in expect}
+    expect = {l: a for l, a in expect.items() if a or l in got}
+    if got != expect:
+        diff = {l for l in set(got) | set(expect)
+                if got.get(l, 0.0) != expect.get(l, 0.0)}
+        return (f"batch line_ace_times differs from streaming on lines "
+                f"{sorted(diff)[:5]}")
+    return None
+
+
+def check_faultsim(case: DiffCase) -> "str | None":
+    """Batched vs reference Monte-Carlo fault-sim kernels.
+
+    Both kernels draw the same Poisson fault-count matrix for a given
+    seed, so the integer corrected/detected tallies must match
+    exactly; the fractional pair term differs only in enumeration
+    order and is compared loosely.
+    """
+    from repro.faults.faultsim import FaultSimulator
+
+    config = build_config(case)
+    memory = config.fast_memory
+    memory = type(memory)(**{**memory.__dict__, "ecc": case.fault_ecc})
+    ref = FaultSimulator(memory, seed=case.seed).run(
+        trials=case.fault_trials, method="reference")
+    bat = FaultSimulator(memory, seed=case.seed).run(
+        trials=case.fault_trials, method="batched")
+    for field in ("trials", "corrected", "detected"):
+        a, b = getattr(ref, field), getattr(bat, field)
+        if a != b:
+            return f"{field}: reference={a} batched={b}"
+    a = ref.expected_uncorrected_per_mission
+    b = bat.expected_uncorrected_per_mission
+    if abs(a - b) > 0.5 * max(abs(a), abs(b), 1e-30):
+        return f"expected_uncorrected_per_mission: reference={a} batched={b}"
+    return None
+
+
+#: All differential check families, in fuzz order.
+CHECKS = {
+    "replay-kernels": check_replay_kernels,
+    "policy-kernels": check_policy_kernels,
+    "mea": check_mea,
+    "ace": check_ace_trackers,
+    "faultsim": check_faultsim,
+}
+
+
+# ---------------------------------------------------------------------------
+# Fuzz driver
+# ---------------------------------------------------------------------------
+
+
+def run_fuzz(
+    num_cases: int = 25,
+    seed: int = 0,
+    artifact_dir: "str | None" = None,
+    checks: "dict | None" = None,
+    progress=None,
+) -> "list[CheckResult]":
+    """Run every check family on ``num_cases`` seeded random cases.
+
+    On divergence the failing case is shrunk greedily and (when
+    ``artifact_dir`` is given) dumped as a JSON repro artifact whose
+    path lands in the :class:`CheckResult`.
+    """
+    if checks is None:
+        checks = CHECKS
+    rng = np.random.default_rng(seed)
+    results: "list[CheckResult]" = []
+    for i in range(num_cases):
+        case = random_case(rng, i)
+        if progress is not None:
+            progress(f"fuzz case {i + 1}/{num_cases}")
+        for name, check in checks.items():
+            try:
+                details = check(case)
+            except Exception as exc:  # a crash is a divergence too
+                details = f"check raised {type(exc).__name__}: {exc}"
+            label = f"{name}:case{i:04d}"
+            if details is None:
+                results.append(CheckResult(label, "differential", True))
+                continue
+            shrunk = shrink_case(case, lambda c: _still_fails(check, c))
+            artifact = None
+            if artifact_dir is not None:
+                os.makedirs(artifact_dir, exist_ok=True)
+                artifact = os.path.join(
+                    artifact_dir, f"divergence-{name}-case{i:04d}.json")
+                save_artifact(artifact, shrunk, name,
+                              _still_fails(check, shrunk, describe=True)
+                              or details,
+                              original=case)
+            results.append(CheckResult(
+                label, "differential", False,
+                details=f"{details} (shrunk to {shrunk.accesses} accesses, "
+                        f"{shrunk.footprint_pages} pages, "
+                        f"{shrunk.num_cores} cores)",
+                artifact=artifact))
+    return results
+
+
+def _still_fails(check, case: DiffCase, describe: bool = False):
+    try:
+        details = check(case)
+    except Exception as exc:
+        details = f"check raised {type(exc).__name__}: {exc}"
+    return details if describe else details is not None
+
+
+def replay_artifact(path: str) -> CheckResult:
+    """Re-run the check recorded in a divergence artifact."""
+    case, check_name, payload = load_artifact(path)
+    check = CHECKS[check_name]
+    details = _still_fails(check, case, describe=True)
+    return CheckResult(
+        name=f"{check_name}:artifact:{os.path.basename(path)}",
+        family="differential",
+        passed=details is None,
+        details=details or "divergence no longer reproduces",
+        artifact=path,
+    )

@@ -1,0 +1,99 @@
+"""Machine-readable verdicts for the verification gates.
+
+A :class:`CheckResult` is one named pass/fail observation from a gate;
+a :class:`VerifyReport` aggregates them into the JSON document that
+``repro-hma verify --json`` emits and ``tools/ci_smoke.sh`` consumes.
+The report's exit semantics are strict: any failed check fails the
+whole run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+#: The three gate families, in ladder order.
+FAMILIES = ("differential", "invariant", "replication")
+
+
+@dataclass
+class CheckResult:
+    """One named verification check."""
+
+    name: str
+    family: str  # "differential" | "invariant" | "replication"
+    passed: bool
+    details: str = ""
+    #: Path of the shrunken repro artifact (differential failures only).
+    artifact: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown check family {self.family!r}")
+        # Checks often compute pass/fail with numpy comparisons; keep
+        # the report JSON-serializable.
+        self.passed = bool(self.passed)
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated outcome of a ``repro-hma verify`` run."""
+
+    results: "list[CheckResult]" = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    seed: int = 0
+    quick: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> "list[CheckResult]":
+        return [r for r in self.results if not r.passed]
+
+    def family_counts(self) -> "dict[str, tuple[int, int]]":
+        """``family -> (passed, total)`` over the families that ran."""
+        counts: "dict[str, tuple[int, int]]" = {}
+        for family in FAMILIES:
+            members = [r for r in self.results if r.family == family]
+            if members:
+                counts[family] = (sum(r.passed for r in members),
+                                  len(members))
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "seed": self.seed,
+            "quick": self.quick,
+            "elapsed_seconds": self.elapsed_seconds,
+            "families": {
+                family: {"passed": ok, "total": total}
+                for family, (ok, total) in self.family_counts().items()
+            },
+            "checks": [asdict(r) for r in self.results],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyReport":
+        results = [
+            CheckResult(name=c["name"], family=c["family"],
+                        passed=c["passed"], details=c.get("details", ""),
+                        artifact=c.get("artifact"))
+            for c in data.get("checks", ())
+        ]
+        return cls(results=results,
+                   elapsed_seconds=data.get("elapsed_seconds", 0.0),
+                   seed=data.get("seed", 0),
+                   quick=data.get("quick", False))
+
+    @classmethod
+    def load(cls, path: str) -> "VerifyReport":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

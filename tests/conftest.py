@@ -1,6 +1,20 @@
 """Shared fixtures: small system configs and prepared workloads."""
 
+import os
+
 import pytest
+
+if os.environ.get("REPRO_COVERAGE"):
+    # Under the line tracer (tools/coverage_gate.py) every test runs
+    # several times slower; hypothesis's per-example deadline would
+    # flake, so disable it for the coverage run only.
+    try:
+        from hypothesis import settings as _hyp_settings
+
+        _hyp_settings.register_profile("coverage", deadline=None)
+        _hyp_settings.load_profile("coverage")
+    except ImportError:  # hypothesis is optional for the main suite
+        pass
 
 from repro.config import (
     CacheConfig,

@@ -1,0 +1,72 @@
+"""Error paths of the ascii plotting helpers and snapshot annotation."""
+
+import numpy as np
+import pytest
+
+from repro.harness.plots import ascii_bars, ascii_scatter, ascii_series
+from repro.obs.snapshots import SnapshotSeries
+
+
+class TestAsciiScatter:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ascii_scatter([1, 2, 3], [1, 2])
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_scatter([], [])
+
+    def test_degenerate_dimensions(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_scatter([1, 2], [1, 2], width=4)
+        with pytest.raises(ValueError, match="too small"):
+            ascii_scatter([1, 2], [1, 2], height=2)
+
+    def test_constant_data_still_plots(self):
+        # All-equal values must not divide by zero.
+        out = ascii_scatter([1.0, 1.0], [2.0, 2.0])
+        assert "*" in out
+
+    def test_split_lines_outside_range_are_dropped(self):
+        out = ascii_scatter([0.0, 1.0], [0.0, 1.0],
+                            split_x=5.0, split_y=-3.0)
+        assert "|" not in out.splitlines()[0]
+
+
+class TestAsciiBars:
+    def test_label_value_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            ascii_bars(["a", "b"], [1.0])
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_bars([], [])
+
+    def test_negative_bars_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_bars(["a"], [-1.0])
+
+    def test_all_zero_bars_do_not_divide_by_zero(self):
+        out = ascii_bars(["a", "b"], [0.0, 0.0])
+        assert out.count("\n") == 1
+
+
+class TestAsciiSeries:
+    def test_empty_series(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_series([])
+
+    def test_single_point_series_plots(self):
+        assert "o" in ascii_series([1.0])
+
+
+class TestSnapshotAnnotation:
+    def test_annotation_length_mismatch(self):
+        series = SnapshotSeries()
+        with pytest.raises(ValueError, match="0 epochs"):
+            series.annotate("ser", [1.0, 2.0])
+
+    def test_empty_series_renders_no_rows(self):
+        series = SnapshotSeries()
+        assert series.rows == []
+        assert list(series.columns())  # header columns always exist

@@ -33,6 +33,8 @@ from repro.harness.resilience import (
 from repro.harness.runner import parallel_map, prepare_workload_cached
 from repro.sim.system import prepare_workload
 
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 ACCESSES = 600
 
 

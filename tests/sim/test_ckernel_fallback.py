@@ -19,6 +19,8 @@ from repro.sim import _ckernel
 from repro.sim.engine import _resolve_kernel, replay
 from repro.sim.system import prepare_workload
 
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 
 @pytest.fixture
 def broken_cc(tmp_path, monkeypatch):

@@ -1,0 +1,55 @@
+"""The ``repro-hma verify`` verb: exit codes, JSON verdict, replay mode."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.verify.verdict import VerifyReport
+
+
+class TestVerifyVerb:
+    def test_quick_fuzz_gate_passes_and_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "verify.json"
+        rc = main(["verify", "--quick", "--cases", "2", "--gates", "fuzz",
+                   "--artifact-dir", str(tmp_path / "artifacts"),
+                   "--json", str(json_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VERDICT: PASS" in out
+        report = VerifyReport.load(str(json_path))
+        assert report.passed
+        # The verdict file is plain JSON for CI consumption.
+        raw = json.loads(json_path.read_text())
+        assert raw["passed"] is True
+        assert raw["seed"] == 0
+        assert raw["families"]["differential"]["total"] > 0
+        # Only the fuzz gate ran; skipped families are absent, not zero.
+        assert "invariant" not in raw["families"]
+        assert "replication" not in raw["families"]
+
+    def test_unknown_gate_is_a_usage_error(self, capsys):
+        rc = main(["verify", "--gates", "fuzz,nonsense"])
+        assert rc == 2
+        assert "unknown gate" in capsys.readouterr().err
+
+    def test_replay_artifact_mode(self, tmp_path, capsys):
+        from repro.verify.cases import random_case, save_artifact
+
+        import numpy as np
+
+        case = random_case(np.random.default_rng(0), 0)
+        path = tmp_path / "divergence-replay-kernels-case0000.json"
+        save_artifact(str(path), case, "replay-kernels", "planted")
+        # On a clean tree the recorded divergence no longer reproduces.
+        rc = main(["verify", "--replay-artifact", str(path)])
+        assert rc == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+
+class TestVerifySeed:
+    def test_fuzz_seed_flag_changes_nothing_on_a_clean_tree(self, tmp_path):
+        rc = main(["verify", "--quick", "--cases", "2", "--gates", "fuzz",
+                   "--fuzz-seed", "77",
+                   "--artifact-dir", str(tmp_path / "a")])
+        assert rc == 0

@@ -1,0 +1,173 @@
+"""Differential fuzzer: clean-tree agreement, mutation smoke, shrinking.
+
+The mutation smoke is the acceptance test of the whole gate: a
+deliberately injected off-by-one in the shared routing stage of the
+batched replay kernels must be caught by the fuzzer, shrunk, and
+dumped as a repro artifact that replays.
+"""
+
+import glob
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.sim import engine
+from repro.verify import differential
+from repro.verify.cases import (
+    DiffCase,
+    build_config,
+    build_trace,
+    load_artifact,
+    random_case,
+    shrink_case,
+)
+from repro.verify.differential import (
+    CHECKS,
+    replay_artifact,
+    run_fuzz,
+)
+
+
+def _some_case(seed=0, **overrides) -> DiffCase:
+    case = random_case(np.random.default_rng(seed), 0)
+    return replace(case, **overrides) if overrides else case
+
+
+class TestCaseGeneration:
+    def test_cases_are_deterministic_per_seed(self):
+        a = [random_case(np.random.default_rng(5), i) for i in range(4)]
+        b = [random_case(np.random.default_rng(5), i) for i in range(4)]
+        assert a == b
+
+    def test_trace_regenerates_identically(self):
+        case = _some_case(3)
+        t1, times1 = build_trace(case)
+        t2, times2 = build_trace(case)
+        assert np.array_equal(t1.address, t2.address)
+        assert np.array_equal(t1.is_write, t2.is_write)
+        assert np.array_equal(times1, times2)
+
+    def test_footprint_fits_in_slow_memory(self):
+        rng = np.random.default_rng(11)
+        for i in range(50):
+            case = random_case(rng, i)
+            assert case.footprint_pages <= case.slow_pages
+            config = build_config(case)
+            assert config.slow_memory.num_pages == case.slow_pages
+
+    def test_case_round_trips_through_dict(self):
+        case = _some_case(7)
+        assert DiffCase.from_dict(case.to_dict()) == case
+
+
+class TestCleanTree:
+    def test_all_families_agree_on_seeded_cases(self):
+        results = run_fuzz(num_cases=4, seed=0)
+        assert len(results) == 4 * len(CHECKS)
+        failed = [r for r in results if not r.passed]
+        assert not failed, failed
+
+    @pytest.mark.fuzz
+    def test_wide_seeded_sweep(self):
+        """A broader clean-tree sweep, run from ci_smoke's fuzz stage."""
+        results = run_fuzz(num_cases=20, seed=20260806)
+        failed = [r for r in results if not r.passed]
+        assert not failed, failed
+
+
+class TestMutationSmoke:
+    """A planted bug must be caught, shrunk, and dumped."""
+
+    @pytest.fixture
+    def planted_route_bug(self, monkeypatch):
+        """Off-by-one row aliasing in the batched kernels' routing."""
+        orig = engine._route_chunk
+
+        def mutated(*args, **kwargs):
+            dev, is_fast, gid, cid, row = orig(*args, **kwargs)
+            return dev, is_fast, gid, cid, row // 2
+
+        monkeypatch.setattr(engine, "_route_chunk", mutated)
+
+    def test_fuzzer_catches_and_shrinks(self, planted_route_bug, tmp_path):
+        results = run_fuzz(
+            num_cases=3, seed=0, artifact_dir=str(tmp_path),
+            checks={"replay-kernels": differential.check_replay_kernels})
+        failed = [r for r in results if not r.passed]
+        assert failed, "planted off-by-one was not caught"
+        artifacts = sorted(glob.glob(str(tmp_path / "divergence-*.json")))
+        assert artifacts, "no repro artifact dumped"
+        case, check_name, payload = load_artifact(artifacts[0])
+        assert check_name == "replay-kernels"
+        original = DiffCase.from_dict(payload["original_case"])
+        assert case.accesses < original.accesses, \
+            "artifact case was not shrunk"
+        # The shrunken case still reproduces while the bug is planted.
+        assert differential.check_replay_kernels(case) is not None
+
+    def test_artifact_replays_clean_after_fix(self, tmp_path, monkeypatch):
+        orig = engine._route_chunk
+
+        def mutated(*args, **kwargs):
+            dev, is_fast, gid, cid, row = orig(*args, **kwargs)
+            return dev, is_fast, gid, cid, row // 2
+
+        monkeypatch.setattr(engine, "_route_chunk", mutated)
+        run_fuzz(num_cases=3, seed=0, artifact_dir=str(tmp_path),
+                 checks={"replay-kernels":
+                         differential.check_replay_kernels})
+        artifacts = sorted(glob.glob(str(tmp_path / "divergence-*.json")))
+        assert artifacts
+        # Artifact still diverges while the mutation is live...
+        live = replay_artifact(artifacts[0])
+        assert not live.passed
+        # ...and reports fixed once the mutation is reverted.
+        monkeypatch.setattr(engine, "_route_chunk", orig)
+        fixed = replay_artifact(artifacts[0])
+        assert fixed.passed
+
+    def test_mea_divergence_is_caught(self, monkeypatch, tmp_path):
+        """A planted bug on the python-only MEA path diverges from native."""
+        from repro.config import knob_value
+        from repro.core.mea import MeaTracker
+
+        orig = MeaTracker.record_many
+
+        def mutated(self, pages):
+            arr = np.asarray(pages, dtype=np.int64).ravel()
+            if not knob_value("mea_native", None) and arr.size:
+                arr = arr[:-1]  # python path silently drops one access
+            return orig(self, arr)
+
+        monkeypatch.setattr(MeaTracker, "record_many", mutated)
+        results = run_fuzz(num_cases=2, seed=1,
+                           checks={"mea": differential.check_mea})
+        assert all(not r.passed for r in results)
+
+
+class TestShrinker:
+    def test_shrink_reduces_while_predicate_holds(self):
+        case = _some_case(9)
+        big = replace(case, accesses=2048)
+        shrunk = shrink_case(big, lambda c: c.accesses >= 64)
+        assert 64 <= shrunk.accesses <= big.accesses // 2
+
+    def test_shrink_survives_crashing_predicate(self):
+        case = _some_case(9)
+
+        def fails(c):
+            if c != case:
+                raise RuntimeError("different bug")
+            return True
+
+        assert shrink_case(case, fails) == case
+
+
+class TestArtifactIO:
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-an-artifact.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a repro-hma"):
+            load_artifact(str(path))

@@ -1,0 +1,46 @@
+"""Metamorphic paper invariants: clean-tree pass + failure plumbing."""
+
+import pytest
+
+from repro.verify.invariants import (
+    INVARIANTS,
+    _gmean,
+    check_ser_monotone_in_hot_fraction,
+    check_write_masked_avf,
+    run_invariants,
+)
+
+
+class TestGmean:
+    def test_matches_closed_form(self):
+        assert _gmean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert _gmean([3.5]) == pytest.approx(3.5)
+
+
+class TestCleanTree:
+    def test_every_invariant_passes(self, bundle):
+        results = run_invariants(bundle, quick=True)
+        assert len(results) == len(INVARIANTS)
+        assert all(r.family == "invariant" for r in results)
+        failed = [(r.name, r.details) for r in results if not r.passed]
+        assert not failed, failed
+
+    def test_ser_monotone_reports_the_curve(self, bundle):
+        result = check_ser_monotone_in_hot_fraction(bundle)
+        assert result.passed
+        # The details carry the actual SER curve for the CI log.
+        assert "SER" in result.details
+
+    def test_write_masked_traffic_has_zero_avf(self, bundle):
+        result = check_write_masked_avf(bundle)
+        assert result.passed, result.details
+
+
+class TestFailurePlumbing:
+    def test_broken_bundle_yields_failed_results_not_exceptions(self):
+        results = run_invariants(object(), quick=True)
+        assert len(results) == len(INVARIANTS)
+        assert all(not r.passed for r in results)
+        assert all("raised" in r.details for r in results)

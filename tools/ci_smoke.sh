@@ -22,6 +22,10 @@
 # 6. Runs the telemetry-overhead benchmark, asserting the dormant
 #    (telemetry-off) instrumentation stays within 2% of the bare
 #    engine and that telemetry never perturbs simulation results.
+# 7. Runs the fuzz-marked property suites, the full verification
+#    ladder (`repro-hma verify --quick`: cross-kernel differential
+#    fuzzer, paper-invariant checks, EXPERIMENTS.md shape gate), and
+#    the line-coverage gate against tools/coverage_baseline.json.
 #
 # Environment:
 #   REPRO_SMOKE_ACCESSES  accesses/core for the kernel benchmark (default 4000)
@@ -32,19 +36,34 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
 echo "== tier-1 unit tests =="
 python -m pytest -x -q "$@"
 
 echo "== chaos / fault-injection tests =="
-python -m pytest -q tests/harness/test_resilience.py \
+# The chaos suites are tagged slow+chaos and excluded from tier-1 by
+# the default addopts marker filter; the explicit -m here (last -m
+# wins) opts back in.
+python -m pytest -q -m chaos tests/harness/test_resilience.py \
     tests/sim/test_ckernel_fallback.py
+
+echo "== fuzz / property suites =="
+python -m pytest -q -m fuzz tests
+
+echo "== verification ladder (repro-hma verify --quick) =="
+python -m repro.harness.cli verify --quick \
+    --artifact-dir "$workdir/artifacts" \
+    --json "$workdir/verify.json"
+
+echo "== coverage gate =="
+python tools/coverage_gate.py
 
 echo "== kill/resume smoke =="
 python tools/kill_resume_smoke.py
 
 echo "== replay kernel smoke benchmark =="
-workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_REPLAY_JSON="$workdir/BENCH_replay.json" \
 python -m pytest benchmarks/bench_replay_kernel.py -q -s -p no:cacheprovider

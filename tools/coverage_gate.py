@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Line-coverage gate: tier-1 suite coverage must not regress.
+
+Runs the tier-1 unit suite under a line tracer, computes line coverage
+of ``src/repro``, and fails (exit 1) when the overall percentage drops
+more than the allowed slack below the floor recorded in
+``tools/coverage_baseline.json``.
+
+Uses coverage.py when installed.  The container image does not ship
+it, so the default path is a stdlib ``sys.settrace`` tracer: slower,
+but the same verdict — executable lines come from walking compiled
+code objects' ``co_lines()``, executed lines from trace events.
+
+Usage:
+    python tools/coverage_gate.py            # enforce the baseline
+    python tools/coverage_gate.py --record   # re-measure and rewrite it
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PACKAGE = os.path.join(SRC, "repro")
+BASELINE = os.path.join(ROOT, "tools", "coverage_baseline.json")
+
+#: How far (in percentage points) a run may fall below the recorded
+#: floor before the gate fails.  Absorbs platform jitter (e.g. the
+#: native-kernel fallback paths covering slightly different lines).
+SLACK_POINTS = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Executable-line discovery
+# ---------------------------------------------------------------------------
+
+
+def _code_lines(code) -> "set[int]":
+    lines = {ln for _, _, ln in code.co_lines() if ln is not None}
+    for const in code.co_consts:
+        if hasattr(const, "co_lines"):
+            lines |= _code_lines(const)
+    return lines
+
+
+def executable_lines() -> "dict[str, set[int]]":
+    """``abspath -> executable line numbers`` for every package module."""
+    table: "dict[str, set[int]]" = {}
+    for dirpath, _dirnames, filenames in os.walk(PACKAGE):
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            code = compile(source, path, "exec")
+            table[os.path.abspath(path)] = _code_lines(code)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tracing back-ends
+# ---------------------------------------------------------------------------
+
+
+def run_suite_with_settrace(pytest_args) -> "tuple[int, dict[str, set[int]]]":
+    import pytest
+
+    prefix = PACKAGE + os.sep
+    executed: "dict[str, set[int]]" = {}
+
+    def tracer(frame, event, _arg):
+        if event != "call":
+            return None
+        fname = frame.f_code.co_filename
+        if not fname.startswith(prefix):
+            return None  # skip line events outside the package entirely
+        lines = executed.setdefault(fname, set())
+
+        def local(frame, event, _arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return local
+
+        lines.add(frame.f_lineno)
+        return local
+
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return int(rc), executed
+
+
+def run_suite_with_coverage(pytest_args) -> "tuple[int, dict[str, set[int]]]":
+    import coverage
+    import pytest
+
+    cov = coverage.Coverage(source=[PACKAGE], data_file=None)
+    cov.start()
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        cov.stop()
+    data = cov.get_data()
+    executed = {os.path.abspath(f): set(data.lines(f) or ())
+                for f in data.measured_files()}
+    return int(rc), executed
+
+
+# ---------------------------------------------------------------------------
+# Gate
+# ---------------------------------------------------------------------------
+
+
+def measure(pytest_args) -> "tuple[int, float, list[tuple[str, int, int]]]":
+    try:
+        import coverage  # noqa: F401
+        backend = run_suite_with_coverage
+    except ImportError:
+        backend = run_suite_with_settrace
+    rc, executed = backend(pytest_args)
+    per_file = []
+    total_exec = 0
+    total_hit = 0
+    for path, lines in sorted(executable_lines().items()):
+        hit = len(lines & executed.get(path, set()))
+        per_file.append((os.path.relpath(path, ROOT), hit, len(lines)))
+        total_exec += len(lines)
+        total_hit += hit
+    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    return rc, percent, per_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra pytest args (default: tier-1 tests)")
+    args = parser.parse_args(argv)
+
+    os.chdir(ROOT)
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    os.environ["REPRO_COVERAGE"] = "1"
+    os.environ["PYTHONPATH"] = SRC + os.pathsep \
+        + os.environ.get("PYTHONPATH", "")
+
+    pytest_args = ["-x", "-q", "-p", "no:cacheprovider",
+                   *(args.pytest_args or ["tests"])]
+    rc, percent, per_file = measure(pytest_args)
+    if rc != 0:
+        print(f"coverage gate: test run failed (pytest exit {rc})",
+              file=sys.stderr)
+        return rc
+
+    worst = sorted((f for f in per_file if f[2]),
+                   key=lambda f: f[1] / f[2])[:5]
+    print(f"line coverage of src/repro: {percent:.1f}%")
+    for path, hit, total in worst:
+        print(f"  lowest: {path}  {100.0 * hit / total:.1f}% "
+              f"({hit}/{total})")
+
+    if args.record:
+        with open(BASELINE, "w") as fh:
+            json.dump({"floor_percent": round(percent, 1),
+                       "slack_points": SLACK_POINTS,
+                       "suite": "tier-1 (default addopts)"},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"recorded {percent:.1f}% as the new floor in {BASELINE}")
+        return 0
+
+    try:
+        with open(BASELINE) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        print(f"coverage gate: no baseline at {BASELINE}; run with "
+              "--record first", file=sys.stderr)
+        return 1
+    floor = float(baseline["floor_percent"])
+    slack = float(baseline.get("slack_points", SLACK_POINTS))
+    if percent < floor - slack:
+        print(f"coverage gate: {percent:.1f}% is below the recorded "
+              f"floor {floor:.1f}% (slack {slack:g} points)",
+              file=sys.stderr)
+        return 1
+    print(f"coverage gate OK: {percent:.1f}% >= floor {floor:.1f}% "
+          f"- {slack:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
