@@ -45,6 +45,7 @@ FAULT_TRIALS = int(os.environ.get("REPRO_BENCH_FAULT_TRIALS", "40000"))
 _SMOKE = 0.5 if ACCESSES < 20_000 else 1.0
 POLICY_FLOORS = {"perf-migration": 2.0 * _SMOKE,
                  "fc-migration": 3.0 * _SMOKE,
+                 "cc-migration": 4.0 * _SMOKE,
                  "oracle-risk-migration": 2.0 * _SMOKE}
 CC_BASELINE_FLOOR = 3.0 * _SMOKE
 FAULTSIM_FLOOR = 10.0

@@ -1,7 +1,14 @@
 """Cache substrate: set-associative caches and the Moola-style filter."""
 
 from repro.cache.cache import AccessResult, Cache, CacheStats
-from repro.cache.hierarchy import CacheHierarchy, MemoryRequest, filter_trace
+from repro.cache.filter_array import filter_trace_array
+from repro.cache.hierarchy import (
+    CACHE_KERNELS,
+    CacheHierarchy,
+    MemoryRequest,
+    filter_trace,
+    resolve_cache_kernel,
+)
 
 __all__ = [
     "Cache",
@@ -9,5 +16,8 @@ __all__ = [
     "AccessResult",
     "CacheHierarchy",
     "MemoryRequest",
+    "CACHE_KERNELS",
     "filter_trace",
+    "filter_trace_array",
+    "resolve_cache_kernel",
 ]

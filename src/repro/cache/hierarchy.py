@@ -73,12 +73,18 @@ class CacheHierarchy:
         return residual
 
     def flush(self) -> "list[tuple[int, bool]]":
-        """Flush every level; dirty L2 lines become memory writes."""
+        """Flush every level; dirty L2 lines become memory writes.
+
+        The write-backs return in ascending line order — since the
+        filter attributes them all to core 0, that is deterministic
+        (core, line) order regardless of cache content history, and
+        both filter kernels reproduce the tail bit-exactly.
+        """
         for caches in (self.l1i, self.l1d):
             for l1 in caches:
                 for line in l1.flush():
                     self.l2.access(line, True)
-        return [(line, True) for line in self.l2.flush()]
+        return [(line, True) for line in sorted(self.l2.flush())]
 
     def stats(self) -> "dict[str, CacheStats]":
         out = {"l2": self.l2.stats}
@@ -88,17 +94,48 @@ class CacheHierarchy:
         return out
 
 
+#: Recognised ``filter_trace(..., cache_kernel=)`` /
+#: ``REPRO_CACHE_KERNEL`` values.
+CACHE_KERNELS = ("array", "sparse")
+
+
+def resolve_cache_kernel(kernel: "str | None" = None) -> str:
+    """Resolve the filter backend via the ``cache_kernel`` knob
+    (argument > scoped override > ``REPRO_CACHE_KERNEL`` > ``array``)."""
+    from repro.config import knob_value
+
+    kernel = knob_value("cache_kernel", kernel)
+    if kernel not in CACHE_KERNELS:
+        raise ValueError(
+            f"cache kernel must be one of {CACHE_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
 def filter_trace(
     trace: Trace,
     hierarchy: CacheHierarchy,
     flush_at_end: bool = False,
+    cache_kernel: "str | None" = None,
 ) -> Trace:
     """Replay ``trace`` through ``hierarchy``; return the memory trace.
 
     Gap instructions of filtered-out (cache-hit) requests accumulate
     onto the next surviving request of the same core, so MPKI of the
     output reflects main-memory MPKI as in the paper.
+
+    ``cache_kernel`` picks the backend: ``sparse`` is this module's
+    per-access reference loop; ``array`` (the default) runs the whole
+    trace through the batched kernel of
+    :mod:`repro.cache.filter_array` — bit-identical output trace,
+    final cache state, and stats.
     """
+    if resolve_cache_kernel(cache_kernel) == "array":
+        from repro.cache.filter_array import filter_trace_array
+
+        return filter_trace_array(trace, hierarchy,
+                                  flush_at_end=flush_at_end)
+
     out_core: "list[int]" = []
     out_line: "list[int]" = []
     out_write: "list[bool]" = []

@@ -310,6 +310,14 @@ KNOBS: "dict[str, Knob]" = _knob_table(
     Knob("policy_kernel", "REPRO_POLICY_KERNEL", "str", "array",
          "migration policy-layer backend",
          choices=("array", "sparse")),
+    Knob("cache_kernel", "REPRO_CACHE_KERNEL", "str", "array",
+         "cache-filter backend (sparse = per-access oracle)",
+         choices=("array", "sparse")),
+    Knob("cache_native", "REPRO_CACHE_NATIVE", "bool", True,
+         "compile the C cache-filter loop (0 = pure Python)"),
+    Knob("shm_handoff", "REPRO_SHM_HANDOFF", "bool", True,
+         "pass prepared workloads to workers via shared memory "
+         "(0 = pickle)"),
     Knob("fault_trials", "REPRO_FAULT_TRIALS", "int", 0,
          "Monte-Carlo fault-sim trials (0 = analytic)"),
     Knob("seed", "REPRO_SEED", "int", 0,

@@ -47,13 +47,15 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core import _mea_native
 from repro.core.counters import (
+    ArrayFullCounters,
     FullCounters,
     check_parallel_arrays,
     make_counters,
     resolve_policy_kernel,
 )
-from repro.core.mea import MeaTracker
+from repro.core.mea import ArrayMeaTracker, MeaTracker
 from repro.dram.hma import FAST, HeterogeneousMemory
 from repro.obs import metrics as _metrics
 
@@ -447,7 +449,14 @@ class CrossCountersMigration(MigrationMechanism):
         if max_promotions < 1:
             raise ValueError("max_promotions must be >= 1")
         self.policy_kernel = resolve_policy_kernel(policy_kernel)
-        self.mea = MeaTracker(capacity=mea_capacity)
+        # The array kernel keeps the MEA map in the flat-array form the
+        # native chunk loop consumes directly; the sparse kernel keeps
+        # the dict-based reference tracker.  Same members, counts, and
+        # order either way.
+        if self.policy_kernel == "array":
+            self.mea = ArrayMeaTracker(capacity=mea_capacity)
+        else:
+            self.mea = MeaTracker(capacity=mea_capacity)
         self.max_promotions = max_promotions
         self.counters = make_counters(counter_bits, self.policy_kernel)
         self.subintervals_per_interval = subintervals_per_interval
@@ -461,8 +470,50 @@ class CrossCountersMigration(MigrationMechanism):
                               pages, is_write, times)
         # The MEA map sees every access; the risk counters are only
         # consulted for HBM residents (plan filters by residency).
+        if self._observe_chunk_fused(pages, is_write):
+            return
         self.mea.record_many(pages)
         self.counters.record_batch(pages, is_write)
+
+    def _observe_chunk_fused(self, pages, is_write) -> bool:
+        """Single-pass native MEA+FC update; False → two-call path.
+
+        One C call walks the chunk once, feeding the MEA map and the
+        risk counters' read/write tables together — no chunk copies,
+        no deferred bincount fold.  Only taken when both trackers are
+        the array kind, the fused kernel compiled, and the chunk
+        arrays are already in native layout; results are bit-identical
+        either way.
+        """
+        mea = self.mea
+        counters = self.counters
+        if not (type(mea) is ArrayMeaTracker
+                and type(counters) is ArrayFullCounters
+                and type(pages) is np.ndarray
+                and pages.dtype == np.int64 and pages.ndim == 1
+                and pages.flags.c_contiguous
+                and type(is_write) is np.ndarray
+                and is_write.dtype == np.bool_
+                and is_write.flags.c_contiguous):
+            return False
+        fused = _mea_native.load_cc()
+        if fused is None:
+            return False
+        n = int(pages.size)
+        if n == 0:
+            return True
+        lo = int(pages.min())
+        if lo < 0:
+            raise ValueError("page numbers must be non-negative")
+        reads, writes = counters.tables_for_native(int(pages.max()))
+        mea.stream_length += n
+        mea._c_n.value = mea._n
+        fused(n, pages.ctypes.data, is_write.ctypes.data,
+              mea.capacity, mea._entry_ptrs[0], mea._entry_ptrs[1],
+              mea._c_n_ref, reads.ctypes.data, writes.ctypes.data,
+              counters.max_value)
+        mea._n = mea._c_n.value
+        return True
 
     def plan_sub(self, hma: HeterogeneousMemory) -> MigrationPlan:
         """MEA interval: bring in the globally hot pages.
@@ -470,44 +521,30 @@ class CrossCountersMigration(MigrationMechanism):
         Demotions happen here too when the reliability unit has pending
         high-risk pages — "migrations are performed in both directions"
         (Sec. 6.4.3).
+
+        Two promotion tiers: any tracked page may fill a *free* HBM
+        frame, but displacing a resident takes a page the MEA map is
+        confident about (residual count >= 2).
         """
-        use_array = self._use_array_kernel(hma)
+        if self._use_array_kernel(hma):
+            return self._plan_sub_array(hma)
+        return self._plan_sub_sparse(hma)
+
+    def _plan_sub_sparse(self, hma) -> MigrationPlan:
         hot_all = self.mea.hot_pages()
         hot_strong = self.mea.hot_pages(min_count=2)
         self.mea.reset()
 
-        # Two promotion tiers: any tracked page may fill a *free* HBM
-        # frame, but displacing a resident takes a page the MEA map is
-        # confident about (residual count >= 2).
-        if use_array:
-            in_fast_arr = hma.pages_in_array(FAST)
-            n_fast = len(in_fast_arr)
-            if hot_all:
-                resident = hma.fast_mask(np.asarray(hot_all, dtype=np.int64))
-                weak = [p for p, r in zip(hot_all, resident)
-                        if not r][: self.max_promotions]
-            else:
-                weak = []
-            if hot_strong:
-                resident = hma.fast_mask(
-                    np.asarray(hot_strong, dtype=np.int64))
-                strong = [p for p, r in zip(hot_strong, resident)
-                          if not r][: self.max_promotions]
-            else:
-                strong = []
-        else:
-            in_fast_list = hma.pages_in(FAST)
-            in_fast = set(in_fast_list)
-            n_fast = len(in_fast_list)
-            weak = [p for p in hot_all
-                    if p not in in_fast][: self.max_promotions]
-            strong = [p for p in hot_strong
-                      if p not in in_fast][: self.max_promotions]
-
+        in_fast_list = hma.pages_in(FAST)
+        in_fast = set(in_fast_list)
+        weak = [p for p in hot_all
+                if p not in in_fast][: self.max_promotions]
+        strong = [p for p in hot_strong
+                  if p not in in_fast][: self.max_promotions]
         if not weak:
             return [], []
 
-        free = hma.fast_capacity_pages - n_fast
+        free = hma.fast_capacity_pages - len(in_fast_list)
         to_fast = weak[:free]
         promoted = set(to_fast)
         swappers = [p for p in strong if p not in promoted]
@@ -522,22 +559,86 @@ class CrossCountersMigration(MigrationMechanism):
             extra = len(swappers) - len(to_slow)
             # Pages already queued for demotion must not be picked as
             # cold victims too — a page can only leave HBM once.
-            if use_array:
-                if to_slow:
-                    keep = ~np.isin(in_fast_arr,
-                                    np.asarray(to_slow, dtype=np.int64))
-                    vic_pool = in_fast_arr[keep]
-                else:
-                    vic_pool = in_fast_arr
-                vic_hot = self.counters.hotness_of(vic_pool)
-                vsel = _bottom_hot_asc(vic_pool, vic_hot, extra)
-                victims = vic_pool[vsel].tolist()
-            else:
-                queued = set(to_slow)
-                victims = sorted(
-                    (p for p in in_fast_list if p not in queued),
-                    key=lambda p: self.counters.hotness(p),
-                )[:extra]
+            queued = set(to_slow)
+            victims = sorted(
+                (p for p in in_fast_list if p not in queued),
+                key=lambda p: self.counters.hotness(p),
+            )[:extra]
+            to_slow = to_slow + victims
+        return to_fast + swappers, to_slow
+
+    def _plan_sub_array(self, hma) -> MigrationPlan:
+        """Array-kernel :meth:`plan_sub`.
+
+        The whole tiering pass is a handful of numpy calls over the
+        MEA map (at most ``capacity`` ~32 entries): one ``fast_mask``
+        call answers residency for the whole map, a stable argsort
+        ranks it (descending count, insertion-order ties — identical
+        to the reference walk), boolean selection builds the weak and
+        strong promotion tiers, ``fast_occupancy`` replaces the
+        resident scan for the free-frame count, and the (large)
+        resident array is only materialised when cold victims are
+        actually needed.  Plans are bit-identical to the sparse walk.
+        """
+        mea = self.mea
+        k = len(mea)
+        if not k:
+            mea.reset()
+            return [], []
+        # Views into the tracker's slot arrays stay valid after reset()
+        # (it only zeroes the live count); nothing records into the
+        # tracker inside this method.
+        pages_arr = mea._pages[:k]
+        counts_arr = mea._counts[:k]
+        mea.reset()
+
+        # Rank nonresident entries: descending residual count with
+        # insertion-order ties (stable sort on negated counts).
+        # Residency via a direct page-table gather — MEA pages are
+        # validated non-negative on record, and a page beyond the
+        # table (never mapped) raises IndexError -> checked fallback.
+        try:
+            nonres = hma._pt_device[pages_arr] != FAST
+        except (IndexError, AttributeError):
+            nonres = ~hma.fast_mask(pages_arr)
+        order = np.argsort(-counts_arr, kind="stable")
+        ranked = order[nonres[order]]
+        mp = self.max_promotions
+        weak = pages_arr[ranked[:mp]].tolist()
+        strong_sel = ranked[counts_arr[ranked] >= 2][:mp]
+        strong = pages_arr[strong_sel].tolist()
+        if not weak:
+            return [], []
+
+        free = hma.fast_capacity_pages - hma.fast_occupancy()
+        to_fast = weak[:free]
+        promoted = set(to_fast)
+        swappers = [p for p in strong if p not in promoted]
+        if not swappers:
+            return to_fast, []
+
+        to_slow = self._pending_out[: len(swappers)]
+        self._pending_out = self._pending_out[len(to_slow):]
+        if len(to_slow) < len(swappers):
+            extra = len(swappers) - len(to_slow)
+            # Pages already queued for demotion must not be picked as
+            # cold victims too.  Over-select the bottom
+            # ``extra + queued`` residents, then drop the queued ones:
+            # removing ``q`` elements from a ranking leaves the first
+            # ``extra`` survivors inside the first ``extra + q``
+            # positions, so this matches filtering the pool first
+            # without an ``isin`` pass over all of HBM.
+            in_fast_arr = hma.pages_in_array(FAST)
+            vic_hot = self.counters.hotness_of(in_fast_arr)
+            vsel = _bottom_hot_asc(in_fast_arr, vic_hot,
+                                   extra + len(to_slow))
+            queued = set(to_slow)
+            victims: "list[int]" = []
+            for p in in_fast_arr[vsel].tolist():
+                if p not in queued:
+                    victims.append(p)
+                    if len(victims) == extra:
+                        break
             to_slow = to_slow + victims
         return to_fast + swappers, to_slow
 

@@ -178,9 +178,13 @@ class HeterogeneousMemory:
         pages beyond the table (never mapped) are not resident.
         """
         pages = np.asarray(pages, dtype=np.int64)
+        table = self._pt_device
+        if pages.size and int(pages.min()) >= 0 \
+                and int(pages.max()) < len(table):
+            return table[pages] == FAST
         mask = np.zeros(len(pages), dtype=bool)
-        valid = (pages >= 0) & (pages < len(self._pt_device))
-        mask[valid] = self._pt_device[pages[valid]] == FAST
+        valid = (pages >= 0) & (pages < len(table))
+        mask[valid] = table[pages[valid]] == FAST
         return mask
 
     def page_entries(self) -> "Iterator[tuple[int, int, int]]":
@@ -339,14 +343,24 @@ class HeterogeneousMemory:
         bandwidth); duplicate entries within a list count once.  Each
         moved page costs a 4 KB transfer on both devices; the method
         returns the time the migration traffic drains.
+
+        Both directions are applied as batched array updates.  The
+        observable state transition is identical to migrating page by
+        page in list order: frames free and reallocate in the same
+        LIFO order (demotions drain the SLOW free list front-to-back
+        of the demotion list, promotions reuse the just-freed HBM
+        frames newest-first), the promotion budget counts only pages
+        that actually move, and the page table grows only as far as
+        the largest page actually admitted.
         """
         pinned = self.pinned
-        to_slow = list(dict.fromkeys(
-            int(p) for p in to_slow if int(p) not in pinned
-        ))
-        to_fast = list(dict.fromkeys(
-            int(p) for p in to_fast if int(p) not in pinned
-        ))
+        to_slow = [int(p) for p in to_slow]
+        to_fast = [int(p) for p in to_fast]
+        if pinned:
+            to_slow = [p for p in to_slow if p not in pinned]
+            to_fast = [p for p in to_fast if p not in pinned]
+        to_slow = list(dict.fromkeys(to_slow))
+        to_fast = list(dict.fromkeys(to_fast))
         both = set(to_fast) & set(to_slow)
         if both:
             to_slow = [p for p in to_slow if p not in both]
@@ -354,49 +368,92 @@ class HeterogeneousMemory:
 
         pt_device, pt_frame = self._pt_device, self._pt_frame
         table_size = len(pt_device)
+        free_fast_frames, free_slow_frames = self._free_frames
         moved = 0
-        for page in to_slow:
-            if page >= table_size or pt_device[page] != FAST:
-                continue
-            self._free_frames[FAST].append(int(pt_frame[page]))
-            frame = self._alloc_frame(SLOW)
-            pt_device[page] = SLOW
-            pt_frame[page] = frame
-            self._occupancy[FAST] -= 1
-            self._occupancy[SLOW] += 1
-            self._fast_set.discard(page)
-            self.migration_stats.migrations_to_slow += 1
-            moved += 1
+
+        overflow = False
+        if to_slow:
+            arr = np.asarray(to_slow, dtype=np.int64)
+            sel = arr if max(to_slow) < table_size else arr[arr < table_size]
+            sel = sel[pt_device[sel] == FAST]
+            m = len(sel)
+            # SLOW headroom; a demotion beyond it raises CapacityError
+            # after the in-budget prefix has been applied and the
+            # failing page's HBM frame has been freed — exactly the
+            # intermediate state the per-page loop leaves behind.
+            headroom = (len(free_slow_frames) + self.slow_capacity_pages
+                        - self._next_frame[SLOW])
+            if m > headroom:
+                overflow = True
+                failing = int(sel[headroom])
+                sel, m = sel[:headroom], headroom
+            if m:
+                freed = pt_frame[sel].tolist()
+                take = min(m, len(free_slow_frames))
+                frames = free_slow_frames[-take:][::-1] if take else []
+                if take:
+                    del free_slow_frames[-take:]
+                if m > take:
+                    nf = self._next_frame[SLOW]
+                    frames += range(nf, nf + m - take)
+                    self._next_frame[SLOW] = nf + m - take
+                pt_device[sel] = SLOW
+                pt_frame[sel] = frames
+                free_fast_frames.extend(freed)
+                self._occupancy[FAST] -= m
+                self._occupancy[SLOW] += m
+                self._fast_set.difference_update(sel.tolist())
+                self.migration_stats.migrations_to_slow += m
+                moved += m
+            if overflow:
+                free_fast_frames.append(int(pt_frame[failing]))
+                raise CapacityError(
+                    f"device {SLOW} out of frames "
+                    f"({self.slow_capacity_pages} pages)"
+                )
 
         free_fast = (
             self.fast_capacity_pages - self._next_frame[FAST]
-            + len(self._free_frames[FAST])
+            + len(free_fast_frames)
         )
-        for page in to_fast:
-            if free_fast <= 0:
-                break
-            mapped = page < table_size and pt_device[page] != _UNMAPPED
-            if mapped and pt_device[page] == FAST:
-                continue
-            if mapped:
-                self._free_frames[SLOW].append(int(pt_frame[page]))
-                frame = self._alloc_frame(FAST)
-                pt_device[page] = FAST
-                pt_frame[page] = frame
-                self._occupancy[SLOW] -= 1
-                self._occupancy[FAST] += 1
+        if to_fast and free_fast > 0:
+            arr = np.asarray(to_fast, dtype=np.int64)
+            in_table = max(to_fast) < table_size
+            if in_table:
+                dev = pt_device[arr]
             else:
-                self._ensure_table(page)
-                pt_device, pt_frame = self._pt_device, self._pt_frame
-                table_size = len(pt_device)
-                frame = self._alloc_frame(FAST)
-                pt_device[page] = FAST
-                pt_frame[page] = frame
-                self._occupancy[FAST] += 1
-            self._fast_set.add(page)
-            self.migration_stats.migrations_to_fast += 1
-            free_fast -= 1
-            moved += 1
+                small = arr < table_size
+                dev = np.full(len(arr), _UNMAPPED, dtype=np.int16)
+                dev[small] = pt_device[arr[small]]
+            cand = arr[dev != FAST][:free_fast]
+            m = len(cand)
+            if m:
+                if not in_table:
+                    top = int(cand.max())
+                    if top >= table_size:
+                        self._ensure_table(top)
+                        pt_device, pt_frame = \
+                            self._pt_device, self._pt_frame
+                mapped = cand[pt_device[cand] != _UNMAPPED]
+                n_mapped = len(mapped)
+                free_slow_frames.extend(pt_frame[mapped].tolist())
+                take = min(m, len(free_fast_frames))
+                frames = free_fast_frames[-take:][::-1] if take else []
+                if take:
+                    del free_fast_frames[-take:]
+                if m > take:
+                    # Never exceeds HBM capacity: the budget already
+                    # bounds allocations by free frames + fresh frames.
+                    nf = self._next_frame[FAST]
+                    frames += range(nf, nf + m - take)
+                    self._next_frame[FAST] = nf + m - take
+                pt_device[cand] = FAST
+                pt_frame[cand] = frames
+                self._occupancy[SLOW] -= n_mapped
+                self._occupancy[FAST] += m
+                self._fast_set.update(cand.tolist())
+                self.migration_stats.migrations_to_fast += m
+                moved += m
 
         if moved == 0:
             return now

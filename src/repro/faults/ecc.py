@@ -13,14 +13,19 @@ protected slow memory:
   faults on *different* chips of the same rank whose intra-chip
   address footprints intersect while both corruptions are live.
 
-This module classifies individual faults and fault pairs; the
-Monte-Carlo driver lives in ``repro.faults.faultsim``.
+This module classifies individual faults and fault pairs, and owns
+the vectorised form of that classification: :func:`build_ecc_luts`
+compiles a scheme + geometry into the lookup tables the batched
+Monte-Carlo kernel indexes (``repro.faults.faultsim`` consumes them
+verbatim, so the scalar methods here stay the single source of truth).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+
+import numpy as np
 
 from repro.faults.fit import FaultComponent
 
@@ -164,6 +169,53 @@ class ChipKill(EccScheme):
             # Both symbols come from the same chip: still one-symbol.
             return 0.0
         return footprint_overlap_probability(a, b, geo)
+
+
+@dataclass(frozen=True)
+class EccLuts:
+    """Vectorised outcome tables for one (scheme, geometry) pair.
+
+    ``components`` fixes the index order shared by every table.  The
+    arrays are read-only: a simulator indexes them on hot paths and
+    several simulators may share one instance.
+    """
+
+    components: "tuple[FaultComponent, ...]"
+    single_corrected: np.ndarray     # bool (n,)
+    single_detected: np.ndarray      # bool (n,)
+    single_uncorrected: np.ndarray   # float (n,)
+    pair_uncorrectable: np.ndarray   # float (n, n, 2): [a, b, same_chip]
+
+
+def build_ecc_luts(scheme: EccScheme, geometry: ChipGeometry) -> EccLuts:
+    """Compile ``scheme`` over ``geometry`` into outcome lookup tables.
+
+    Singles depend only on the component; pairs only on
+    ``(component_a, component_b, same_chip)`` — so batched kernels
+    classify whole event arrays by indexing instead of re-invoking the
+    scalar classification per event.
+    """
+    components = tuple(FaultComponent)
+    singles = [scheme.classify_single(c) for c in components]
+    n = len(components)
+    pair = np.empty((n, n, 2))
+    for i, a in enumerate(components):
+        for j, b in enumerate(components):
+            for same in (0, 1):
+                pair[i, j, same] = scheme.pair_uncorrectable(
+                    a, b, bool(same), geometry)
+    luts = EccLuts(
+        components=components,
+        single_corrected=np.array([o is Outcome.CORRECTED for o in singles]),
+        single_detected=np.array([o is Outcome.DETECTED for o in singles]),
+        single_uncorrected=np.array(
+            [1.0 if o is Outcome.UNCORRECTED else 0.0 for o in singles]),
+        pair_uncorrectable=pair,
+    )
+    for arr in (luts.single_corrected, luts.single_detected,
+                luts.single_uncorrected, luts.pair_uncorrectable):
+        arr.setflags(write=False)
+    return luts
 
 
 _SCHEMES = {"none": NoEcc, "secded": SecDed, "chipkill": ChipKill}

@@ -32,7 +32,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import MemoryConfig
-from repro.faults.ecc import ChipGeometry, EccScheme, Outcome, make_scheme
+from repro.faults.ecc import (
+    ChipGeometry,
+    EccScheme,
+    Outcome,
+    build_ecc_luts,
+    make_scheme,
+)
 from repro.faults.fit import (
     FaultComponent,
     FitRates,
@@ -129,29 +135,19 @@ class FaultSimulator:
         self.ecc: EccScheme = make_scheme(memory.ecc)
         self.chips = devices_per_rank(memory)
         self._rng = np.random.default_rng(seed)
-        self._components = list(FaultComponent)
+        # Outcome lookup tables, compiled once by the ECC module so the
+        # scalar classification methods remain the single source of
+        # truth (see :func:`repro.faults.ecc.build_ecc_luts`).
+        luts = build_ecc_luts(self.ecc, self.geometry)
+        self._components = list(luts.components)
         self._lambdas = np.array(
             [self.rates.rate(c) * 1e-9 * self.chips * mission_hours
              for c in self._components]
         )
-        # Outcome lookup tables: singles depend only on the component,
-        # pairs only on (component_a, component_b, same_chip), so the
-        # batched kernel classifies whole event arrays by indexing.
-        singles = [self.ecc.classify_single(c) for c in self._components]
-        self._single_corrected = np.array(
-            [o is Outcome.CORRECTED for o in singles])
-        self._single_detected = np.array(
-            [o is Outcome.DETECTED for o in singles])
-        self._single_uncorrected = np.array(
-            [1.0 if o is Outcome.UNCORRECTED else 0.0 for o in singles])
-        n = len(self._components)
-        self._pair_lut = np.empty((n, n, 2))
-        for i, a in enumerate(self._components):
-            for j, b in enumerate(self._components):
-                for same in (0, 1):
-                    self._pair_lut[i, j, same] = self.ecc.pair_uncorrectable(
-                        a, b, bool(same), self.geometry
-                    )
+        self._single_corrected = luts.single_corrected
+        self._single_detected = luts.single_detected
+        self._single_uncorrected = luts.single_uncorrected
+        self._pair_lut = luts.pair_uncorrectable
 
     # -- core Monte-Carlo ----------------------------------------------------
 

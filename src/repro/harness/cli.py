@@ -18,6 +18,7 @@ import inspect
 import os
 import sys
 
+from repro.cache.hierarchy import CACHE_KERNELS
 from repro.config import knob_overrides, knob_value
 from repro.core.counters import POLICY_KERNELS
 from repro.harness.experiments import EXPERIMENTS, WorkloadCache
@@ -192,6 +193,11 @@ def _add_runner_args(sub) -> None:
              "(default) or the dict-based 'sparse' reference "
              "(env REPRO_POLICY_KERNEL)")
     sub.add_argument(
+        "--cache-kernel", choices=CACHE_KERNELS, default=None,
+        help="cache-filter backend: batched 'array' (default) or the "
+             "per-access 'sparse' reference "
+             "(env REPRO_CACHE_KERNEL)")
+    sub.add_argument(
         "--telemetry", action="store_true",
         help="record metrics, epoch snapshots, and tracing spans for "
              "each experiment into the run registry "
@@ -273,6 +279,7 @@ def main(argv: "list[str] | None" = None) -> int:
     with knob_overrides(
             fault_trials=getattr(args, "fault_trials", None),
             policy_kernel=getattr(args, "policy_kernel", None),
+            cache_kernel=getattr(args, "cache_kernel", None),
             telemetry=True if getattr(args, "telemetry", False) else None,
             obs_dir=getattr(args, "obs_dir", None)):
         return _dispatch(parser, args)
@@ -472,8 +479,8 @@ def _run_checkpointed(targets, args):
         jobs=_effective_jobs(args), checkpoint_dir=args.run_dir,
         resume=args.resume, job_timeout=args.job_timeout,
         retries=args.retries, fault_trials=args.fault_trials,
-        policy_kernel=args.policy_kernel, telemetry=args.telemetry,
-        obs_dir=args.obs_dir, return_report=True)
+        policy_kernel=args.policy_kernel, cache_kernel=args.cache_kernel,
+        telemetry=args.telemetry, obs_dir=args.obs_dir, return_report=True)
     failed = report.failed
     if failed:
         print(f"warning: {report.summary()}", file=sys.stderr)

@@ -31,6 +31,14 @@ fans complete experiment ids (``fig05``, ``table2``, ...) out across
 processes with optional checkpoint/resume through a
 :class:`~repro.harness.resilience.RunManifest`.
 
+Fan-outs whose job items all carry the same prepared workloads (the
+capacity sweep is the canonical case) hand the arrays to workers
+zero-copy through :mod:`repro.harness.shm` (re-exported here):
+:func:`share_payload` hoists them into one shared-memory segment and
+:func:`resolve_payload` maps it read-only in each worker, gated by the
+``shm_handoff`` knob (``REPRO_SHM_HANDOFF``) with a transparent
+pickle fallback.
+
 Environment knobs (CLI flags take precedence where both exist):
 
 * ``REPRO_JOBS`` — default worker count for ``parallel_map``
@@ -63,13 +71,21 @@ from repro.harness.resilience import (
     run_key,
     store_entry,
 )
+from repro.harness.shm import (
+    release_payload,
+    resolve_payload,
+    share_payload,
+    shared_handoff,
+)
 from repro.sim.system import DEFAULT_SCALE, PreparedWorkload, prepare_workload
 
 __all__ = [
     "CACHE_VERSION", "FaultPlan", "MapReport", "PartialResultError",
     "parallel_map", "prefetch_workloads", "prepare_workload_cached",
-    "resolve_cache_dir", "resolve_job_timeout", "resolve_jobs",
-    "resolve_retries", "run_experiments", "workload_cache_key",
+    "release_payload", "resolve_cache_dir", "resolve_job_timeout",
+    "resolve_jobs", "resolve_payload", "resolve_retries",
+    "run_experiments", "share_payload", "shared_handoff",
+    "workload_cache_key",
 ]
 
 #: Bump to invalidate every on-disk entry when the pickle layout changes.
@@ -100,13 +116,21 @@ def workload_cache_key(
     seed: int,
     config=None,
     ser_model=None,
+    cache_kernel: "str | None" = None,
 ) -> str:
     """Digest of everything :func:`prepare_workload` depends on.
 
     ``config`` and ``ser_model`` are dataclasses with value-style
     ``repr``; hashing the repr keys the cache on the full parameter
-    set without inventing a parallel serialisation.
+    set without inventing a parallel serialisation.  ``cache_kernel``
+    (default: the resolved knob) keys entries per filter backend so a
+    cached preparation can never alias across kernels; the
+    ``shm_handoff`` knob is deliberately NOT part of the key — it only
+    changes how prepared workloads travel to workers, never their
+    contents.
     """
+    from repro.cache.hierarchy import resolve_cache_kernel
+
     payload = "|".join([
         f"v{CACHE_VERSION}",
         str(workload),
@@ -115,6 +139,7 @@ def workload_cache_key(
         str(int(seed)),
         repr(config),
         repr(ser_model),
+        f"cache_kernel={resolve_cache_kernel(cache_kernel)}",
     ])
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
@@ -280,7 +305,7 @@ def _run_experiment_worker(item):
     import inspect
 
     (name, accesses, scale, seed, cache_dir,
-     fault_trials, policy_kernel, telemetry, obs_dir) = item
+     fault_trials, policy_kernel, cache_kernel, telemetry, obs_dir) = item
     # Imported lazily so forked workers reuse the parent's modules and
     # fresh processes pay the import only once each.
     from repro.config import knob_overrides
@@ -297,7 +322,8 @@ def _run_experiment_worker(item):
     # knobs the CLI passed for *this* run, and nothing leaks into later
     # runs or sibling workers.
     with knob_overrides(fault_trials=fault_trials,
-                        policy_kernel=policy_kernel):
+                        policy_kernel=policy_kernel,
+                        cache_kernel=cache_kernel):
         with run_context(
                 name,
                 config={"experiment": name, "accesses": accesses,
@@ -324,6 +350,7 @@ def run_experiments(
     return_report: bool = False,
     fault_trials: "int | None" = None,
     policy_kernel: "str | None" = None,
+    cache_kernel: "str | None" = None,
     telemetry: bool = False,
     obs_dir: "str | None" = None,
 ):
@@ -345,19 +372,21 @@ def run_experiments(
     """
     cache_dir = resolve_cache_dir(cache_dir)
     items = [(name, accesses_per_core, scale, seed, cache_dir,
-              fault_trials, policy_kernel, telemetry, obs_dir)
+              fault_trials, policy_kernel, cache_kernel, telemetry, obs_dir)
              for name in names]
     manifest = None
     if checkpoint_dir is not None:
         manifest = RunManifest(
             checkpoint_dir,
-            # fault_trials/policy_kernel change the numbers, so they are
-            # part of the run key: a resume with different knobs reruns
-            # instead of serving stale checkpointed results.
+            # fault_trials/policy_kernel/cache_kernel change (or could
+            # change) the numbers, so they are part of the run key: a
+            # resume with different knobs reruns instead of serving
+            # stale checkpointed results.
             run_key=run_key(kind="experiments", accesses=accesses_per_core,
                             scale=scale, seed=seed,
                             fault_trials=fault_trials,
-                            policy_kernel=policy_kernel),
+                            policy_kernel=policy_kernel,
+                            cache_kernel=cache_kernel),
             resume=resume)
     report = checkpointed_map(
         _run_experiment_worker, items, keys=list(names), manifest=manifest,

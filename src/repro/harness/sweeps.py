@@ -41,7 +41,10 @@ def _capacity_row(item) -> list:
     JSON-serialisable values so rows journal inline into a resume
     manifest.
     """
+    from repro.harness.shm import resolve_payload
+
     fraction, preps = item
+    preps = resolve_payload(preps)
     perf_i, perf_s, wr2_i, wr2_s = [], [], [], []
     for prep in preps.values():
         pages = max(1, int(prep.workload_trace.footprint_pages * fraction))
@@ -89,6 +92,7 @@ def capacity_sweep(
     from repro.harness.resilience import (RunManifest, checkpointed_map,
                                           run_key)
     from repro.harness.runner import prefetch_workloads
+    from repro.harness.shm import shared_handoff
 
     preps = prefetch_workloads(
         workloads, scale=scale, accesses_per_core=accesses_per_core,
@@ -102,11 +106,18 @@ def capacity_sweep(
                             scale=scale, accesses=accesses_per_core,
                             seed=seed),
             resume=resume)
-    report = checkpointed_map(
-        _capacity_row, [(fraction, preps) for fraction in fractions],
-        keys=[f"fraction-{fraction:.4f}" for fraction in fractions],
-        manifest=manifest, store="json", jobs=jobs, timeout=job_timeout,
-        retries=retries)
+    # Every fraction's job carries the same prepared workloads; the
+    # shared handoff pickles their trace arrays into one shm segment
+    # instead of once per job, and workers map it once per process.
+    # The segment outlives pool respawns (resilient_map re-dispatches
+    # into fresh workers, which simply re-attach) and is unlinked here
+    # once the map has completed.
+    with shared_handoff(preps) as preps_item:
+        report = checkpointed_map(
+            _capacity_row, [(fraction, preps_item) for fraction in fractions],
+            keys=[f"fraction-{fraction:.4f}" for fraction in fractions],
+            manifest=manifest, store="json", jobs=jobs, timeout=job_timeout,
+            retries=retries)
     report.raise_if_failed()
     rows = report.results
     return FigureResult(

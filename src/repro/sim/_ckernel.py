@@ -144,10 +144,135 @@ void repro_replay_chunk(
 }
 """
 
+_FILTER_SOURCE = r"""
+#include <stdint.h>
+
+/* One chunk of the fused L1D+L2 cache-filter loop (the `array` kernel
+ * of repro.cache.hierarchy.filter_trace).  State per cache is three
+ * parallel [sets * assoc] arrays: tag (-1 = empty way), dirty, and a
+ * strictly increasing LRU stamp.  Every hit and every insert takes a
+ * fresh stamp, so "evict the min-stamp way" is exactly the
+ * OrderedDict popitem(last=False) of the Python Cache — insertion
+ * order and last-access order coincide under that discipline.
+ *
+ * stats layout per cache: [accesses, hits, misses, writebacks].
+ * Outputs are (source access index, line, is_write) triples; gap
+ * accounting is vectorised afterwards in Python from out_src.
+ */
+
+static int cache_access(
+    int64_t line, uint8_t is_write,
+    int64_t nsets, int64_t assoc,
+    int64_t *tag, uint8_t *dirty, int64_t *stamp,
+    uint8_t walloc, uint8_t wback,
+    int64_t *counter, int64_t *stats,
+    int64_t *evicted_line, uint8_t *evicted_wb)
+{
+    int64_t set = line % nsets;
+    int64_t tg = line / nsets;
+    int64_t base = set * assoc;
+    *evicted_line = -1;
+    *evicted_wb = 0;
+    stats[0]++;
+    for (int64_t w = 0; w < assoc; w++) {
+        if (tag[base + w] == tg) {
+            stats[1]++;
+            dirty[base + w] |= is_write;
+            counter[0]++;
+            stamp[base + w] = counter[0];
+            return 1;
+        }
+    }
+    stats[2]++;
+    if (is_write && !walloc)
+        return 0;
+    int64_t slot = -1;
+    for (int64_t w = 0; w < assoc; w++) {
+        if (tag[base + w] < 0) { slot = w; break; }
+    }
+    if (slot < 0) {
+        int64_t best = stamp[base];
+        slot = 0;
+        for (int64_t w = 1; w < assoc; w++) {
+            if (stamp[base + w] < best) { best = stamp[base + w]; slot = w; }
+        }
+        *evicted_line = tag[base + slot] * nsets + set;
+        if (dirty[base + slot] && wback) {
+            *evicted_wb = 1;
+            stats[3]++;
+        }
+    }
+    tag[base + slot] = tg;
+    dirty[base + slot] = is_write;
+    counter[0]++;
+    stamp[base + slot] = counter[0];
+    return 0;
+}
+
+void repro_cache_filter_chunk(
+    int64_t n,
+    const int32_t *core,
+    const int64_t *line,
+    const uint8_t *is_write,
+    int64_t l1_nsets, int64_t l1_assoc,
+    int64_t *l1_tag, uint8_t *l1_dirty, int64_t *l1_stamp,
+    uint8_t l1_walloc, uint8_t l1_wback,
+    int64_t l2_nsets, int64_t l2_assoc,
+    int64_t *l2_tag, uint8_t *l2_dirty, int64_t *l2_stamp,
+    uint8_t l2_walloc, uint8_t l2_wback,
+    int64_t *counter,
+    int64_t *l1_stats,   /* [core * 4 + {acc, hit, miss, wb}] */
+    int64_t *l2_stats,   /* [4] */
+    int64_t *out_src,
+    int64_t *out_line,
+    uint8_t *out_write,
+    int64_t *out_count)
+{
+    int64_t m = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int32_t c = core[i];
+        int64_t ln = line[i];
+        uint8_t w = is_write[i];
+        int64_t off = (int64_t)c * l1_nsets * l1_assoc;
+        int64_t ev; uint8_t evwb;
+        if (cache_access(ln, w, l1_nsets, l1_assoc,
+                         l1_tag + off, l1_dirty + off, l1_stamp + off,
+                         l1_walloc, l1_wback, counter,
+                         l1_stats + (int64_t)c * 4, &ev, &evwb))
+            continue;
+        if (evwb) {
+            /* L1 victim write-back into the shared L2; a dirty L2
+             * victim of *that* allocation goes to memory first. */
+            int64_t ev2; uint8_t evwb2;
+            if (!cache_access(ev, 1, l2_nsets, l2_assoc,
+                              l2_tag, l2_dirty, l2_stamp,
+                              l2_walloc, l2_wback, counter,
+                              l2_stats, &ev2, &evwb2)
+                && evwb2) {
+                out_src[m] = i; out_line[m] = ev2; out_write[m] = 1; m++;
+            }
+        }
+        int64_t ev3; uint8_t evwb3;
+        if (!cache_access(ln, w, l2_nsets, l2_assoc,
+                          l2_tag, l2_dirty, l2_stamp,
+                          l2_walloc, l2_wback, counter,
+                          l2_stats, &ev3, &evwb3)) {
+            out_src[m] = i; out_line[m] = ln; out_write[m] = 0; m++;
+            if (evwb3) {
+                out_src[m] = i; out_line[m] = ev3; out_write[m] = 1; m++;
+            }
+        }
+    }
+    *out_count = m;
+}
+"""
+
 _lock = threading.Lock()
 #: ``(fn, error)`` once resolved, success or failure alike — the build
 #: (and any compiler invocation) happens at most once per process.
 _cached: "tuple[object, str | None] | None" = None
+#: Same memoisation for the cache-filter kernel.
+_filter_cached: "tuple[object, str | None] | None" = None
 
 
 def _cache_dir() -> str:
@@ -160,8 +285,8 @@ def _cache_dir() -> str:
                         f"repro-ckernel-{os.getuid()}")
 
 
-def _build(so_path: str) -> "str | None":
-    """Compile the kernel; returns None on success, an error detail on
+def _build(so_path: str, source: str = _SOURCE) -> "str | None":
+    """Compile a kernel; returns None on success, an error detail on
     failure (including the compiler's stderr where available)."""
     compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
     if compiler is None:
@@ -172,7 +297,7 @@ def _build(so_path: str) -> "str | None":
     try:
         os.makedirs(directory, exist_ok=True)
         with open(c_path, "w") as fh:
-            fh.write(_SOURCE)
+            fh.write(source)
         subprocess.run(
             [compiler, "-O2", "-fPIC", "-shared", "-o", tmp_so, c_path],
             check=True, capture_output=True, timeout=120,
@@ -259,14 +384,111 @@ def build_error() -> "str | None":
 
 
 def _reset_for_tests() -> None:
-    """Forget the per-process memoised outcome (chaos tests only)."""
-    global _cached
+    """Forget the per-process memoised outcomes (chaos tests only)."""
+    global _cached, _filter_cached
     with _lock:
         _cached = None
+        _filter_cached = None
 
 
 def available() -> bool:
     return load() is not None
+
+
+def _bind_filter(so_path: str):
+    lib = ctypes.CDLL(so_path)
+    fn = lib.repro_cache_filter_chunk
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_i32 = ctypes.POINTER(ctypes.c_int32)
+    p_u8 = ctypes.POINTER(ctypes.c_uint8)
+    c_i64 = ctypes.c_int64
+    c_u8 = ctypes.c_uint8
+    fn.argtypes = [
+        c_i64,                           # n
+        p_i32, p_i64, p_u8,              # core, line, is_write
+        c_i64, c_i64, p_i64, p_u8, p_i64, c_u8, c_u8,   # L1D state
+        c_i64, c_i64, p_i64, p_u8, p_i64, c_u8, c_u8,   # L2 state
+        p_i64,                           # stamp counter
+        p_i64, p_i64,                    # l1_stats, l2_stats
+        p_i64, p_i64, p_u8, p_i64,       # out_src, out_line, out_write, count
+    ]
+    fn.restype = None
+    return fn
+
+
+def load_filter():
+    """The compiled cache-filter kernel, or ``None`` when unavailable.
+
+    Memoised per process exactly like :func:`load`; gated by the
+    ``cache_native`` knob (``REPRO_CACHE_NATIVE``).  Failure warns once
+    and every caller silently gets the bit-identical Python fallback in
+    :mod:`repro.cache.filter_array`.
+    """
+    global _filter_cached
+    if _filter_cached is not None:
+        return _filter_cached[0]
+    with _lock:
+        if _filter_cached is not None:
+            return _filter_cached[0]
+        from repro.config import knob_value
+
+        fn, error = None, None
+        if knob_value("cache_native"):
+            digest = hashlib.sha256(_FILTER_SOURCE.encode()).hexdigest()[:16]
+            so_path = os.path.join(_cache_dir(), f"cachefilter-{digest}.so")
+            try:
+                if not os.path.exists(so_path):
+                    error = _build(so_path, _FILTER_SOURCE)
+                if error is None:
+                    fn = _bind_filter(so_path)
+            except OSError as exc:
+                fn, error = None, repr(exc)
+            if fn is None and error is None:
+                error = "unknown load failure"
+        _filter_cached = (fn, error)
+        if error is not None:
+            warnings.warn(
+                "native cache-filter kernel unavailable, falling back to "
+                f"the fused Python loop (bit-identical, slower): {error}",
+                NativeKernelUnavailableWarning,
+                stacklevel=2,
+            )
+        return fn
+
+
+def filter_build_error() -> "str | None":
+    """The cached filter build/load failure, if any (after
+    :func:`load_filter`)."""
+    return _filter_cached[1] if _filter_cached is not None else None
+
+
+def filter_available() -> bool:
+    return load_filter() is not None
+
+
+def run_filter_chunk(fn, core, line, is_write,
+                     l1_nsets, l1_assoc, l1_tag, l1_dirty, l1_stamp,
+                     l1_walloc, l1_wback,
+                     l2_nsets, l2_assoc, l2_tag, l2_dirty, l2_stamp,
+                     l2_walloc, l2_wback,
+                     counter, l1_stats, l2_stats,
+                     out_src, out_line, out_write) -> int:
+    """Invoke the compiled filter loop; returns the residual count.
+
+    All arrays must be C-contiguous with the dtypes of the binder;
+    ``out_*`` must hold at least ``3 * len(core)`` slots (worst case:
+    L1-victim write-back + fill + L2-victim write-back per access).
+    """
+    count = ctypes.c_int64(0)
+    fn(len(core), _pi32(core), _pi64(line), _pu8(is_write),
+       int(l1_nsets), int(l1_assoc), _pi64(l1_tag), _pu8(l1_dirty),
+       _pi64(l1_stamp), int(l1_walloc), int(l1_wback),
+       int(l2_nsets), int(l2_assoc), _pi64(l2_tag), _pu8(l2_dirty),
+       _pi64(l2_stamp), int(l2_walloc), int(l2_wback),
+       _pi64(counter), _pi64(l1_stats), _pi64(l2_stats),
+       _pi64(out_src), _pi64(out_line), _pu8(out_write),
+       ctypes.byref(count))
+    return count.value
 
 
 def _pf64(a):

@@ -14,6 +14,12 @@ randomized :class:`~repro.verify.cases.DiffCase` scenarios:
   :class:`WindowedAceTracker` vs the batch :func:`line_ace_times`.
 * ``faultsim``         — batched vs reference Monte-Carlo kernels
   (identical Poisson draws, so corrected/detected tallies are exact).
+* ``cache-filter``     — per-access ``sparse`` cache filter vs the
+  batched ``array`` kernel (:mod:`repro.cache.filter_array`): residual
+  trace, final cache state, and the flush tail, chunk by chunk.
+* ``shm-roundtrip``    — the shared-memory workload handoff
+  (:mod:`repro.harness.shm`): arrays must come back bit-exact, with
+  dtype and shape intact, through a pickled handle.
 
 A check returns ``None`` on agreement or a human-readable mismatch
 description.  The fuzz driver shrinks failures greedily and dumps a
@@ -253,6 +259,80 @@ def check_faultsim(case: DiffCase) -> "str | None":
     return None
 
 
+def check_cache_filter(case: DiffCase) -> "str | None":
+    """Sparse per-access cache filter vs the batched array kernel.
+
+    The trace is fed in ``num_intervals`` chunks so the array kernel
+    must seed from and sync back to carried-over hierarchy state, and
+    the last chunk flushes so the deterministic write-back tail
+    participates too.
+    """
+    from repro.cache.hierarchy import CacheHierarchy, filter_trace
+    from repro.trace.record import Trace
+
+    config = build_config(case)
+    trace, _times = build_trace(case)
+    bounds = np.linspace(0, len(trace), case.num_intervals + 1).astype(int)
+
+    def run(kernel):
+        h = CacheHierarchy(config.caches, num_cores=case.num_cores)
+        outs = []
+        for w in range(case.num_intervals):
+            lo, hi = bounds[w], bounds[w + 1]
+            chunk = Trace(core=trace.core[lo:hi],
+                          address=trace.address[lo:hi],
+                          is_write=trace.is_write[lo:hi],
+                          gap=trace.gap[lo:hi])
+            out = filter_trace(chunk, h,
+                               flush_at_end=w == case.num_intervals - 1,
+                               cache_kernel=kernel)
+            outs.append((out.core.tolist(), out.lines.tolist(),
+                         out.is_write.tolist(), out.gap.tolist()))
+        state = {}
+        for name, cache in [("l2", h.l2)] + \
+                [(f"l1d{c}", h.l1d[c]) for c in range(case.num_cores)] + \
+                [(f"l1i{c}", h.l1i[c]) for c in range(case.num_cores)]:
+            state[name] = (cache.stats.accesses, cache.stats.hits,
+                           cache.stats.misses, cache.stats.writebacks,
+                           tuple(tuple(s.items()) for s in cache._sets))
+        return {"residual": outs, "state": state}
+
+    return _first_diff({k: run(k) for k in ("sparse", "array")})
+
+
+def check_shm_roundtrip(case: DiffCase) -> "str | None":
+    """Shared-memory handoff must reconstruct arrays bit-exactly."""
+    import pickle
+
+    from repro.harness import shm
+
+    trace, times = build_trace(case)
+    obj = {"core": trace.core, "address": trace.address,
+           "is_write": trace.is_write, "gap": trace.gap, "times": times,
+           "meta": {"case": case.case_id, "accesses": case.accesses}}
+    with knob_overrides(shm_handoff=True):
+        # Low threshold so even shrunken cases hoist every array.
+        item = shm.share_payload(obj, threshold=8)
+    if not isinstance(item, shm.SharedPayload):
+        return None  # no shared memory on this platform: nothing to diff
+    try:
+        clone = pickle.loads(pickle.dumps(item)).load()
+        for key in ("core", "address", "is_write", "gap", "times"):
+            a, b = obj[key], clone[key]
+            if a.dtype != b.dtype or a.shape != b.shape:
+                return (f"{key}: sent {a.dtype}{a.shape} got "
+                        f"{b.dtype}{b.shape} through the shm handoff")
+            if not np.array_equal(a, b):
+                first = int(np.flatnonzero(a != b)[0])
+                return (f"{key}: values differ after the shm round-trip "
+                        f"(first at index {first})")
+        if clone["meta"] != obj["meta"]:
+            return "non-array remainder differs after the shm round-trip"
+    finally:
+        shm.release_payload(item)
+    return None
+
+
 #: All differential check families, in fuzz order.
 CHECKS = {
     "replay-kernels": check_replay_kernels,
@@ -260,6 +340,8 @@ CHECKS = {
     "mea": check_mea,
     "ace": check_ace_trackers,
     "faultsim": check_faultsim,
+    "cache-filter": check_cache_filter,
+    "shm-roundtrip": check_shm_roundtrip,
 }
 
 

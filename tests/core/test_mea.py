@@ -248,3 +248,92 @@ class TestNativeKernel:
             assert _mea_native.load() is None
         finally:
             _mea_native._reset_for_tests()
+
+
+class TestArrayTracker:
+    """ArrayMeaTracker (flat-array form) vs the dict reference."""
+
+    def _make(self):
+        from repro.core.mea import ArrayMeaTracker
+
+        return ArrayMeaTracker
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(0, 25), max_size=80), min_size=1, max_size=6
+        ),
+        capacity=st.integers(2, 12),
+    )
+    def test_matches_dict_tracker(self, chunks, capacity):
+        from repro.core.mea import ArrayMeaTracker
+
+        ref = MeaTracker(capacity=capacity)
+        arr = ArrayMeaTracker(capacity=capacity)
+        for chunk in chunks:
+            ref.record_many(chunk)
+            arr.record_many(chunk)
+            assert arr.hot_pages() == ref.hot_pages()
+            assert arr.hot_pages(min_count=2) == ref.hot_pages(min_count=2)
+            assert arr.hot_pages(limit=3) == ref.hot_pages(limit=3)
+            for page in ref.hot_pages():
+                assert arr.count(page) == ref.count(page)
+            assert len(arr) == len(ref)
+        assert arr.stream_length == ref.stream_length
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(0, 25), max_size=60), min_size=1, max_size=5
+        ),
+        capacity=st.integers(2, 10),
+    )
+    def test_python_fallback_matches_native(self, chunks, capacity):
+        from repro.config import knob_overrides
+        from repro.core import _mea_native
+        from repro.core.mea import ArrayMeaTracker
+
+        if not _mea_native.available():
+            pytest.skip("no C compiler in this environment")
+        native = ArrayMeaTracker(capacity=capacity)
+        for chunk in chunks:
+            native.record_many(chunk)
+        _mea_native._reset_for_tests()
+        try:
+            with knob_overrides(mea_native=False):
+                fallback = ArrayMeaTracker(capacity=capacity)
+                for chunk in chunks:
+                    fallback.record_many(chunk)
+        finally:
+            _mea_native._reset_for_tests()
+        assert fallback.hot_pages() == native.hot_pages()
+        assert (fallback._pages[: len(fallback)].tolist()
+                == native._pages[: len(native)].tolist())
+        assert (fallback._counts[: len(fallback)].tolist()
+                == native._counts[: len(native)].tolist())
+
+    def test_hot_arrays_rank_and_filter(self):
+        from repro.core.mea import ArrayMeaTracker
+
+        mea = ArrayMeaTracker(capacity=8)
+        mea.record_many([5, 5, 5, 9, 9, 2])
+        pages, counts = mea.hot_arrays()
+        assert pages.tolist() == [5, 9, 2]
+        assert counts.tolist() == [3, 2, 1]
+        pages2, counts2 = mea.hot_arrays(min_count=2)
+        assert pages2.tolist() == [5, 9]
+        assert counts2.tolist() == [3, 2]
+
+    def test_record_and_reset(self):
+        from repro.core.mea import ArrayMeaTracker
+
+        mea = ArrayMeaTracker(capacity=4)
+        mea.record(7)
+        mea.record(7)
+        assert mea.count(7) == 2
+        assert mea.count(8) == 0
+        mea.reset()
+        assert len(mea) == 0
+        assert mea.stream_length == 0
+        with pytest.raises(ValueError):
+            ArrayMeaTracker(capacity=0)

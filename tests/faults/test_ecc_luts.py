@@ -1,0 +1,74 @@
+"""The shared ECC lookup-table builder vs the scalar classification."""
+
+import numpy as np
+import pytest
+
+from repro.faults.ecc import (
+    ChipGeometry,
+    Outcome,
+    build_ecc_luts,
+    make_scheme,
+)
+from repro.faults.fit import FaultComponent
+
+SCHEMES = ("none", "secded", "chipkill")
+GEOMETRIES = (ChipGeometry(), ChipGeometry(banks=4, rows=256, cols=64))
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+@pytest.mark.parametrize("geo", GEOMETRIES)
+class TestRoundTrip:
+    def test_singles_match_scalar_classification(self, name, geo):
+        scheme = make_scheme(name)
+        luts = build_ecc_luts(scheme, geo)
+        assert luts.components == tuple(FaultComponent)
+        for i, comp in enumerate(luts.components):
+            outcome = scheme.classify_single(comp)
+            assert luts.single_corrected[i] == (outcome is Outcome.CORRECTED)
+            assert luts.single_detected[i] == (outcome is Outcome.DETECTED)
+            assert luts.single_uncorrected[i] == (
+                1.0 if outcome is Outcome.UNCORRECTED else 0.0)
+
+    def test_pairs_match_scalar_classification(self, name, geo):
+        scheme = make_scheme(name)
+        luts = build_ecc_luts(scheme, geo)
+        for i, a in enumerate(luts.components):
+            for j, b in enumerate(luts.components):
+                for same in (False, True):
+                    assert luts.pair_uncorrectable[i, j, int(same)] == \
+                        scheme.pair_uncorrectable(a, b, same, geo)
+
+    def test_pair_table_is_symmetric(self, name, geo):
+        # Overlap of (a, b) cannot depend on argument order for any of
+        # the shipped schemes; the batched kernel relies on this when
+        # it enumerates each unordered pair once.
+        luts = build_ecc_luts(make_scheme(name), geo)
+        np.testing.assert_array_equal(
+            luts.pair_uncorrectable,
+            np.swapaxes(luts.pair_uncorrectable, 0, 1))
+
+    def test_tables_are_read_only(self, name, geo):
+        luts = build_ecc_luts(make_scheme(name), geo)
+        with pytest.raises(ValueError):
+            luts.pair_uncorrectable[0, 0, 0] = 1.0
+        with pytest.raises(ValueError):
+            luts.single_corrected[0] = True
+
+
+class TestSimulatorConsumesBuilder:
+    def test_faultsim_tables_come_from_the_builder(self):
+        from repro.config import hbm_config
+        from repro.faults.faultsim import FaultSimulator
+
+        memory = hbm_config()
+        sim = FaultSimulator(memory, seed=0)
+        luts = build_ecc_luts(sim.ecc, sim.geometry)
+        assert sim._components == list(luts.components)
+        np.testing.assert_array_equal(sim._single_corrected,
+                                      luts.single_corrected)
+        np.testing.assert_array_equal(sim._single_detected,
+                                      luts.single_detected)
+        np.testing.assert_array_equal(sim._single_uncorrected,
+                                      luts.single_uncorrected)
+        np.testing.assert_array_equal(sim._pair_lut,
+                                      luts.pair_uncorrectable)

@@ -10,11 +10,13 @@
 # 3. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
 #    mid-run, resumes it, and asserts bit-identical rows with only the
 #    unfinished fractions recomputed.
-# 4. Runs the replay-kernel and policy-kernel throughput benchmarks at
-#    a small scale with relaxed JSON output paths, so CI catches both
-#    correctness drift (the benchmarks assert bit-exact parity of
-#    replay results, migration plans, and fault-simulator tallies) and
-#    gross performance regressions without a long wall-clock bill.
+# 4. Runs the replay-kernel, policy-kernel, and end-to-end pipeline
+#    throughput benchmarks at a small scale with relaxed JSON output
+#    paths, so CI catches both correctness drift (the benchmarks
+#    assert bit-exact parity of replay results, migration plans,
+#    residual cache-filter traces, shm handoffs, and fault-simulator
+#    tallies) and gross performance regressions without a long
+#    wall-clock bill.
 # 5. Runs the telemetry smoke: a tiny migration experiment twice with
 #    REPRO_TELEMETRY on, asserting the run registry holds both rows
 #    with non-empty epoch series, that `report` renders, and that a
@@ -73,6 +75,11 @@ REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_FAULT_TRIALS=20000 \
 REPRO_BENCH_POLICY_JSON="$workdir/BENCH_policies.json" \
 python -m pytest benchmarks/bench_policy_kernels.py -q -s -p no:cacheprovider
+
+echo "== end-to-end pipeline smoke benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_E2E_JSON="$workdir/BENCH_e2e.json" \
+python -m pytest benchmarks/bench_e2e_pipeline.py -q -s -p no:cacheprovider
 
 echo "== telemetry smoke =="
 obsdir="$workdir/obs"
