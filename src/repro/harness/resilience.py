@@ -264,10 +264,25 @@ class _Job:
         self.suspect = False  # charged in a breakage: retry in isolation
 
 
-def _backoff_delay(backoff: float, attempts: int) -> float:
+def _jitter_rng() -> random.Random:
+    """A backoff-jitter stream seeded from the unified ``seed`` knob.
+
+    One private stream per :func:`resilient_map` invocation, seeded via
+    ``repro.config`` rather than drawn from the process-global
+    ``random`` module: chaos runs replay with identical backoff timing
+    (same ``--seed`` / ``REPRO_SEED``), and the harness never perturbs
+    the global stream that trace synthesis may be consuming.
+    """
+    from repro.config import knob_value
+
+    return random.Random(int(knob_value("seed") or 0))
+
+
+def _backoff_delay(backoff: float, attempts: int,
+                   rng: random.Random) -> float:
     if backoff <= 0:
         return 0.0
-    return min(backoff * 2 ** (attempts - 1), 30.0) * (1 + 0.25 * random.random())
+    return min(backoff * 2 ** (attempts - 1), 30.0) * (1 + 0.25 * rng.random())
 
 
 def _fork_context():
@@ -301,6 +316,7 @@ def resilient_map(
     fault_plan: "FaultPlan | None" = None,
     max_pool_respawns: int = 4,
     on_result: "Callable[[JobOutcome], None] | None" = None,
+    isolate: bool = False,
 ) -> MapReport:
     """Order-preserving map that survives crashes, hangs, and errors.
 
@@ -326,6 +342,11 @@ def resilient_map(
       remaining jobs run serially in-process as a last resort.
     * ``on_result`` fires in the parent as each job *succeeds* —
       checkpointing hooks use it to journal results incrementally.
+    * ``isolate`` forces the process-pool path even for a single job
+      (which would otherwise run serially in-process): the job gets
+      real crash/hang isolation, timeout preemption, and kill/respawn
+      recovery — what the placement service needs when dispatching one
+      session at a time.
     """
     items = list(items)
     if keys is None:
@@ -344,14 +365,15 @@ def resilient_map(
     context = _fork_context()
     report = MapReport(outcomes=[])
     pending = deque(state)
-    if jobs > 1 and context is not None and items:
+    rng = _jitter_rng()
+    if items and context is not None and (jobs > 1 or isolate):
         pending = _run_pool(pending, func, jobs, context, timeout, retries,
                             backoff, fault_plan, max_pool_respawns, report,
-                            on_result)
+                            on_result, rng)
         if pending:
             report.degraded_serial = True
     _run_serial(pending, func, retries, backoff, fault_plan, report,
-                on_result)
+                on_result, rng)
     report.outcomes = sorted((j.outcome for j in state),
                              key=lambda o: o.index)
     return report
@@ -367,19 +389,20 @@ def _finish(job: _Job, report: MapReport, status: str, result=None,
 
 
 def _charge(job: _Job, error: str, retries: int, backoff: float,
-            report: MapReport, timed_out: bool, on_result) -> bool:
+            report: MapReport, timed_out: bool, on_result, rng) -> bool:
     """Record a failed attempt; return True if the job may retry."""
     job.attempts += 1
     if job.attempts > retries:
         _finish(job, report, TIMEOUT if timed_out else FAILED, error=error,
                 on_result=on_result)
         return False
-    job.not_before = time.monotonic() + _backoff_delay(backoff, job.attempts)
+    job.not_before = time.monotonic() + _backoff_delay(backoff, job.attempts,
+                                                       rng)
     return True
 
 
 def _run_serial(pending, func, retries, backoff, fault_plan, report,
-                on_result) -> None:
+                on_result, rng) -> None:
     """In-process fallback: no isolation, no timeout preemption."""
     for job in pending:
         while job.outcome is None:
@@ -390,7 +413,7 @@ def _run_serial(pending, func, retries, backoff, fault_plan, report,
                 result = func(job.item)
             except Exception as exc:  # noqa: BLE001 — outcome, not crash
                 if _charge(job, repr(exc), retries, backoff, report,
-                           timed_out=False, on_result=on_result):
+                           timed_out=False, on_result=on_result, rng=rng):
                     delay = job.not_before - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
@@ -401,7 +424,7 @@ def _run_serial(pending, func, retries, backoff, fault_plan, report,
 
 
 def _run_pool(pending, func, jobs, context, timeout, retries, backoff,
-              fault_plan, max_pool_respawns, report, on_result):
+              fault_plan, max_pool_respawns, report, on_result, rng):
     """Pool generations until all jobs are terminal or respawns run out.
 
     Returns jobs still pending (non-empty only when the respawn budget
@@ -466,15 +489,16 @@ def _run_pool(pending, func, jobs, context, timeout, retries, backoff,
                         job.suspect = True
                         if _charge(job, "worker process died (pool broken)",
                                    retries, backoff, report, timed_out=False,
-                                   on_result=on_result):
+                                   on_result=on_result, rng=rng):
                             queue.append(job)
                     else:
                         if _charge(job, repr(exc), retries, backoff, report,
-                                   timed_out=False, on_result=on_result):
+                                   timed_out=False, on_result=on_result,
+                                   rng=rng):
                             queue.append(job)
                 if broken:
                     _drain_broken(inflight, queue, retries, backoff,
-                                  report, on_result)
+                                  report, on_result, rng)
                     break
                 expired = [f for f, j in inflight.items()
                            if j.deadline is not None
@@ -489,7 +513,8 @@ def _run_pool(pending, func, jobs, context, timeout, retries, backoff,
                             job.suspect = True
                             if _charge(job, f"timed out after {timeout}s",
                                        retries, backoff, report,
-                                       timed_out=True, on_result=on_result):
+                                       timed_out=True, on_result=on_result,
+                                       rng=rng):
                                 queue.append(job)
                         else:
                             queue.append(job)
@@ -500,7 +525,7 @@ def _run_pool(pending, func, jobs, context, timeout, retries, backoff,
             # Breakage surfaced through submit() rather than a future.
             broken = True
             _drain_broken(inflight, queue, retries, backoff, report,
-                          on_result)
+                          on_result, rng)
         finally:
             if broken:
                 report.pool_respawns += 1
@@ -513,7 +538,7 @@ def _run_pool(pending, func, jobs, context, timeout, retries, backoff,
 
 
 def _drain_broken(inflight, pending, retries, backoff, report,
-                  on_result) -> None:
+                  on_result, rng) -> None:
     """Settle in-flight jobs after a pool breakage.
 
     Jobs whose future completed cleanly before the breakage keep their
@@ -530,7 +555,8 @@ def _drain_broken(inflight, pending, retries, backoff, report,
         else:
             job.suspect = True
             if _charge(job, "worker process died (pool broken)", retries,
-                       backoff, report, timed_out=False, on_result=on_result):
+                       backoff, report, timed_out=False, on_result=on_result,
+                       rng=rng):
                 pending.append(job)
     inflight.clear()
 

@@ -39,12 +39,23 @@ import numpy as np
 
 __all__ = [
     "SharedPayload",
+    "reap_orphaned_segments",
     "release_payload",
     "resolve_payload",
     "share_payload",
     "shared_handoff",
     "shm_available",
 ]
+
+#: Segment names are ``repro-shm-<owner pid>-<hex>``: the owner pid is
+#: recoverable from the name alone, so a later process can reap
+#: segments whose owner died before its ``atexit`` backstop ran
+#: (SIGKILL, OOM) — see :func:`reap_orphaned_segments`.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory surfaces as files (Linux).  Reaping is a
+#: no-op on platforms without it.
+_SHM_ROOT = "/dev/shm"
 
 #: Arrays at least this large (bytes) are hoisted into the segment;
 #: smaller ones ride along in the pickle stream where they are cheaper
@@ -158,6 +169,23 @@ def _untrack(shm) -> None:
         pass
 
 
+def _retrack(shm) -> None:
+    """Re-register an owner's segment just before unlinking it.
+
+    Creation untracks (so a SIGKILL'd owner leaves the segment to
+    :func:`reap_orphaned_segments`, not to a racing resource tracker),
+    but ``SharedMemory.unlink`` unconditionally *unregisters* — so the
+    clean release path must re-register first or the tracker daemon
+    logs a KeyError for the unmatched unregister.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
 def _attach(name: str):
     from multiprocessing import shared_memory
 
@@ -204,6 +232,7 @@ def _release_segment(name: str) -> None:
         _zombies.append(cached[0])
     if os.getpid() != owner:
         return  # fork child: the creating process unlinks, not us
+    _retrack(shm)
     try:
         shm.unlink()
     except FileNotFoundError:
@@ -225,6 +254,60 @@ def _release_all_owned() -> None:
 
 
 atexit.register(_release_all_owned)
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{os.urandom(4).hex()}"
+
+
+def _owner_pid(segment: str) -> "int | None":
+    """The owner pid encoded in a segment name, or None."""
+    if not segment.startswith(SEGMENT_PREFIX):
+        return None
+    head = segment[len(SEGMENT_PREFIX):].split("-", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def reap_orphaned_segments() -> "list[str]":
+    """Unlink segments whose owning process no longer exists.
+
+    The ``atexit`` backstop cannot run when the owner is SIGKILL'd, so
+    its segments would otherwise leak until reboot.  Every creation
+    site calls this first (and long-lived services may call it on
+    startup): any ``repro-shm-<pid>-…`` entry whose pid is dead — and
+    which this process does not own — is removed.  Returns the reaped
+    segment names.
+    """
+    reaped = []
+    try:
+        entries = os.listdir(_SHM_ROOT)
+    except OSError:
+        return reaped
+    for entry in entries:
+        pid = _owner_pid(entry)
+        if pid is None or entry in _owned or pid == os.getpid():
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_ROOT, entry))
+            reaped.append(entry)
+        except OSError:
+            continue  # raced another reaper, or not removable
+    return reaped
 
 
 def share_payload(obj, threshold: int = DEFAULT_THRESHOLD):
@@ -253,7 +336,22 @@ def share_payload(obj, threshold: int = DEFAULT_THRESHOLD):
         total = -(-total // _ALIGN) * _ALIGN  # round up
         specs.append((total, arr.shape, arr.dtype.str))
         total += arr.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    reap_orphaned_segments()
+    shm = None
+    for _ in range(8):
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(total, 1), name=_segment_name())
+            break
+        except FileExistsError:
+            continue  # astronomically unlikely name collision
+    if shm is None:
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    # The owner's lifecycle is explicit (release/atexit) with
+    # reap_orphaned_segments as the SIGKILL backstop; keeping the
+    # resource tracker out avoids a racing second unlinker and its
+    # leaked-object warnings.
+    _untrack(shm)
     for (offset, _shape, _dtype), arr in zip(specs, contiguous):
         shm.buf[offset:offset + arr.nbytes] = arr.tobytes()
     _owned[shm.name] = (shm, os.getpid())

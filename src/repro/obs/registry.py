@@ -10,8 +10,12 @@ are queryable with nothing but the sqlite3 shell::
     sqlite3 .repro-obs/registry.sqlite \
         'SELECT run_id, label, created_at FROM runs ORDER BY created_at'
 
-Writes open a fresh connection per operation with a busy timeout, so
-parallel experiment workers can append concurrently.
+Writes open a fresh connection per operation with a busy timeout, the
+store runs in WAL journal mode (readers never block the single
+writer), and operations that still lose the write lock under heavy
+multi-process contention retry with bounded backoff — so parallel
+experiment workers and the placement service's runner threads can
+append concurrently.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import json
 import os
 import sqlite3
 import subprocess
+import time
 from dataclasses import dataclass, field
 
 from repro.config import knob_value
@@ -54,6 +59,29 @@ CREATE TABLE IF NOT EXISTS run_snapshots (
 );
 CREATE INDEX IF NOT EXISTS idx_runs_label ON runs(label, created_at);
 """
+
+#: Bounded retry for writers that lose the sqlite lock anyway (WAL
+#: allows one writer; ``timeout=`` covers most contention, but a
+#: writer that straddles a checkpoint can still see ``database is
+#: locked`` / ``database is busy``).
+_LOCK_RETRIES = 12
+_LOCK_BACKOFF = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def _retry_locked(op):
+    """Run ``op()`` with bounded backoff on sqlite lock contention."""
+    for attempt in range(_LOCK_RETRIES):
+        try:
+            return op()
+        except sqlite3.OperationalError as exc:
+            if not _is_locked(exc) or attempt == _LOCK_RETRIES - 1:
+                raise
+            time.sleep(_LOCK_BACKOFF * (attempt + 1))
 
 
 def default_obs_dir() -> str:
@@ -110,7 +138,13 @@ class RunRegistry:
     def _connect(self) -> sqlite3.Connection:
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         conn = sqlite3.connect(self.path, timeout=30.0)
-        conn.executescript(_SCHEMA)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+        except sqlite3.OperationalError:
+            conn.close()
+            raise
         return conn
 
     # -- writes --------------------------------------------------------------
@@ -132,31 +166,36 @@ class RunRegistry:
         created = _dt.datetime.now(_dt.timezone.utc).isoformat()
         metric_rows = sorted((metrics or {}).items())
         snap_rows = self._flatten_series(series or {})
-        with self._connect() as conn:
-            for attempt in range(100):
-                run_id = self._next_id(conn, label)
-                try:
-                    conn.execute(
-                        "INSERT INTO runs VALUES (?,?,?,?,?,?,?,?)",
-                        (run_id, created, label, chash, rev,
-                         json.dumps(config, sort_keys=True, default=repr),
-                         json.dumps(artifacts or {}, sort_keys=True),
-                         status))
-                    break
-                except sqlite3.IntegrityError:
-                    continue
-            else:
-                raise RuntimeError(
-                    f"could not allocate a run id for label {label!r}")
-            conn.executemany(
-                "INSERT OR REPLACE INTO run_metrics VALUES (?,?,?)",
-                [(run_id, name, _as_real(value))
-                 for name, value in metric_rows])
-            conn.executemany(
-                "INSERT OR REPLACE INTO run_snapshots VALUES (?,?,?,?,?)",
-                [(run_id, sname, epoch, name, _as_real(value))
-                 for sname, epoch, name, value in snap_rows])
-        return run_id
+
+        def _write() -> str:
+            with self._connect() as conn:
+                for attempt in range(100):
+                    run_id = self._next_id(conn, label)
+                    try:
+                        conn.execute(
+                            "INSERT INTO runs VALUES (?,?,?,?,?,?,?,?)",
+                            (run_id, created, label, chash, rev,
+                             json.dumps(config, sort_keys=True,
+                                        default=repr),
+                             json.dumps(artifacts or {}, sort_keys=True),
+                             status))
+                        break
+                    except sqlite3.IntegrityError:
+                        continue
+                else:
+                    raise RuntimeError(
+                        f"could not allocate a run id for label {label!r}")
+                conn.executemany(
+                    "INSERT OR REPLACE INTO run_metrics VALUES (?,?,?)",
+                    [(run_id, name, _as_real(value))
+                     for name, value in metric_rows])
+                conn.executemany(
+                    "INSERT OR REPLACE INTO run_snapshots VALUES (?,?,?,?,?)",
+                    [(run_id, sname, epoch, name, _as_real(value))
+                     for sname, epoch, name, value in snap_rows])
+                return run_id
+
+        return _retry_locked(_write)
 
     @staticmethod
     def _next_id(conn: sqlite3.Connection, label: str) -> str:

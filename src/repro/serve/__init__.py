@@ -1,0 +1,54 @@
+"""Placement-as-a-service: a chaos-hardened multi-tenant daemon.
+
+The batch harness runs one experiment per process invocation; this
+package turns the same engine into a long-lived service (ROADMAP
+item 1).  Many tenant *sessions* stream access-trace chunks into the
+daemon concurrently; each session owns its own HMA instance, page
+table, and migration policy, and is replayed on a worker pool that
+shares read-only model state (SER FIT rates, ECC LUTs) through the
+zero-copy shared-memory machinery of :mod:`repro.harness.shm`.
+
+Robustness is the design center, not an afterthought:
+
+* **Admission control** — new sessions are shed with a retryable
+  ``busy`` error before existing ones degrade.
+* **Backpressure** — per-tenant token buckets and bounded spool/run
+  queues answer ``retry-after`` instead of buffering without bound.
+* **Isolation** — each session's replay runs in its own worker
+  process via :func:`repro.harness.resilience.resilient_map`; a
+  worker SIGKILL, hang, or crash is retried from the session's
+  on-disk chunk checkpoints, and a poison session is quarantined
+  without stalling its siblings.
+* **Determinism** — a completed session's :class:`SessionResult` is
+  bit-identical to a batch run of the same assembled trace; the
+  ``serve`` differential-fuzzer family (``repro-hma verify``) and
+  :mod:`repro.serve.chaos` enforce it under injected faults.
+
+Layers, bottom up: :mod:`~repro.serve.protocol` (messages + specs),
+:mod:`~repro.serve.engine` (the re-entrant per-session compute),
+:mod:`~repro.serve.session` (state machine + chunk spool),
+:mod:`~repro.serve.state` (shared model state), :mod:`~repro.serve.
+service` (the daemon core), :mod:`~repro.serve.client` (in-process
+and socket clients), :mod:`~repro.serve.socket` (asyncio unix-socket
+front-end), :mod:`~repro.serve.chaos` (fault-injection harness).
+"""
+
+from repro.serve.protocol import (  # noqa: F401
+    ProtocolError,
+    RetryAfter,
+    SessionSpec,
+)
+from repro.serve.engine import SessionResult, run_session  # noqa: F401
+from repro.serve.service import PlacementService, ServiceConfig  # noqa: F401
+from repro.serve.client import ServiceClient  # noqa: F401
+
+__all__ = [
+    "PlacementService",
+    "ProtocolError",
+    "RetryAfter",
+    "ServiceClient",
+    "ServiceConfig",
+    "SessionResult",
+    "SessionSpec",
+    "run_session",
+]

@@ -1,0 +1,282 @@
+"""Chaos harness: concurrent tenants, injected faults, one invariant.
+
+The harness drives a set of :class:`TenantPlan`\\ s against a service
+(through any client factory — in-process or socket) while faults fire:
+worker SIGKILLs and hangs come from the service's
+:class:`~repro.harness.resilience.FaultPlan` (keyed by tenant), slow
+tenants stall between chunks, and corrupt tenants inject a malformed
+chunk mid-stream.  When the dust settles one invariant decides
+pass/fail, and it is the strongest one available:
+
+    every tenant that should survive ends ``done`` with a result
+    **bit-identical** to a batch :func:`~repro.serve.engine.
+    run_session` of the same trace, and every corrupt tenant is
+    quarantined — alone.
+
+``seed`` feeds both the synthetic traffic and (through the unified
+``seed`` knob) the retry-backoff jitter, so a failing chaos run
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.client import RetryAfter, SessionFailed, ServiceError
+from repro.serve.engine import run_session
+from repro.serve.protocol import SessionSpec
+
+#: Corruption modes a ``corrupt:<mode>`` tenant can inject.
+CORRUPT_MODES = ("bad-seq", "bad-type", "ragged", "time-warp", "overflow")
+
+
+def synth_traffic(seed: int, accesses: int, num_cores: int,
+                  footprint_pages: int) -> tuple:
+    """Deterministic tenant traffic shaped like the fuzzer's cases."""
+    from repro.config import PAGE_SIZE
+    from repro.trace.record import Trace
+
+    rng = np.random.default_rng(seed)
+    pages = rng.integers(0, footprint_pages, size=accesses)
+    offsets = rng.integers(0, PAGE_SIZE // 8, size=accesses) * 8
+    trace = Trace(
+        core=rng.integers(0, num_cores, size=accesses).astype(np.uint16),
+        address=(pages * PAGE_SIZE + offsets).astype(np.uint64),
+        is_write=rng.random(accesses) < 0.3,
+        gap=rng.integers(0, 50, size=accesses).astype(np.uint32),
+    )
+    times = np.cumsum(rng.random(accesses)) * 1e-7
+    return trace, times
+
+
+def corrupt_chunk(msg: dict, mode: str) -> dict:
+    """A protocol-invalid mutation of a valid ``append`` message."""
+    msg = {k: (list(v) if isinstance(v, list) else v)
+           for k, v in msg.items()}
+    if mode == "bad-seq":
+        msg["seq"] = msg["seq"] + 7
+    elif mode == "bad-type":
+        msg["address"][0] = "0xdeadbeef"
+    elif mode == "ragged":
+        msg["gap"] = msg["gap"][:-1]
+    elif mode == "time-warp":
+        msg["times"] = list(reversed(msg["times"]))
+    elif mode == "overflow":
+        msg["address"][0] = 2**62  # page far beyond any slow tier
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return msg
+
+
+@dataclass
+class TenantPlan:
+    """One tenant's traffic and (mis)behaviour."""
+
+    tenant: str
+    seed: int = 0
+    accesses: int = 600
+    chunk_size: int = 128
+    num_cores: int = 2
+    fast_pages: int = 4
+    slow_pages: int = 64
+    mechanism: "str | None" = "fc-migration"
+    num_intervals: int = 3
+    behaviour: str = "good"    # good | slow | corrupt:<mode>
+    delay: float = 0.0         # inter-chunk stall for slow tenants
+    footprint_pages: int = 0   # 0 = half the slow tier
+
+    def spec(self) -> SessionSpec:
+        return SessionSpec(
+            tenant=self.tenant, num_cores=self.num_cores,
+            fast_pages=self.fast_pages, slow_pages=self.slow_pages,
+            mechanism=self.mechanism, num_intervals=self.num_intervals)
+
+    def traffic(self) -> tuple:
+        footprint = self.footprint_pages or max(1, self.slow_pages // 2)
+        return synth_traffic(self.seed, self.accesses, self.num_cores,
+                             footprint)
+
+    @property
+    def expects_quarantine(self) -> bool:
+        return self.behaviour.startswith("corrupt")
+
+
+@dataclass
+class TenantOutcome:
+    """What one tenant observed, versus the batch oracle."""
+
+    tenant: str
+    expected: str              # "done" or "quarantined"
+    state: str = "unknown"
+    match: "bool | None" = None   # streamed digest == batch digest
+    detail: str = ""
+    retry_responses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        if self.state != self.expected:
+            return False
+        return self.match is True if self.expected == "done" else True
+
+
+@dataclass
+class ChaosReport:
+    """All tenant outcomes of one chaos run."""
+
+    outcomes: "list[TenantOutcome]" = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> "list[TenantOutcome]":
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        done = sum(1 for o in self.outcomes if o.state == "done")
+        quarantined = sum(1 for o in self.outcomes
+                          if o.state == "quarantined")
+        matched = sum(1 for o in self.outcomes if o.match)
+        line = (f"{len(self.outcomes)} tenants: {done} done "
+                f"({matched} batch-identical), {quarantined} quarantined")
+        if self.failures:
+            line += " — FAILURES: " + "; ".join(
+                f"{o.tenant} [{o.state}, wanted {o.expected}"
+                + ("" if o.match in (True, None) else ", digest mismatch")
+                + (f": {o.detail}" if o.detail else "") + "]"
+                for o in self.failures)
+        return line
+
+
+def _drive_tenant(plan: TenantPlan, client, outcome: TenantOutcome,
+                  patience: float, timeout: float) -> None:
+    spec = plan.spec()
+    trace, times = plan.traffic()
+    try:
+        sid = None
+        deadline = time.monotonic() + patience
+        while sid is None:
+            try:
+                sid = client.open(spec)
+            except RetryAfter as exc:
+                outcome.retry_responses += 1
+                if time.monotonic() + exc.retry_after > deadline:
+                    raise
+                time.sleep(max(exc.retry_after, 0.001))
+        if plan.expects_quarantine:
+            _stream_corrupt(plan, client, sid, trace, times)
+        else:
+            _stream_politely(plan, client, sid, trace, times, outcome,
+                             patience)
+            _commit_politely(client, sid, outcome, patience)
+            result = client.wait(sid, timeout=timeout)
+            outcome.state = "done"
+            batch = run_session(spec, trace, times)
+            outcome.match = (result.sha == batch.sha
+                             and result.digest == batch.digest)
+            if not outcome.match:
+                outcome.detail = (f"served sha {result.sha[:12]} != "
+                                  f"batch sha {batch.sha[:12]}")
+            return
+        # Corrupt tenants land here: confirm the quarantine verdict.
+        resp = client.poll(sid)
+        outcome.state = resp["state"]
+        outcome.detail = resp.get("detail", "")
+    except SessionFailed as exc:
+        outcome.state = exc.state
+        outcome.detail = exc.detail
+    except (ServiceError, RetryAfter, TimeoutError,
+            ConnectionError, OSError) as exc:
+        outcome.state = "error"
+        outcome.detail = repr(exc)
+
+
+def _stream_politely(plan, client, sid, trace, times, outcome,
+                     patience) -> None:
+    seq = 0
+    deadline = time.monotonic() + patience
+    for start in range(0, len(trace), plan.chunk_size):
+        stop = min(start + plan.chunk_size, len(trace))
+        while True:
+            try:
+                client.append(sid, seq, trace.slice(start, stop),
+                              times[start:stop])
+                break
+            except RetryAfter as exc:
+                outcome.retry_responses += 1
+                if time.monotonic() + exc.retry_after > deadline:
+                    raise
+                time.sleep(max(exc.retry_after, 0.001))
+        seq += 1
+        if plan.behaviour == "slow" and plan.delay:
+            time.sleep(plan.delay)
+
+
+def _commit_politely(client, sid, outcome, patience) -> None:
+    deadline = time.monotonic() + patience
+    while True:
+        try:
+            client.commit(sid)
+            return
+        except RetryAfter as exc:
+            outcome.retry_responses += 1
+            if time.monotonic() + exc.retry_after > deadline:
+                raise
+            time.sleep(max(exc.retry_after, 0.001))
+
+
+def _stream_corrupt(plan, client, sid, trace, times) -> None:
+    """Send one clean chunk, then the corrupted one."""
+    from repro.serve.protocol import chunk_to_payload
+
+    mode = plan.behaviour.split(":", 1)[1] if ":" in plan.behaviour \
+        else "bad-type"
+    clean = min(plan.chunk_size, len(trace))
+    client.append(sid, 0, trace.slice(0, clean), times[:clean])
+    stop = min(2 * plan.chunk_size, len(trace))
+    msg = {"op": "append", "session": sid, "seq": 1}
+    msg.update(chunk_to_payload(trace.slice(clean, stop),
+                                times[clean:stop]))
+    try:
+        client._checked(corrupt_chunk(msg, mode))
+    except ServiceError:
+        return  # the expected protocol rejection
+    raise AssertionError(f"corrupt chunk ({mode}) was accepted")
+
+
+def run_chaos(client_factory, plans: "list[TenantPlan]",
+              patience: float = 30.0, timeout: float = 120.0,
+              stats_client=None) -> ChaosReport:
+    """Drive every tenant concurrently; collect the verdicts.
+
+    ``client_factory`` is called once per tenant thread (clients need
+    not be thread-safe).  ``stats_client`` (optional) fetches the
+    service's counters into :attr:`ChaosReport.stats` at the end.
+    """
+    outcomes = [TenantOutcome(
+        tenant=p.tenant,
+        expected="quarantined" if p.expects_quarantine else "done")
+        for p in plans]
+    threads = [
+        threading.Thread(target=_drive_tenant,
+                         args=(plan, client_factory(), outcome,
+                               patience, timeout),
+                         name=f"tenant-{plan.tenant}", daemon=True)
+        for plan, outcome in zip(plans, outcomes)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + patience)
+    report = ChaosReport(outcomes=outcomes)
+    if stats_client is not None:
+        try:
+            report.stats = stats_client.stats()
+        except (ServiceError, ConnectionError, OSError):
+            pass
+    return report

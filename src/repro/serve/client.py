@@ -1,0 +1,224 @@
+"""Clients for the placement service: in-process and unix-socket.
+
+Both clients speak the same dictionaries and share one helper surface
+(open / append / commit / poll / stream / wait / run), so a test or
+benchmark written against :class:`ServiceClient` runs unmodified
+against a real daemon through :class:`SocketClient`.
+
+:class:`ServiceClient` calls :meth:`PlacementService.handle` directly
+but round-trips every message through ``json.dumps``/``json.loads``
+first — it exercises the exact wire encoding (and its exact float
+semantics) without a socket or an event loop, which is what lets the
+differential fuzzer drive hundreds of streamed sessions cheaply.
+
+Backpressure surfaces as :class:`~repro.serve.protocol.RetryAfter`;
+the :meth:`stream` and :meth:`run` conveniences honour it by sleeping
+the advertised ``retry_after`` and retrying until ``patience`` runs
+out, which is the cooperative client behaviour the service's bounded
+queues are designed around.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as _socket
+import time
+
+from repro.serve.engine import SessionResult
+from repro.serve.protocol import (
+    ERR_ADMISSION,
+    ERR_RETRY,
+    RetryAfter,
+    SessionSpec,
+    chunk_to_payload,
+    decode_line,
+    encode_message,
+)
+
+#: Default accesses per streamed chunk.
+DEFAULT_CHUNK = 512
+
+#: Retryable error codes (carry or imply a ``retry_after``).
+_RETRYABLE = (ERR_RETRY, ERR_ADMISSION)
+
+
+class ServiceError(Exception):
+    """A non-retryable failure response from the service."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+class SessionFailed(ServiceError):
+    """A session reached a terminal state other than ``done``."""
+
+    def __init__(self, state: str, detail: str = "") -> None:
+        super().__init__(state, detail)
+        self.state = state
+
+
+class _BaseClient:
+    """Protocol helpers over an abstract ``request`` transport."""
+
+    def request(self, msg: dict) -> dict:
+        raise NotImplementedError
+
+    def _checked(self, msg: dict) -> dict:
+        resp = self.request(msg)
+        if resp.get("ok"):
+            return resp
+        code = resp.get("error", "unknown")
+        detail = resp.get("detail", "")
+        if code in _RETRYABLE:
+            raise RetryAfter(float(resp.get("retry_after", 0.05)), detail)
+        raise ServiceError(code, detail)
+
+    # -- single ops ----------------------------------------------------
+
+    def open(self, spec: SessionSpec) -> str:
+        resp = self._checked({"op": "open", "tenant": spec.tenant,
+                              "spec": spec.to_dict()})
+        return resp["session"]
+
+    def append(self, sid: str, seq: int, trace, times) -> dict:
+        msg = {"op": "append", "session": sid, "seq": seq}
+        msg.update(chunk_to_payload(trace, times))
+        return self._checked(msg)
+
+    def commit(self, sid: str) -> dict:
+        return self._checked({"op": "commit", "session": sid})
+
+    def poll(self, sid: str, wait: float = 0) -> dict:
+        return self._checked({"op": "poll", "session": sid, "wait": wait})
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})["stats"]
+
+    # -- cooperative conveniences --------------------------------------
+
+    def _patiently(self, call, patience: float, clock, sleep):
+        deadline = clock() + patience
+        while True:
+            try:
+                return call()
+            except RetryAfter as exc:
+                if clock() + exc.retry_after > deadline:
+                    raise
+                sleep(max(exc.retry_after, 0.001))
+
+    def stream(self, sid: str, trace, times, chunk_size: int = DEFAULT_CHUNK,
+               patience: float = 30.0, clock=time.monotonic,
+               sleep=time.sleep) -> int:
+        """Append a whole trace in chunks, honouring backpressure.
+
+        Returns the number of chunks acknowledged.  Raises
+        :class:`RetryAfter` only once ``patience`` seconds of polite
+        retrying have been exhausted.
+        """
+        seq = 0
+        for start in range(0, len(trace), chunk_size):
+            stop = min(start + chunk_size, len(trace))
+            piece, piece_times = trace.slice(start, stop), times[start:stop]
+            self._patiently(
+                lambda: self.append(sid, seq, piece, piece_times),
+                patience, clock, sleep)
+            seq += 1
+        return seq
+
+    def wait(self, sid: str, timeout: float = 60.0,
+             clock=time.monotonic) -> SessionResult:
+        """Block until the session completes; raise if it cannot.
+
+        Raises :class:`SessionFailed` for ``failed`` / ``quarantined``
+        / ``aborted`` sessions and :class:`TimeoutError` if the session
+        is still live when ``timeout`` expires.
+        """
+        deadline = clock() + timeout
+        while True:
+            remaining = deadline - clock()
+            resp = self.poll(sid, wait=max(0.0, min(remaining, 5.0)))
+            state = resp["state"]
+            if state == "done":
+                return SessionResult.from_dict(resp["result"])
+            if state in ("failed", "quarantined", "aborted"):
+                raise SessionFailed(state, resp.get("detail", ""))
+            if clock() >= deadline:
+                raise TimeoutError(
+                    f"session {sid} still {state} after {timeout}s")
+
+    def run(self, spec: SessionSpec, trace, times,
+            chunk_size: int = DEFAULT_CHUNK, patience: float = 30.0,
+            timeout: float = 60.0, clock=time.monotonic,
+            sleep=time.sleep) -> SessionResult:
+        """Open, stream, commit, and wait — one call per session."""
+        sid = self._patiently(lambda: self.open(spec), patience, clock,
+                              sleep)
+        self.stream(sid, trace, times, chunk_size=chunk_size,
+                    patience=patience, clock=clock, sleep=sleep)
+        self._patiently(lambda: self.commit(sid), patience, clock, sleep)
+        return self.wait(sid, timeout=timeout, clock=clock)
+
+
+class ServiceClient(_BaseClient):
+    """In-process client: the service core without a transport.
+
+    Every message and response is JSON round-tripped, so the encoding
+    a remote tenant would experience is exercised bit for bit.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def request(self, msg: dict) -> dict:
+        wire = json.loads(json.dumps(msg))
+        return json.loads(json.dumps(self.service.handle(wire)))
+
+
+class SocketClient(_BaseClient):
+    """Blocking newline-JSON client for the daemon's unix socket."""
+
+    def __init__(self, path: str, timeout: float = 60.0) -> None:
+        self.path = path
+        self.timeout = timeout
+        self._sock: "_socket.socket | None" = None
+        self._reader = None
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.path)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def request(self, msg: dict) -> dict:
+        self._connect()
+        try:
+            self._sock.sendall(encode_message(msg))
+            line = self._reader.readline()
+        except OSError:
+            self.close()
+            raise
+        if not line:
+            self.close()
+            raise ConnectionError("service closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        for closable in (self._reader, self._sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._reader = None
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

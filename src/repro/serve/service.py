@@ -1,0 +1,520 @@
+"""The placement daemon's core: admission, backpressure, dispatch.
+
+:class:`PlacementService` is a synchronous, thread-safe message
+processor — ``handle(request_dict) -> response_dict`` — with no
+transport of its own.  The asyncio socket front-end
+(:mod:`repro.serve.socket`) and the in-process
+:class:`~repro.serve.client.ServiceClient` both feed it the same
+dictionaries, so every robustness property below is exercised
+identically whichever way a tenant arrives.
+
+Failure-model summary (DESIGN.md §10 is the long form):
+
+* **Admission** — ``open`` is shed with a retryable ``admission``
+  error once ``max_sessions`` streams are active; existing tenants
+  are never degraded to make room.
+* **Backpressure** — per-tenant token buckets meter streamed
+  accesses, one global spool cap bounds on-disk buffering, and the
+  run queue bounds committed work; all three answer ``retry_after``
+  instead of buffering without bound.
+* **Isolation** — each committed session replays in its own worker
+  process (``resilient_map`` with ``isolate=True``): a SIGKILL, hang,
+  or crash is retried from the session's durable chunk spool, and a
+  poison request quarantines only the session that sent it.
+* **Recovery** — :meth:`PlacementService.recover` re-queues sessions
+  a previous daemon left committed-but-unfinished, from their spools.
+* **Drain** — :meth:`drain` stops admitting, aborts idle streams, and
+  lets committed work finish before :meth:`close` releases shared
+  model segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.harness.resilience import FaultPlan, resilient_map
+from repro.serve import session as sess
+from repro.serve.engine import session_job
+from repro.serve.protocol import (
+    ERR_ADMISSION,
+    ERR_DRAINING,
+    ERR_INTERNAL,
+    ERR_PROTOCOL,
+    ERR_RETRY,
+    ERR_STATE,
+    ERR_TOO_LARGE,
+    ERR_UNKNOWN_SESSION,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RetryAfter,
+    SessionSpec,
+    chunk_from_payload,
+    error_response,
+)
+from repro.serve.session import Session, TokenBucket
+from repro.serve.state import ModelStateCache
+
+
+@dataclass
+class ServiceConfig:
+    """Operating limits of one daemon instance.
+
+    The defaults suit tests and local smoke runs (small, fast to trip
+    in either direction); a production deployment scales them with the
+    host.  ``isolation`` selects how committed sessions execute:
+    ``"process"`` dispatches each to its own pool worker (crash/hang
+    isolation, timeout preemption), ``"inline"`` runs them serially in
+    the runner thread — no isolation, but no fork cost, which is what
+    the differential fuzzer wants for hundreds of tiny cases.
+    """
+
+    max_sessions: int = 8            # active (open+queued+running) streams
+    max_queued_runs: int = 8         # committed sessions awaiting a worker
+    max_chunk_accesses: int = 65536  # per append (hard error: split it)
+    max_session_accesses: int = 1 << 20   # per stream (hard error)
+    max_spool_accesses: int = 1 << 22     # across streams (backpressure)
+    rate_accesses_per_sec: float = 2e6    # per-tenant token bucket refill
+    burst_accesses: float = 4e5           # per-tenant bucket depth
+    pool_workers: int = 2            # concurrent session replays
+    job_timeout: "float | None" = 30.0    # per-attempt watchdog (seconds)
+    retries: int = 2                 # replay attempts after the first
+    retry_backoff: float = 0.1       # base backoff between attempts
+    idle_timeout: "float | None" = 300.0  # abort silent open streams
+    watchdog_interval: float = 0.25
+    poll_wait_cap: float = 60.0      # longest single blocking poll
+    serve_dir: "str | None" = None   # spool root (default: mkdtemp)
+    ledger_dir: "str | None" = None  # sqlite session ledger (off if None)
+    isolation: str = "process"       # "process" | "inline"
+    fault_plan: "FaultPlan | None" = None  # chaos hook, keyed by tenant
+
+
+class _Reject(Exception):
+    """An op-level refusal that is a response, not a poison signal."""
+
+    def __init__(self, code: str, detail: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class PlacementService:
+    """Thread-safe multi-tenant session broker over the replay engine."""
+
+    def __init__(self, config: "ServiceConfig | None" = None,
+                 clock=time.monotonic) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.config = config or ServiceConfig()
+        if self.config.isolation not in ("process", "inline"):
+            raise ValueError("isolation must be 'process' or 'inline'")
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: "dict[str, Session]" = {}
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self._models = ModelStateCache()
+        self._counter = itertools.count(1)
+        self._spooled = 0
+        self._counts: "dict[str, int]" = {}
+        self._draining = threading.Event()
+        self._closed = False
+        from repro.harness.shm import reap_orphaned_segments
+
+        reap_orphaned_segments()  # a predecessor may have died uncleanly
+        if self.config.serve_dir is None:
+            self.config.serve_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        self._sessions_dir = os.path.join(self.config.serve_dir, "sessions")
+        os.makedirs(self._sessions_dir, exist_ok=True)
+        self._ledger = None
+        if self.config.ledger_dir is not None:
+            from repro.obs.registry import RunRegistry, registry_path
+
+            self._ledger = RunRegistry(registry_path(self.config.ledger_dir))
+        self._runner = ThreadPoolExecutor(
+            max_workers=max(1, self.config.pool_workers),
+            thread_name_prefix="serve-runner")
+        self._stop = threading.Event()
+        self._watchdog = None
+        if self.config.idle_timeout and self.config.watchdog_interval > 0:
+            self._watchdog = threading.Thread(
+                target=self._watch, name="serve-watchdog", daemon=True)
+            self._watchdog.start()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def _metrics(self):
+        from repro.obs.metrics import get_registry
+
+        return get_registry()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.config.rate_accesses_per_sec,
+                                     self.config.burst_accesses,
+                                     clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def _session_for(self, msg: dict) -> Session:
+        sid = msg.get("session")
+        if not isinstance(sid, str):
+            raise ProtocolError("request must name a session (string)")
+        session = self._sessions.get(sid)
+        if session is None:
+            raise _Reject(ERR_UNKNOWN_SESSION, f"no session {sid!r}")
+        return session
+
+    def _retire(self, session: Session) -> None:
+        """Settle a terminal session's accounting exactly once."""
+        with self._lock:
+            if session.retired or not session.terminal:
+                return
+            session.retired = True
+            self._spooled -= session.accesses
+            self._counts[session.state] = \
+                self._counts.get(session.state, 0) + 1
+        self._metrics().counter(
+            f"serve.sessions.{session.state}").inc()
+        if self._ledger is not None:
+            try:
+                result = session.result
+                self._ledger.record_run(
+                    f"serve/{session.spec.tenant}",
+                    config=session.spec.to_dict(),
+                    metrics=result.metrics() if result else {},
+                    artifacts={"spool": session.directory,
+                               "session": session.sid},
+                    status=session.state)
+            except Exception:  # noqa: BLE001 — the ledger is advisory
+                self._count("ledger_errors")
+
+    def _poison(self, msg: dict, detail: str) -> None:
+        """Quarantine the session a malformed request names, if any."""
+        sid = msg.get("session") if isinstance(msg, dict) else None
+        session = self._sessions.get(sid) if isinstance(sid, str) else None
+        if session is None:
+            return
+        with session.lock:
+            session.transition(sess.QUARANTINED, error=detail)
+        self._retire(session)
+
+    # -- request dispatch ----------------------------------------------
+
+    def handle(self, msg) -> dict:
+        """Process one protocol request; always returns a response."""
+        if self._closed:
+            return error_response(ERR_DRAINING, "service is closed")
+        try:
+            if not isinstance(msg, dict):
+                raise ProtocolError("request must be a JSON object")
+            op = msg.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            return handler(self, msg)
+        except RetryAfter as exc:
+            self._count("retry_responses")
+            self._metrics().counter("serve.backpressure").inc()
+            return error_response(ERR_RETRY, exc.reason,
+                                  retry_after=exc.retry_after)
+        except _Reject as exc:
+            self._count(f"rejects.{exc.code}")
+            return error_response(exc.code, exc.detail,
+                                  retry_after=exc.retry_after)
+        except ProtocolError as exc:
+            self._count("protocol_errors")
+            self._poison(msg, str(exc))
+            return error_response(ERR_PROTOCOL, str(exc))
+        except Exception as exc:  # noqa: BLE001 — the daemon must answer
+            self._count("internal_errors")
+            return error_response(ERR_INTERNAL, repr(exc))
+
+    def _op_open(self, msg: dict) -> dict:
+        if self._draining.is_set():
+            raise _Reject(ERR_DRAINING, "service is draining")
+        spec_data = msg.get("spec", {})
+        if not isinstance(spec_data, dict):
+            raise ProtocolError("spec must be an object")
+        spec_data = dict(spec_data)
+        tenant = msg.get("tenant", spec_data.get("tenant"))
+        if "tenant" in spec_data and spec_data["tenant"] != tenant:
+            raise ProtocolError("tenant differs between message and spec")
+        spec_data["tenant"] = tenant
+        spec = SessionSpec.from_dict(spec_data)
+        with self._lock:
+            active = sum(1 for s in self._sessions.values() if s.active)
+            if active >= self.config.max_sessions:
+                self._count("shed")
+                self._metrics().counter("serve.sessions.shed").inc()
+                raise _Reject(
+                    ERR_ADMISSION,
+                    f"{active} active sessions (limit "
+                    f"{self.config.max_sessions})",
+                    retry_after=0.1)
+            sid = f"{spec.tenant}-{next(self._counter)}"
+            session = Session(sid, spec,
+                              os.path.join(self._sessions_dir, sid),
+                              clock=self._clock)
+            session.open_spool()
+            self._sessions[sid] = session
+        self._count("opened")
+        self._metrics().counter("serve.sessions.opened").inc()
+        return {"ok": True, "session": sid, "protocol": PROTOCOL_VERSION}
+
+    def _op_append(self, msg: dict) -> dict:
+        session = self._session_for(msg)
+        with session.lock:
+            if session.state != sess.OPEN:
+                raise _Reject(ERR_STATE,
+                              f"append illegal in state {session.state}")
+            seq = msg.get("seq")
+            if not isinstance(seq, int) or isinstance(seq, bool):
+                raise ProtocolError("seq must be an int")
+            if seq != session.next_seq:
+                raise ProtocolError(
+                    f"expected seq {session.next_seq}, got {seq}")
+            trace, times = chunk_from_payload(msg, session.spec.num_cores)
+            if session.last_time is not None \
+                    and float(times[0]) < session.last_time:
+                raise ProtocolError(
+                    "times must be non-decreasing across chunks")
+            footprint = int(trace.pages.max()) + 1
+            if footprint > session.spec.slow_pages:
+                raise ProtocolError(
+                    f"footprint of {footprint} pages exceeds the "
+                    f"session's {session.spec.slow_pages}-page slow tier")
+            n = len(trace)
+            cfg = self.config
+            if n > cfg.max_chunk_accesses:
+                raise _Reject(ERR_TOO_LARGE,
+                              f"chunk of {n} accesses exceeds the "
+                              f"{cfg.max_chunk_accesses}-access cap")
+            if session.accesses + n > cfg.max_session_accesses:
+                raise _Reject(ERR_TOO_LARGE,
+                              f"session would exceed its "
+                              f"{cfg.max_session_accesses}-access cap")
+            wait = self._bucket(session.spec.tenant).try_acquire(n)
+            if wait > 0:
+                raise RetryAfter(wait, "tenant rate limit")
+            with self._lock:
+                if self._spooled + n > cfg.max_spool_accesses:
+                    raise RetryAfter(0.1, "spool is full")
+                self._spooled += n
+            try:
+                acked = session.spool_chunk(trace, times)
+            except BaseException:
+                with self._lock:
+                    self._spooled -= n
+                raise
+        self._count("chunks")
+        self._count("accesses", n)
+        metrics = self._metrics()
+        metrics.counter("serve.chunks").inc()
+        metrics.counter(
+            f"serve.tenant.{session.spec.tenant}.accesses").inc(n)
+        return {"ok": True, "session": session.sid, "seq": acked,
+                "accesses": session.accesses}
+
+    def _op_commit(self, msg: dict) -> dict:
+        session = self._session_for(msg)
+        if self._draining.is_set():
+            raise _Reject(ERR_DRAINING, "service is draining")
+        with session.lock:
+            if session.state != sess.OPEN:
+                raise _Reject(ERR_STATE,
+                              f"commit illegal in state {session.state}")
+            if session.next_seq == 0:
+                raise _Reject(ERR_STATE, "no chunks to commit")
+            with self._lock:
+                queued = sum(1 for s in self._sessions.values()
+                             if s.state == sess.QUEUED)
+                if queued >= self.config.max_queued_runs:
+                    raise RetryAfter(0.1, "run queue is full")
+            session.transition(sess.QUEUED)
+        self._submit(session)
+        return {"ok": True, "session": session.sid, "state": session.state}
+
+    def _op_poll(self, msg: dict) -> dict:
+        session = self._session_for(msg)
+        wait = msg.get("wait", 0)
+        if isinstance(wait, bool) or not isinstance(wait, (int, float)) \
+                or wait < 0:
+            raise ProtocolError("wait must be a non-negative number")
+        if wait:
+            session.done.wait(min(float(wait), self.config.poll_wait_cap))
+        resp = {"ok": True, **session.describe()}
+        if session.state == sess.DONE and session.result is not None:
+            resp["result"] = session.result.to_dict()
+        return resp
+
+    def _op_stats(self, msg: dict) -> dict:
+        with self._lock:
+            states: "dict[str, int]" = {}
+            for s in self._sessions.values():
+                states[s.state] = states.get(s.state, 0) + 1
+            stats = {
+                "counts": dict(self._counts),
+                "states": states,
+                "spooled_accesses": self._spooled,
+                "model_cache": len(self._models),
+                "draining": self._draining.is_set(),
+            }
+        return {"ok": True, "stats": stats}
+
+    _OPS = {"open": _op_open, "append": _op_append, "commit": _op_commit,
+            "poll": _op_poll, "stats": _op_stats}
+
+    # -- session execution ---------------------------------------------
+
+    def _submit(self, session: Session) -> None:
+        try:
+            self._runner.submit(self._run_session, session.sid)
+        except RuntimeError:  # runner shut down while we raced drain
+            with session.lock:
+                session.transition(sess.ABORTED, error="daemon draining")
+            self._retire(session)
+
+    def _run_session(self, sid: str) -> None:
+        session = self._sessions.get(sid)
+        if session is None or session.terminal:
+            return  # aborted or quarantined while queued
+        with session.lock:
+            if session.state != sess.QUEUED:
+                return
+            session.transition(sess.RUNNING)
+        cfg = self.config
+        started = self._clock()
+        try:
+            model = self._models.handle_for(session.spec)
+            payload = (session.directory, session.spec.to_dict(), model)
+            report = resilient_map(
+                session_job, [payload],
+                keys=[session.spec.tenant],
+                jobs=1,
+                timeout=cfg.job_timeout,
+                retries=cfg.retries,
+                backoff=cfg.retry_backoff,
+                fault_plan=cfg.fault_plan,
+                isolate=cfg.isolation == "process",
+            )
+            outcome = report.outcomes[0]
+            if report.pool_respawns:
+                self._count("pool_respawns", report.pool_respawns)
+                self._metrics().counter("serve.pool_respawns").inc(
+                    report.pool_respawns)
+            with session.lock:
+                session.attempts = outcome.attempts
+                if outcome.succeeded:
+                    session.result = outcome.result
+                    session.transition(sess.DONE)
+                else:
+                    session.transition(
+                        sess.FAILED,
+                        error=f"{outcome.status} after {outcome.attempts} "
+                              f"attempt(s): {outcome.error}")
+        except Exception as exc:  # noqa: BLE001 — a runner must not die
+            with session.lock:
+                session.transition(sess.FAILED, error=repr(exc))
+        self._metrics().histogram("serve.session_seconds").observe(
+            self._clock() - started)
+        self._retire(session)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _watch(self) -> None:
+        idle = self.config.idle_timeout
+        while not self._stop.wait(self.config.watchdog_interval):
+            now = self._clock()
+            for session in list(self._sessions.values()):
+                if session.state == sess.OPEN \
+                        and now - session.last_activity > idle:
+                    with session.lock:
+                        if session.state == sess.OPEN:
+                            session.transition(
+                                sess.ABORTED,
+                                error=f"idle for more than {idle}s")
+                    self._retire(session)
+
+    def recover(self) -> "list[str]":
+        """Re-queue sessions a previous daemon left unfinished.
+
+        Spool directories whose durable state is ``queued`` or
+        ``running`` hold a fully-acknowledged, committed stream that
+        never produced a result — re-register and re-dispatch them.
+        Streams that died ``open`` lost their client; they are marked
+        aborted on disk and skipped.
+        """
+        recovered = []
+        try:
+            entries = sorted(os.listdir(self._sessions_dir))
+        except OSError:
+            return recovered
+        for sid in entries:
+            if sid in self._sessions:
+                continue
+            directory = os.path.join(self._sessions_dir, sid)
+            try:
+                state = sess.read_spool_state(directory)
+                spec = sess.read_spool_spec(directory)
+            except (OSError, ValueError, ProtocolError):
+                continue  # not a usable spool; leave it for inspection
+            if state.get("state") not in (sess.QUEUED, sess.RUNNING):
+                continue
+            session = Session(sid, spec, directory, clock=self._clock)
+            session.next_seq = int(state["next_seq"])
+            session.accesses = int(state["accesses"])
+            session.state = sess.QUEUED
+            with self._lock:
+                self._sessions[sid] = session
+                self._spooled += session.accesses
+            self._count("recovered")
+            recovered.append(sid)
+            self._submit(session)
+        return recovered
+
+    def drain(self) -> dict:
+        """Stop admitting, abort idle streams, finish committed work."""
+        self._draining.set()
+        for session in list(self._sessions.values()):
+            if session.state == sess.OPEN:
+                with session.lock:
+                    if session.state == sess.OPEN:
+                        session.transition(sess.ABORTED,
+                                           error="daemon draining")
+                self._retire(session)
+        self._runner.shutdown(wait=True)
+        with self._lock:
+            states: "dict[str, int]" = {}
+            for s in self._sessions.values():
+                states[s.state] = states.get(s.state, 0) + 1
+        return states
+
+    def close(self) -> dict:
+        """Drain, stop the watchdog, release shared model segments."""
+        if self._closed:
+            return {}
+        states = self.drain()
+        self._stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+        self._models.release()
+        self._closed = True
+        return states
+
+    def __enter__(self) -> "PlacementService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,235 @@
+"""Session state machine, token buckets, and the on-disk chunk spool.
+
+A session moves through a small explicit state machine::
+
+    open ──append*──▶ open ──commit──▶ queued ──▶ running ──▶ done
+      │                 │                             │
+      │ (malformed)     │ (idle watchdog / drain)     │ (retries
+      ▼                 ▼                             ▼  exhausted)
+    quarantined       aborted                       failed
+
+Every acknowledged chunk is written to the session's spool directory
+*before* the ack goes out (``chunk-<seq>.npz`` via the trace npz
+format, plus an atomically-replaced ``state.json``), so the ingest
+path's promise is durable: a worker that dies mid-replay — or the
+whole daemon restarting — reassembles exactly the acknowledged stream
+(see :func:`repro.serve.engine.session_job` and
+:meth:`repro.serve.service.PlacementService.recover`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.engine import SessionResult
+from repro.serve.protocol import SessionSpec
+from repro.trace.io import load_npz, save_npz
+from repro.trace.record import Trace
+
+#: Session states.
+OPEN = "open"                  # accepting appends
+QUEUED = "queued"              # committed, waiting for a worker slot
+RUNNING = "running"            # replaying on a worker
+DONE = "done"                  # result available
+FAILED = "failed"              # worker retries exhausted / bad stream
+QUARANTINED = "quarantined"    # malformed input: stream untrusted
+ABORTED = "aborted"            # idle watchdog or daemon drain
+
+#: States from which a session never leaves.
+TERMINAL = (DONE, FAILED, QUARANTINED, ABORTED)
+#: States counting against the admission limit.
+ACTIVE = (OPEN, QUEUED, RUNNING)
+
+
+class TokenBucket:
+    """A per-tenant rate limiter over streamed accesses.
+
+    ``try_acquire(n)`` either debits ``n`` tokens and returns 0.0, or
+    leaves the bucket untouched and returns the seconds until ``n``
+    tokens will have accumulated — the ``retry_after`` the service
+    hands back.  ``clock`` is injectable so tests are deterministic.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, amount: float) -> float:
+        """0.0 when granted, else seconds until ``amount`` is available."""
+        if amount > self.burst:
+            # Never grantable in one piece: charge a full-bucket wait
+            # so the client splits the chunk instead of spinning.
+            return self.burst / self.rate
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return 0.0
+            return (amount - self._tokens) / self.rate
+
+
+class Session:
+    """One tenant stream and its durable spool directory."""
+
+    def __init__(self, sid: str, spec: SessionSpec, directory: str,
+                 clock=time.monotonic) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.directory = str(directory)
+        self.state = OPEN
+        self.next_seq = 0
+        self.accesses = 0
+        self.error: "str | None" = None
+        self.result: "SessionResult | None" = None
+        self.attempts = 0
+        self.last_time: "float | None" = None  # stream-monotonicity fence
+        self._clock = clock
+        self.last_activity = clock()
+        self.done = threading.Event()
+        self.lock = threading.Lock()
+        self.retired = False  # spool accounting / ledger settled once
+
+    # -- spool ---------------------------------------------------------
+
+    def open_spool(self) -> None:
+        path = pathlib.Path(self.directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "spec.json").write_text(
+            json.dumps(self.spec.to_dict(), sort_keys=True))
+        self._write_state()
+
+    def spool_chunk(self, trace: Trace, times: np.ndarray) -> int:
+        """Persist one chunk; returns the acknowledged sequence number.
+
+        The chunk file lands before ``state.json`` records the new
+        ``next_seq``, so a crash between the two leaves a chunk the
+        loader ignores (it trusts ``state.json``), never a hole.
+        """
+        seq = self.next_seq
+        save_npz(os.path.join(self.directory, f"chunk-{seq:06d}.npz"),
+                 trace, times)
+        self.next_seq = seq + 1
+        self.accesses += len(trace)
+        self.last_time = float(times[-1])
+        self.touch()
+        self._write_state()
+        return seq
+
+    def _write_state(self) -> None:
+        payload = json.dumps({
+            "state": self.state,
+            "next_seq": self.next_seq,
+            "accesses": self.accesses,
+            "error": self.error,
+        }, sort_keys=True)
+        path = os.path.join(self.directory, "state.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # -- state transitions ---------------------------------------------
+
+    def touch(self) -> None:
+        self.last_activity = self._clock()
+
+    def transition(self, state: str, error: "str | None" = None) -> None:
+        if self.state in TERMINAL:
+            return  # terminal states are sticky
+        self.state = state
+        if error is not None:
+            self.error = error
+        self.touch()
+        try:
+            self._write_state()
+        except OSError:
+            pass  # the in-memory machine stays authoritative
+        if state in TERMINAL:
+            self.done.set()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE
+
+    def describe(self) -> dict:
+        info = {
+            "session": self.sid,
+            "tenant": self.spec.tenant,
+            "state": self.state,
+            "chunks": self.next_seq,
+            "accesses": self.accesses,
+            "attempts": self.attempts,
+        }
+        if self.error:
+            info["detail"] = self.error
+        return info
+
+
+# ---------------------------------------------------------------------------
+# Spool loading (worker + recovery side)
+# ---------------------------------------------------------------------------
+
+
+def read_spool_state(directory: str) -> dict:
+    """The durable ``state.json`` of a spool directory."""
+    with open(os.path.join(directory, "state.json"),
+              encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def read_spool_spec(directory: str) -> SessionSpec:
+    with open(os.path.join(directory, "spec.json"),
+              encoding="utf-8") as fh:
+        return SessionSpec.from_dict(json.load(fh))
+
+
+def load_session_trace(directory: str) -> "tuple[Trace, np.ndarray]":
+    """Reassemble a session's acknowledged stream from its spool.
+
+    Only the ``state.json``-acknowledged prefix participates: a chunk
+    file beyond ``next_seq`` (a crash between chunk write and state
+    write) is ignored, and a missing acknowledged chunk raises — the
+    stream the client believes was acked cannot be reproduced, which
+    must fail loudly rather than silently compute a different result.
+    """
+    state = read_spool_state(directory)
+    count = int(state["next_seq"])
+    if count <= 0:
+        raise ValueError(f"session spool {directory} holds no chunks")
+    traces, times = [], []
+    for seq in range(count):
+        path = os.path.join(directory, f"chunk-{seq:06d}.npz")
+        if not os.path.exists(path):
+            raise ValueError(
+                f"acknowledged chunk {seq} missing from {directory}")
+        t, tm = load_npz(path)
+        if tm is None:
+            raise ValueError(f"chunk {seq} in {directory} lost its times")
+        traces.append(t)
+        times.append(tm)
+    return Trace.concatenate(traces), np.concatenate(times)

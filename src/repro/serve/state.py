@@ -1,0 +1,98 @@
+"""Shared read-only model state for the service's worker pool.
+
+Every session with the same memory geometry needs the same model
+inputs: the SER model's per-page uncorrected FIT rates and the ECC
+outcome lookup tables for both tiers.  Computing them involves the
+fault simulator's full combinatorics, so the service computes each
+distinct geometry once, packs the result through
+:func:`repro.harness.shm.share_payload`, and hands workers the tiny
+handle; every worker process maps the one physical copy (attach-cached
+per process, so pool respawns re-attach for free).
+
+Determinism note: the payload is produced by the same analytic,
+deterministic path :func:`repro.serve.engine.run_session` falls back
+to when handed ``model=None`` — sharing is purely an optimisation and
+never changes a session's result.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.harness.shm import release_payload, share_payload
+from repro.serve.engine import build_session_config
+from repro.serve.protocol import SessionSpec
+
+#: Arrays this small still get hoisted: the point of sharing model
+#: state is one physical copy per host, not pickle-bandwidth savings.
+SHARE_THRESHOLD = 64
+
+
+def model_key(spec: SessionSpec) -> tuple:
+    """The geometry a session's model state depends on.
+
+    Mechanism and interval count shape the replay, not the model, so
+    sessions differing only there share one cache entry.
+    """
+    return (spec.num_cores, spec.fast_pages, spec.slow_pages)
+
+
+def build_model_state(spec: SessionSpec) -> dict:
+    """Compute the read-only model payload for a session geometry."""
+    from repro.faults.ecc import ChipGeometry, build_ecc_luts, make_scheme
+    from repro.faults.ser import SerModel
+
+    config = build_session_config(spec)
+    ser = SerModel.for_system(config)
+    geometry = ChipGeometry()
+    payload = {
+        "fit_fast_per_page": float(ser.fit_fast_per_page),
+        "fit_slow_per_page": float(ser.fit_slow_per_page),
+    }
+    for tier, memory in (("fast", config.fast_memory),
+                         ("slow", config.slow_memory)):
+        luts = build_ecc_luts(make_scheme(memory.ecc), geometry)
+        # Copy out of the LUT dataclass so the hoisting pickler sees
+        # plain base-class ndarrays.
+        payload[f"ecc_{tier}_single_uncorrected"] = np.array(
+            luts.single_uncorrected)
+        payload[f"ecc_{tier}_pair_uncorrectable"] = np.array(
+            luts.pair_uncorrectable)
+    return payload
+
+
+class ModelStateCache:
+    """Per-geometry cache of shared model-state handles.
+
+    ``handle_for`` returns whatever :func:`share_payload` produced — a
+    :class:`~repro.harness.shm.SharedPayload` when the ``shm_handoff``
+    knob is on, the plain dict otherwise — and workers resolve either
+    shape uniformly.  :meth:`release` unlinks every owned segment;
+    the service calls it on close/drain.
+    """
+
+    def __init__(self, threshold: int = SHARE_THRESHOLD) -> None:
+        self._threshold = threshold
+        self._handles: "dict[tuple, object]" = {}
+        self._lock = threading.Lock()
+
+    def handle_for(self, spec: SessionSpec):
+        key = model_key(spec)
+        with self._lock:
+            handle = self._handles.get(key)
+            if handle is None:
+                handle = share_payload(build_model_state(spec),
+                                       threshold=self._threshold)
+                self._handles[key] = handle
+            return handle
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def release(self) -> None:
+        with self._lock:
+            for handle in self._handles.values():
+                release_payload(handle)
+            self._handles.clear()

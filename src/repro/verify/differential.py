@@ -20,6 +20,9 @@ randomized :class:`~repro.verify.cases.DiffCase` scenarios:
 * ``shm-roundtrip``    — the shared-memory workload handoff
   (:mod:`repro.harness.shm`): arrays must come back bit-exact, with
   dtype and shape intact, through a pickled handle.
+* ``serve``            — the placement service (:mod:`repro.serve`):
+  streaming a trace through a tenant session (wire encoding, chunk
+  spool, worker replay) must reproduce the batch result bit-exactly.
 
 A check returns ``None`` on agreement or a human-readable mismatch
 description.  The fuzz driver shrinks failures greedily and dumps a
@@ -333,6 +336,51 @@ def check_shm_roundtrip(case: DiffCase) -> "str | None":
     return None
 
 
+def check_serve(case: DiffCase) -> "str | None":
+    """Streaming the trace through the placement service vs batch.
+
+    The case's trace is chunked through a real
+    :class:`~repro.serve.client.ServiceClient` session — JSON wire
+    encoding, chunk spool, commit, worker replay — and the session's
+    digest must be bit-identical to :func:`~repro.serve.engine.
+    run_session` on the assembled trace.  Inline isolation keeps the
+    fuzz loop fork-free; the chaos suite covers the process path.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.client import ServiceClient
+    from repro.serve.engine import run_session
+    from repro.serve.protocol import SessionSpec
+    from repro.serve.service import PlacementService, ServiceConfig
+
+    trace, times = build_trace(case)
+    spec = SessionSpec(
+        tenant=f"fuzz-{case.case_id}",
+        num_cores=case.num_cores,
+        fast_pages=case.fast_pages,
+        slow_pages=case.slow_pages,
+        mechanism=case.mechanism,
+        num_intervals=case.num_intervals,
+    )
+    batch = run_session(spec, trace, times)
+    serve_dir = tempfile.mkdtemp(prefix="repro-fuzz-serve-")
+    try:
+        config = ServiceConfig(isolation="inline", serve_dir=serve_dir,
+                               idle_timeout=None, pool_workers=1)
+        with PlacementService(config) as service:
+            chunk_size = max(1, -(-len(trace) // 4))  # ~4 wire chunks
+            served = ServiceClient(service).run(
+                spec, trace, times, chunk_size=chunk_size)
+    finally:
+        shutil.rmtree(serve_dir, ignore_errors=True)
+    if served.digest != batch.digest:
+        return _first_diff({"batch": batch.digest, "served": served.digest})
+    if served.sha != batch.sha:
+        return f"digest sha: batch={batch.sha} served={served.sha}"
+    return None
+
+
 #: All differential check families, in fuzz order.
 CHECKS = {
     "replay-kernels": check_replay_kernels,
@@ -342,6 +390,7 @@ CHECKS = {
     "faultsim": check_faultsim,
     "cache-filter": check_cache_filter,
     "shm-roundtrip": check_shm_roundtrip,
+    "serve": check_serve,
 }
 
 

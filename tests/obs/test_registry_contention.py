@@ -1,0 +1,77 @@
+"""Registry under multi-process write contention (WAL + lock retry)."""
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.obs import registry as registry_module
+from repro.obs.registry import RunRegistry, _is_locked, _retry_locked
+
+
+def _hammer(args):
+    """One worker: append ``count`` runs to a shared registry."""
+    path, worker, count = args
+    reg = RunRegistry(path)
+    return [reg.record_run("hammer", config={"worker": worker, "i": i},
+                           metrics={"ipc": float(i)})
+            for i in range(count)]
+
+
+class TestLockRetry:
+    def test_retries_until_the_lock_clears(self, monkeypatch):
+        monkeypatch.setattr(registry_module.time, "sleep", lambda s: None)
+        calls = []
+
+        def op():
+            calls.append(1)
+            if len(calls) < 4:
+                raise sqlite3.OperationalError("database is locked")
+            return "done"
+
+        assert _retry_locked(op) == "done"
+        assert len(calls) == 4
+
+    def test_non_lock_errors_raise_immediately(self):
+        def op():
+            raise sqlite3.OperationalError("no such table: runs")
+
+        with pytest.raises(sqlite3.OperationalError):
+            _retry_locked(op)
+
+    def test_lock_detection(self):
+        assert _is_locked(sqlite3.OperationalError("database is locked"))
+        assert _is_locked(sqlite3.OperationalError("database is busy"))
+        assert not _is_locked(sqlite3.OperationalError("syntax error"))
+
+
+class TestWalMode:
+    def test_store_runs_in_wal(self, tmp_path):
+        reg = RunRegistry(str(tmp_path / "registry.sqlite"))
+        reg.record_run("probe")
+        with sqlite3.connect(reg.path) as conn:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+
+class TestMultiProcessHammer:
+    def test_concurrent_writers_lose_no_rows(self, tmp_path):
+        path = str(tmp_path / "registry.sqlite")
+        workers, runs_each = 4, 6
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(workers) as pool:
+            ids = pool.map(_hammer, [(path, w, runs_each)
+                                     for w in range(workers)])
+        flat = [run_id for batch in ids for run_id in batch]
+        assert len(flat) == workers * runs_each
+        assert len(set(flat)) == len(flat), "run id collision"
+        reg = RunRegistry(path)
+        rows = reg.list_runs("hammer")
+        assert len(rows) == workers * runs_each
+        # Every worker's every write landed with its metrics attached.
+        seen = {(r.config["worker"], r.config["i"]) for r in rows}
+        assert seen == {(w, i) for w in range(workers)
+                        for i in range(runs_each)}
+        for row in rows:
+            assert reg.metrics(row.run_id) == {
+                "ipc": float(row.config["i"])}

@@ -1,0 +1,53 @@
+"""Shared fixtures for the placement-service suite.
+
+Everything here runs the service with ``isolation="inline"`` and the
+watchdog off, so the tier-1 tests are fast and deterministic; the
+chaos suite (``test_chaos.py``, marked slow) switches process
+isolation and fault injection back on.
+"""
+
+import pytest
+
+from repro.serve.chaos import synth_traffic
+from repro.serve.client import ServiceClient
+from repro.serve.protocol import SessionSpec
+from repro.serve.service import PlacementService, ServiceConfig
+
+#: A spec small enough that an inline replay takes milliseconds.
+TINY = dict(num_cores=2, fast_pages=4, slow_pages=64,
+            mechanism="fc-migration", num_intervals=3)
+
+
+def tiny_spec(tenant: str = "t0", **overrides) -> SessionSpec:
+    return SessionSpec(tenant=tenant, **{**TINY, **overrides})
+
+
+def tiny_traffic(seed: int = 0, accesses: int = 400,
+                 spec: "SessionSpec | None" = None):
+    spec = spec or tiny_spec()
+    return synth_traffic(seed, accesses, spec.num_cores,
+                         max(1, spec.slow_pages // 2))
+
+
+def inline_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        serve_dir=str(tmp_path / "serve"),
+        isolation="inline",
+        pool_workers=1,
+        idle_timeout=None,
+        job_timeout=None,
+        retries=0,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture
+def service(tmp_path):
+    with PlacementService(inline_config(tmp_path)) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service)

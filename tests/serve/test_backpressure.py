@@ -1,0 +1,163 @@
+"""Backpressure and admission: every bound answers, none buffers."""
+
+import time
+
+import pytest
+
+from repro.serve import session as sess
+from repro.serve.client import ServiceClient
+from repro.serve.protocol import ERR_ADMISSION, ERR_RETRY, ERR_TOO_LARGE
+from repro.serve.service import PlacementService
+from tests.serve.conftest import inline_config, tiny_spec, tiny_traffic
+from tests.serve.test_session import FakeClock
+
+
+def _raw(service, msg):
+    """Drive the service without the client's retry conveniences."""
+    return service.handle(msg)
+
+
+def _append_msg(sid, seq, trace, times):
+    from repro.serve.protocol import chunk_to_payload
+
+    msg = {"op": "append", "session": sid, "seq": seq}
+    msg.update(chunk_to_payload(trace, times))
+    return msg
+
+
+class TestRateLimit:
+    def test_bucket_meters_and_refills_deterministically(self, tmp_path):
+        clock = FakeClock()
+        config = inline_config(tmp_path, rate_accesses_per_sec=100.0,
+                               burst_accesses=64.0)
+        with PlacementService(config, clock=clock) as svc:
+            spec = tiny_spec("flood")
+            trace, times = tiny_traffic(spec=spec)
+            sid = ServiceClient(svc).open(spec)
+            ok = _raw(svc, _append_msg(sid, 0, trace.slice(0, 64),
+                                       times[:64]))
+            assert ok["ok"] and ok["seq"] == 0
+            # The bucket is empty: the same-instant next chunk must be
+            # told exactly how long 64 tokens take to accrue.
+            resp = _raw(svc, _append_msg(sid, 1, trace.slice(64, 128),
+                                         times[64:128]))
+            assert resp["error"] == ERR_RETRY
+            assert resp["retry_after"] == pytest.approx(0.64)
+            clock.advance(0.64)
+            ok = _raw(svc, _append_msg(sid, 1, trace.slice(64, 128),
+                                       times[64:128]))
+            assert ok["ok"] and ok["seq"] == 1
+            # A refused chunk never advanced the sequence or the spool.
+            assert ok["accesses"] == 128
+
+    def test_rate_limits_are_per_tenant(self, tmp_path):
+        clock = FakeClock()
+        config = inline_config(tmp_path, rate_accesses_per_sec=100.0,
+                               burst_accesses=64.0)
+        with PlacementService(config, clock=clock) as svc:
+            client = ServiceClient(svc)
+            trace, times = tiny_traffic()
+            sid_a = client.open(tiny_spec("alice"))
+            sid_b = client.open(tiny_spec("bob"))
+            assert _raw(svc, _append_msg(sid_a, 0, trace.slice(0, 64),
+                                         times[:64]))["ok"]
+            # Alice drained *her* bucket; Bob's is untouched.
+            resp = _raw(svc, _append_msg(sid_a, 1, trace.slice(64, 128),
+                                         times[64:128]))
+            assert resp["error"] == ERR_RETRY
+            assert _raw(svc, _append_msg(sid_b, 0, trace.slice(0, 64),
+                                         times[:64]))["ok"]
+
+
+class TestAdmission:
+    def test_shed_above_max_sessions(self, tmp_path):
+        config = inline_config(tmp_path, max_sessions=2)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            client.open(tiny_spec("a"))
+            client.open(tiny_spec("b"))
+            resp = _raw(svc, {"op": "open", "tenant": "c",
+                              "spec": tiny_spec("c").to_dict()})
+            assert resp["error"] == ERR_ADMISSION
+            assert resp["retry_after"] > 0
+            assert svc.handle({"op": "stats"})["stats"]["counts"]["shed"] == 1
+
+    def test_terminal_sessions_free_slots(self, tmp_path):
+        config = inline_config(tmp_path, max_sessions=1)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            spec = tiny_spec("a")
+            trace, times = tiny_traffic(spec=spec)
+            client.run(spec, trace, times)  # terminal: done
+            client.open(tiny_spec("b"))     # slot is free again
+
+
+class TestSpoolAndQueueCaps:
+    def test_global_spool_cap_backpressures(self, tmp_path):
+        config = inline_config(tmp_path, max_spool_accesses=100)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            trace, times = tiny_traffic()
+            sid = client.open(tiny_spec("a"))
+            assert _raw(svc, _append_msg(sid, 0, trace.slice(0, 64),
+                                         times[:64]))["ok"]
+            resp = _raw(svc, _append_msg(sid, 1, trace.slice(64, 128),
+                                         times[64:128]))
+            assert resp["error"] == ERR_RETRY
+            assert "spool" in resp["detail"]
+
+    def test_run_queue_cap_backpressures_commit(self, tmp_path):
+        config = inline_config(tmp_path, max_queued_runs=0)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            spec = tiny_spec("a")
+            trace, times = tiny_traffic(spec=spec)
+            sid = client.open(spec)
+            client.stream(sid, trace, times)
+            resp = _raw(svc, {"op": "commit", "session": sid})
+            assert resp["error"] == ERR_RETRY
+
+
+class TestHardCaps:
+    def test_oversized_chunk_is_a_hard_error(self, tmp_path):
+        config = inline_config(tmp_path, max_chunk_accesses=100)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            trace, times = tiny_traffic()
+            sid = client.open(tiny_spec("a"))
+            resp = _raw(svc, _append_msg(sid, 0, trace.slice(0, 128),
+                                         times[:128]))
+            assert resp["error"] == ERR_TOO_LARGE
+            assert "retry_after" not in resp
+            # A hard error is not poison: the session stays usable.
+            assert client.poll(sid)["state"] == sess.OPEN
+            assert _raw(svc, _append_msg(sid, 0, trace.slice(0, 64),
+                                         times[:64]))["ok"]
+
+    def test_session_cap_is_a_hard_error(self, tmp_path):
+        config = inline_config(tmp_path, max_session_accesses=100)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            trace, times = tiny_traffic()
+            sid = client.open(tiny_spec("a"))
+            assert _raw(svc, _append_msg(sid, 0, trace.slice(0, 64),
+                                         times[:64]))["ok"]
+            resp = _raw(svc, _append_msg(sid, 1, trace.slice(64, 128),
+                                         times[64:128]))
+            assert resp["error"] == ERR_TOO_LARGE
+
+
+class TestIdleWatchdog:
+    def test_silent_open_stream_is_aborted(self, tmp_path):
+        config = inline_config(tmp_path, idle_timeout=0.2,
+                               watchdog_interval=0.05)
+        with PlacementService(config) as svc:
+            client = ServiceClient(svc)
+            sid = client.open(tiny_spec("sleepy"))
+            deadline = time.monotonic() + 5.0
+            while client.poll(sid)["state"] == sess.OPEN:
+                assert time.monotonic() < deadline, "watchdog never fired"
+                time.sleep(0.05)
+            resp = client.poll(sid)
+            assert resp["state"] == sess.ABORTED
+            assert "idle" in resp["detail"]

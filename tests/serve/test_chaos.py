@@ -1,0 +1,103 @@
+"""Chaos gate: the daemon under SIGKILL, hangs, and poison tenants.
+
+The invariant is the strongest available: every surviving tenant's
+result is bit-identical to a batch replay of the same trace, and every
+corrupt tenant is quarantined — alone.  Process isolation and fault
+injection make these slow, so the whole module is excluded from
+tier-1.
+"""
+
+import threading
+
+import pytest
+
+from repro.harness.resilience import FaultPlan
+from repro.serve.chaos import CORRUPT_MODES, TenantPlan, run_chaos
+from repro.serve.client import ServiceClient, SocketClient
+from repro.serve.service import PlacementService, ServiceConfig
+from repro.serve.socket import ServeDaemon
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+def _chaos_config(tmp_path, fault_plan=None, **overrides) -> ServiceConfig:
+    defaults = dict(
+        serve_dir=str(tmp_path / "serve"),
+        isolation="process",
+        pool_workers=2,
+        job_timeout=5.0,
+        retries=2,
+        retry_backoff=0.05,
+        idle_timeout=None,
+        fault_plan=fault_plan,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _plans():
+    return [
+        TenantPlan("alice", seed=11),
+        TenantPlan("bob", seed=22, behaviour="slow", delay=0.02),
+        TenantPlan("carol", seed=33),
+        TenantPlan("mallory", seed=44, behaviour="corrupt:bad-type"),
+    ]
+
+
+class TestProcessChaos:
+    def test_kill_and_hang_survive_bit_identical(self, tmp_path):
+        # alice's worker is SIGKILL'd once and carol's hangs past the
+        # job timeout once; both must retry from the durable spool and
+        # still match the batch oracle bit for bit.
+        plan = FaultPlan({"alice": ["kill"], "carol": ["hang:30"]})
+        with PlacementService(_chaos_config(tmp_path, plan)) as svc:
+            report = run_chaos(lambda: ServiceClient(svc), _plans(),
+                               stats_client=ServiceClient(svc))
+        assert report.ok, report.summary()
+        counts = report.stats["counts"]
+        assert counts.get("pool_respawns", 0) >= 1  # the SIGKILL
+        assert counts["quarantined"] == 1           # mallory, alone
+        assert counts["done"] == 3
+
+    def test_fatal_worker_fails_only_its_session(self, tmp_path):
+        # A tenant whose worker dies on every attempt exhausts its
+        # retries and fails; its neighbours still finish identically.
+        plan = FaultPlan({"doomed": ["kill", "kill", "kill", "kill"]})
+        plans = [TenantPlan("alice", seed=1),
+                 TenantPlan("doomed", seed=2)]
+        with PlacementService(_chaos_config(tmp_path, plan)) as svc:
+            report = run_chaos(lambda: ServiceClient(svc), plans)
+        by_tenant = {o.tenant: o for o in report.outcomes}
+        assert by_tenant["alice"].ok
+        assert by_tenant["doomed"].state == "failed"
+        assert "attempt" in by_tenant["doomed"].detail
+
+    @pytest.mark.parametrize("mode", CORRUPT_MODES)
+    def test_every_corruption_mode_is_quarantined(self, tmp_path, mode):
+        plans = [TenantPlan("good", seed=5),
+                 TenantPlan("evil", seed=6, behaviour=f"corrupt:{mode}")]
+        with PlacementService(_chaos_config(tmp_path)) as svc:
+            report = run_chaos(lambda: ServiceClient(svc), plans)
+        assert report.ok, report.summary()
+
+
+class TestSocketChaos:
+    def test_chaos_over_a_real_socket(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        plan = FaultPlan({"alice": ["kill"]})
+        svc = PlacementService(_chaos_config(tmp_path, plan))
+        daemon = ServeDaemon(svc, path)
+        thread = threading.Thread(
+            target=daemon.run, kwargs={"handle_signals": False},
+            daemon=True)
+        thread.start()
+        assert daemon.ready.wait(10), "daemon never came up"
+        try:
+            report = run_chaos(lambda: SocketClient(path), _plans(),
+                               stats_client=SocketClient(path))
+        finally:
+            daemon.request_stop()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert report.ok, report.summary()
+        assert report.stats["counts"].get("pool_respawns", 0) >= 1

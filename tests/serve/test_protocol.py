@@ -1,0 +1,153 @@
+"""Wire protocol: spec validation, chunk codec, line framing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.chaos import CORRUPT_MODES, corrupt_chunk, synth_traffic
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SessionSpec,
+    chunk_from_payload,
+    chunk_to_payload,
+    decode_line,
+    encode_message,
+    error_response,
+)
+
+
+class TestSessionSpec:
+    def test_round_trip(self):
+        spec = SessionSpec(tenant="alice", num_cores=2, fast_pages=4,
+                           slow_pages=64, mechanism="cc-migration",
+                           num_intervals=3)
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_validate(self):
+        SessionSpec(tenant="t").validate()
+
+    @pytest.mark.parametrize("bad", ["", "x" * 65, 7, None])
+    def test_bad_tenant(self, bad):
+        with pytest.raises(ProtocolError):
+            SessionSpec(tenant=bad).validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_cores", 0), ("num_cores", 65), ("num_cores", True),
+        ("fast_pages", 0), ("slow_pages", -1), ("num_intervals", 0),
+        ("num_cores", 2.0), ("slow_pages", "256"),
+    ])
+    def test_bad_geometry(self, field, value):
+        with pytest.raises(ProtocolError):
+            SessionSpec(tenant="t", **{field: value}).validate()
+
+    def test_bad_mechanism(self):
+        with pytest.raises(ProtocolError, match="mechanism"):
+            SessionSpec(tenant="t", mechanism="lru").validate()
+
+    def test_none_mechanism_is_static(self):
+        SessionSpec(tenant="t", mechanism=None).validate()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown spec fields"):
+            SessionSpec.from_dict({"tenant": "t", "colour": "red"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            SessionSpec.from_dict(["tenant"])
+
+
+class TestChunkCodec:
+    def _chunk(self, seed=0, n=64, cores=2, footprint=32):
+        return synth_traffic(seed, n, cores, footprint)
+
+    def test_json_round_trip_is_bit_exact(self):
+        trace, times = self._chunk()
+        payload = json.loads(json.dumps(chunk_to_payload(trace, times)))
+        got, got_times = chunk_from_payload(payload, 2)
+        np.testing.assert_array_equal(got.core, trace.core)
+        np.testing.assert_array_equal(got.address, trace.address)
+        np.testing.assert_array_equal(got.is_write, trace.is_write)
+        np.testing.assert_array_equal(got.gap, trace.gap)
+        np.testing.assert_array_equal(got_times, times)
+        assert got_times.dtype == np.float64
+
+    def test_empty_chunk_rejected(self):
+        trace, times = self._chunk()
+        payload = chunk_to_payload(trace, times)
+        payload = {k: [] for k in payload}
+        with pytest.raises(ProtocolError, match="empty"):
+            chunk_from_payload(payload, 2)
+
+    def test_missing_field_rejected(self):
+        trace, times = self._chunk()
+        payload = chunk_to_payload(trace, times)
+        del payload["gap"]
+        with pytest.raises(ProtocolError, match="gap"):
+            chunk_from_payload(payload, 2)
+
+    def test_core_out_of_spec_rejected(self):
+        trace, times = self._chunk(cores=2)
+        payload = chunk_to_payload(trace, times)
+        payload["core"][0] = 2  # spec says num_cores=2 -> cores 0..1
+        with pytest.raises(ProtocolError, match="core"):
+            chunk_from_payload(payload, 2)
+
+    def test_bool_is_not_an_int(self):
+        trace, times = self._chunk()
+        payload = chunk_to_payload(trace, times)
+        payload["address"][0] = True
+        with pytest.raises(ProtocolError, match="address"):
+            chunk_from_payload(payload, 2)
+
+    @pytest.mark.parametrize("mode",
+                             [m for m in CORRUPT_MODES if m != "bad-seq"])
+    def test_corrupt_modes_fail_validation(self, mode):
+        # "bad-seq" corrupts the envelope, not the chunk arrays; the
+        # service layer catches it (tests/serve/test_service.py).
+        trace, times = self._chunk()
+        msg = {"op": "append", "session": "s", "seq": 1}
+        msg.update(chunk_to_payload(trace, times))
+        bad = corrupt_chunk(msg, mode)
+        if mode == "overflow":
+            # Decodes fine; the footprint check is the service's.
+            got, _ = chunk_from_payload(bad, 2)
+            assert int(got.address[0]) == 2**62
+        else:
+            with pytest.raises(ProtocolError):
+                chunk_from_payload(bad, 2)
+
+    def test_times_must_be_non_decreasing(self):
+        trace, times = self._chunk()
+        payload = chunk_to_payload(trace, times[::-1].copy())
+        with pytest.raises(ProtocolError, match="non-decreasing"):
+            chunk_from_payload(payload, 2)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        msg = {"op": "poll", "session": "t-1", "wait": 0.5}
+        line = encode_message(msg)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == msg
+
+    def test_decode_str_and_bytes(self):
+        assert decode_line('{"op": "stats"}') == {"op": "stats"}
+        assert decode_line(b'{"op": "stats"}') == {"op": "stats"}
+
+    @pytest.mark.parametrize("garbage", [
+        b"not json\n", b"[1, 2]\n", b'"just a string"\n', b"\xff\xfe\n",
+    ])
+    def test_garbage_rejected(self, garbage):
+        with pytest.raises(ProtocolError):
+            decode_line(garbage)
+
+    def test_error_response_shape(self):
+        resp = error_response("retry", "spool is full", retry_after=0.25)
+        assert resp == {"ok": False, "error": "retry",
+                        "detail": "spool is full", "retry_after": 0.25}
+        assert "retry_after" not in error_response("state", "nope")
+
+    def test_protocol_version_is_stable(self):
+        assert PROTOCOL_VERSION == 1

@@ -1,0 +1,211 @@
+"""Service core: lifecycle, bit-identity, poisoning, recovery, drain."""
+
+import pytest
+
+from repro.serve import session as sess
+from repro.serve.client import ServiceClient, ServiceError, SessionFailed
+from repro.serve.engine import run_session
+from repro.serve.protocol import (
+    ERR_DRAINING,
+    ERR_PROTOCOL,
+    ERR_STATE,
+    ERR_UNKNOWN_SESSION,
+    chunk_to_payload,
+)
+from repro.serve.service import PlacementService
+from repro.serve.session import Session
+from tests.serve.conftest import inline_config, tiny_spec, tiny_traffic
+
+
+class TestLifecycle:
+    def test_streamed_equals_batch_bit_for_bit(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(seed=1, spec=spec)
+        result = client.run(spec, trace, times, chunk_size=96)
+        batch = run_session(spec, trace, times)
+        assert result.sha == batch.sha
+        assert result.digest == batch.digest
+        assert result.requests == len(trace)
+
+    def test_single_chunk_session(self, client):
+        spec = tiny_spec("bob", mechanism=None)
+        trace, times = tiny_traffic(seed=2, accesses=128, spec=spec)
+        result = client.run(spec, trace, times, chunk_size=4096)
+        assert result.sha == run_session(spec, trace, times).sha
+        assert result.scheme == "static"
+
+    def test_tenants_get_distinct_sessions(self, client):
+        a = client.open(tiny_spec("alice"))
+        b = client.open(tiny_spec("bob"))
+        assert a != b and a.startswith("alice-") and b.startswith("bob-")
+
+    def test_poll_reports_progress(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        sid = client.open(spec)
+        assert client.poll(sid)["state"] == sess.OPEN
+        client.stream(sid, trace, times, chunk_size=128)
+        resp = client.poll(sid)
+        assert resp["chunks"] == len(trace) // 128 + (len(trace) % 128 > 0)
+        assert resp["accesses"] == len(trace)
+
+    def test_stats_counts_sessions(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        client.run(spec, trace, times)
+        stats = client.stats()
+        assert stats["counts"]["opened"] == 1
+        assert stats["counts"]["done"] == 1
+        assert stats["states"] == {"done": 1}
+        assert stats["spooled_accesses"] == 0  # settled at retirement
+        assert stats["model_cache"] == 1
+
+
+class TestRejections:
+    def test_unknown_session(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.poll("nobody-9")
+        assert err.value.code == ERR_UNKNOWN_SESSION
+
+    def test_unknown_op_and_non_object(self, service):
+        assert service.handle({"op": "dance"})["error"] == ERR_PROTOCOL
+        assert service.handle("open")["error"] == ERR_PROTOCOL
+        assert service.handle({"op": "poll", "session": 7})["error"] \
+            == ERR_PROTOCOL
+
+    def test_commit_without_chunks(self, client):
+        sid = client.open(tiny_spec("alice"))
+        with pytest.raises(ServiceError) as err:
+            client.commit(sid)
+        assert err.value.code == ERR_STATE
+
+    def test_append_after_commit(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        sid = client.open(spec)
+        client.stream(sid, trace, times)
+        client.commit(sid)
+        client.wait(sid)
+        with pytest.raises(ServiceError) as err:
+            client.append(sid, 1, trace.slice(0, 8), times[:8])
+        assert err.value.code == ERR_STATE
+
+    def test_bad_wait_is_poison(self, client):
+        sid = client.open(tiny_spec("alice"))
+        with pytest.raises(ServiceError) as err:
+            client.poll(sid, wait=-1)
+        assert err.value.code == ERR_PROTOCOL
+        assert client.poll(sid)["state"] == sess.QUARANTINED
+
+
+class TestPoisoning:
+    def test_seq_mismatch_quarantines_only_the_sender(self, client):
+        spec_a, spec_b = tiny_spec("alice"), tiny_spec("bob")
+        trace, times = tiny_traffic(spec=spec_a)
+        sid_a = client.open(spec_a)
+        sid_b = client.open(spec_b)
+        with pytest.raises(ServiceError) as err:
+            client.append(sid_a, 5, trace.slice(0, 64), times[:64])
+        assert err.value.code == ERR_PROTOCOL
+        assert client.poll(sid_a)["state"] == sess.QUARANTINED
+        # The well-behaved neighbour is untouched and completes.
+        client.stream(sid_b, trace, times)
+        client.commit(sid_b)
+        result = client.wait(sid_b)
+        assert result.sha == run_session(spec_b, trace, times).sha
+
+    def test_footprint_overflow_quarantines(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        sid = client.open(spec)
+        msg = {"op": "append", "session": sid, "seq": 0}
+        msg.update(chunk_to_payload(trace.slice(0, 8), times[:8]))
+        msg["address"][0] = 2**40  # page far beyond the slow tier
+        resp = client.service.handle(msg)
+        assert resp["error"] == ERR_PROTOCOL
+        assert "footprint" in resp["detail"]
+        assert client.poll(sid)["state"] == sess.QUARANTINED
+
+    def test_time_warp_across_chunks_quarantines(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        sid = client.open(spec)
+        client.append(sid, 0, trace.slice(64, 128), times[64:128])
+        with pytest.raises(ServiceError) as err:
+            client.append(sid, 1, trace.slice(0, 64), times[:64])
+        assert err.value.code == ERR_PROTOCOL
+        assert client.poll(sid)["state"] == sess.QUARANTINED
+
+    def test_quarantine_is_terminal_for_commit(self, client):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        sid = client.open(spec)
+        client.append(sid, 0, trace.slice(0, 64), times[:64])
+        client.service.handle({"op": "append", "session": sid, "seq": 99})
+        with pytest.raises(ServiceError) as err:
+            client.commit(sid)
+        assert err.value.code == ERR_STATE
+
+
+class TestRecovery:
+    def test_committed_spool_is_requeued_and_bit_identical(self, tmp_path):
+        spec = tiny_spec("rec")
+        trace, times = tiny_traffic(seed=5, spec=spec)
+        # A previous daemon's spool: fully acked, committed, no result.
+        serve_dir = tmp_path / "serve"
+        directory = serve_dir / "sessions" / "rec-1"
+        orphan = Session("rec-1", spec, str(directory))
+        orphan.open_spool()
+        for lo in range(0, len(trace), 128):
+            hi = min(lo + 128, len(trace))
+            orphan.spool_chunk(trace.slice(lo, hi), times[lo:hi])
+        orphan.transition(sess.QUEUED)
+
+        with PlacementService(inline_config(tmp_path)) as svc:
+            assert svc.recover() == ["rec-1"]
+            client = ServiceClient(svc)
+            result = client.wait("rec-1", timeout=60)
+        assert result.sha == run_session(spec, trace, times).sha
+
+    def test_open_spools_are_not_recovered(self, tmp_path):
+        spec = tiny_spec("rec")
+        trace, times = tiny_traffic(spec=spec)
+        directory = tmp_path / "serve" / "sessions" / "rec-1"
+        orphan = Session("rec-1", spec, str(directory))
+        orphan.open_spool()
+        orphan.spool_chunk(trace.slice(0, 64), times[:64])
+        with PlacementService(inline_config(tmp_path)) as svc:
+            assert svc.recover() == []
+
+    def test_garbage_spool_dir_is_skipped(self, tmp_path):
+        directory = tmp_path / "serve" / "sessions" / "junk"
+        directory.mkdir(parents=True)
+        (directory / "state.json").write_text("not json")
+        with PlacementService(inline_config(tmp_path)) as svc:
+            assert svc.recover() == []
+
+
+class TestDrain:
+    def test_drain_aborts_open_finishes_committed(self, tmp_path):
+        spec = tiny_spec("alice")
+        trace, times = tiny_traffic(spec=spec)
+        with PlacementService(inline_config(tmp_path)) as svc:
+            client = ServiceClient(svc)
+            committed = client.open(spec)
+            client.stream(committed, trace, times)
+            client.commit(committed)
+            idle = client.open(tiny_spec("bob"))
+            states = svc.drain()
+            assert states.get(sess.DONE) == 1
+            assert states.get(sess.ABORTED) == 1
+            with pytest.raises(SessionFailed) as err:
+                client.wait(idle, timeout=1)
+            assert err.value.state == sess.ABORTED
+            with pytest.raises(ServiceError) as err:
+                client.open(tiny_spec("late"))
+            assert err.value.code == ERR_DRAINING
+
+    def test_closed_service_answers_draining(self, tmp_path):
+        svc = PlacementService(inline_config(tmp_path))
+        svc.close()
+        assert svc.handle({"op": "stats"})["error"] == ERR_DRAINING

@@ -1,0 +1,142 @@
+"""Session state machine, token bucket, and the durable chunk spool."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import session as sess
+from repro.serve.chaos import synth_traffic
+from repro.serve.session import (
+    Session,
+    TokenBucket,
+    load_session_trace,
+    read_spool_spec,
+    read_spool_state,
+)
+from tests.serve.conftest import tiny_spec
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=50.0, clock=clock)
+        assert bucket.try_acquire(50) == 0.0          # full burst granted
+        wait = bucket.try_acquire(10)
+        assert wait == pytest.approx(0.1)             # 10 tokens / 100 per s
+        clock.advance(0.1)
+        assert bucket.try_acquire(10) == 0.0          # refilled exactly
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=50.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.try_acquire(50) == 0.0
+        assert bucket.try_acquire(1) > 0.0            # not over-filled
+
+    def test_oversized_request_charges_full_bucket(self):
+        bucket = TokenBucket(rate=100.0, burst=50.0, clock=FakeClock())
+        assert bucket.try_acquire(51) == pytest.approx(0.5)
+        assert bucket.try_acquire(50) == 0.0          # untouched by refusal
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+def _spooled_session(tmp_path, chunks=3, chunk_size=64):
+    spec = tiny_spec()
+    session = Session("t0-1", spec, str(tmp_path / "t0-1"))
+    session.open_spool()
+    trace, times = synth_traffic(3, chunks * chunk_size, spec.num_cores,
+                                 spec.slow_pages // 2)
+    for i in range(chunks):
+        lo, hi = i * chunk_size, (i + 1) * chunk_size
+        session.spool_chunk(trace.slice(lo, hi), times[lo:hi])
+    return session, trace, times
+
+
+class TestSpool:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        session, trace, times = _spooled_session(tmp_path)
+        got, got_times = load_session_trace(session.directory)
+        np.testing.assert_array_equal(got.address, trace.address)
+        np.testing.assert_array_equal(got.core, trace.core)
+        np.testing.assert_array_equal(got.is_write, trace.is_write)
+        np.testing.assert_array_equal(got.gap, trace.gap)
+        np.testing.assert_array_equal(got_times, times)
+
+    def test_durable_state_tracks_acks(self, tmp_path):
+        session, trace, _ = _spooled_session(tmp_path)
+        state = read_spool_state(session.directory)
+        assert state["state"] == sess.OPEN
+        assert state["next_seq"] == 3
+        assert state["accesses"] == len(trace)
+        assert read_spool_spec(session.directory) == session.spec
+
+    def test_unacked_chunk_beyond_state_is_ignored(self, tmp_path):
+        # A crash between chunk write and state write leaves an extra
+        # chunk file; the loader must trust state.json, not the listing.
+        session, trace, times = _spooled_session(tmp_path)
+        extra, extra_times = synth_traffic(9, 32, 2, 8)
+        from repro.trace.io import save_npz
+
+        save_npz(os.path.join(session.directory, "chunk-000003.npz"),
+                 extra, extra_times + float(times[-1]))
+        got, got_times = load_session_trace(session.directory)
+        assert len(got) == len(trace)
+        np.testing.assert_array_equal(got_times, times)
+
+    def test_missing_acked_chunk_raises(self, tmp_path):
+        session, _, _ = _spooled_session(tmp_path)
+        os.unlink(os.path.join(session.directory, "chunk-000001.npz"))
+        with pytest.raises(ValueError, match="acknowledged chunk 1"):
+            load_session_trace(session.directory)
+
+    def test_empty_spool_raises(self, tmp_path):
+        spec = tiny_spec()
+        session = Session("t0-1", spec, str(tmp_path / "t0-1"))
+        session.open_spool()
+        with pytest.raises(ValueError, match="no chunks"):
+            load_session_trace(session.directory)
+
+
+class TestStateMachine:
+    def test_happy_path(self, tmp_path):
+        session, _, _ = _spooled_session(tmp_path)
+        assert session.active and not session.terminal
+        session.transition(sess.QUEUED)
+        session.transition(sess.RUNNING)
+        assert not session.done.is_set()
+        session.transition(sess.DONE)
+        assert session.terminal and session.done.is_set()
+
+    def test_terminal_states_are_sticky(self, tmp_path):
+        session, _, _ = _spooled_session(tmp_path)
+        session.transition(sess.QUARANTINED, error="bad chunk")
+        session.transition(sess.DONE)
+        assert session.state == sess.QUARANTINED
+        assert session.error == "bad chunk"
+        assert read_spool_state(session.directory)["state"] \
+            == sess.QUARANTINED
+
+    def test_describe_carries_error_detail(self, tmp_path):
+        session, _, _ = _spooled_session(tmp_path)
+        session.transition(sess.FAILED, error="worker died")
+        info = session.describe()
+        assert info["state"] == sess.FAILED
+        assert info["detail"] == "worker died"
+        assert info["chunks"] == 3

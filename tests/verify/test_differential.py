@@ -77,6 +77,33 @@ class TestCleanTree:
         assert not failed, failed
 
 
+class TestServeFamily:
+    """The streamed-service check family against the batch oracle."""
+
+    def test_registered(self):
+        assert "serve" in CHECKS
+
+    def test_clean_case_passes(self):
+        assert differential.check_serve(_some_case(2)) is None
+
+    def test_streamed_divergence_is_caught(self, monkeypatch):
+        # Plant a bug in the *streamed* path only: the worker's spool
+        # reassembly silently drops the last access.  The batch oracle
+        # sees the full trace, so the digests must disagree.
+        from repro.serve import session as serve_session
+
+        orig = serve_session.load_session_trace
+
+        def truncated(directory):
+            trace, times = orig(directory)
+            return trace.slice(0, len(trace) - 1), times[:-1]
+
+        monkeypatch.setattr(serve_session, "load_session_trace",
+                            truncated)
+        finding = differential.check_serve(_some_case(2))
+        assert finding is not None
+
+
 class TestMutationSmoke:
     """A planted bug must be caught, shrunk, and dumped."""
 

@@ -9,7 +9,11 @@
 #    regression is named in the CI log, not buried in the dots.
 # 3. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
 #    mid-run, resumes it, and asserts bit-identical rows with only the
-#    unfinished fractions recomputed.
+#    unfinished fractions recomputed.  Then the serve chaos smoke: a
+#    live placement daemon on a unix socket with a worker SIGKILL'd
+#    mid-replay and a poison tenant (survivors must be bit-identical
+#    to batch), plus a flooding tenant that must be throttled with
+#    retry_after without degrading a polite tenant's p95 latency.
 # 4. Runs the replay-kernel, policy-kernel, and end-to-end pipeline
 #    throughput benchmarks at a small scale with relaxed JSON output
 #    paths, so CI catches both correctness drift (the benchmarks
@@ -49,7 +53,7 @@ echo "== chaos / fault-injection tests =="
 # the default addopts marker filter; the explicit -m here (last -m
 # wins) opts back in.
 python -m pytest -q -m chaos tests/harness/test_resilience.py \
-    tests/sim/test_ckernel_fallback.py
+    tests/sim/test_ckernel_fallback.py tests/serve/test_chaos.py
 
 echo "== fuzz / property suites =="
 python -m pytest -q -m fuzz tests
@@ -64,6 +68,9 @@ python tools/coverage_gate.py
 
 echo "== kill/resume smoke =="
 python tools/kill_resume_smoke.py
+
+echo "== serve chaos smoke =="
+python tools/serve_chaos_smoke.py
 
 echo "== replay kernel smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
