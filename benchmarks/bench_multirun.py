@@ -1,0 +1,139 @@
+"""Config-batched multi-run engine: oracle vs batched sweep throughput.
+
+Drives the two replay-heaviest sweeps — ``capacity_sweep`` (3
+workloads x 5 fractions x 2 policies of static placements) and
+``fig13_interval_sweep`` (3 workloads x 5 interval counts of
+perf-focused migration) — twice over the *same* pre-prepared
+workloads:
+
+* **oracle**   — the ``multirun`` knob off: every (config, policy)
+  point replays the trace on its own, the per-point reference path.
+* **multirun** — the knob on (the default): each workload's points
+  ride one :func:`repro.sim.engine.replay_multi` config batch, so the
+  trace-side precompute, the interval profiler, and the fault
+  campaigns are shared across the batch.
+
+Workload preparation (synthesis, profiling, DDR baseline) happens
+outside the timed region — the benchmark isolates the evaluation
+engine, which is what the batching changes.  Every figure's rows are
+asserted bit-identical between the modes before any timing is
+trusted, wall time is best-of-``REPEATS``, and the report lands in
+``BENCH_multirun.json`` (override with ``REPRO_BENCH_MULTIRUN_JSON``)
+where ``repro-hma compare --bench-root`` enforces the floor.
+"""
+
+import json
+import os
+import time
+
+from repro.config import knob_overrides
+from repro.harness.experiments import (
+    SWEEP_WORKLOADS,
+    WorkloadCache,
+    fig13_interval_sweep,
+)
+from repro.harness.runner import prefetch_workloads
+from repro.harness.sweeps import capacity_sweep
+
+#: Default scale, default trace volume — the acceptance configuration.
+ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "20000"))
+SCALE = 1 / 1024
+SEED = 0
+REPEATS = 3
+CAPACITY_WORKLOADS = ("mcf", "milc", "mix1")
+FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.8)
+INTERVALS = (4, 8, 16, 32, 64)
+
+#: Conservative CI floor for the combined ratio (the acceptance
+#: criterion is 5x at default volume; smoke volumes leave less
+#: per-replay fixed cost to amortise, so below it the floor halves).
+_SMOKE = 0.5 if ACCESSES < 20_000 else 1.0
+MULTIRUN_FLOOR = 5.0 * _SMOKE
+
+
+def _figure_digest(fig) -> tuple:
+    return (fig.figure, fig.headers, fig.rows,
+            sorted(fig.summary.items()))
+
+
+def _run_once(preps, cache):
+    """One pass over both sweeps; returns (digests, per-sweep secs)."""
+    t0 = time.perf_counter()
+    cap = capacity_sweep(CAPACITY_WORKLOADS, FRACTIONS, scale=SCALE,
+                         accesses_per_core=ACCESSES, seed=SEED,
+                         jobs=1, preps=preps)
+    t1 = time.perf_counter()
+    f13 = fig13_interval_sweep(SWEEP_WORKLOADS, INTERVALS, cache=cache,
+                               accesses_per_core=ACCESSES, scale=SCALE,
+                               seed=SEED)
+    t2 = time.perf_counter()
+    digests = {"capacity": _figure_digest(cap), "fig13": _figure_digest(f13)}
+    return digests, {"capacity_sweep": t1 - t0,
+                     "fig13_interval_sweep": t2 - t1}
+
+
+def _best_run(multirun: bool, preps, cache):
+    best = None
+    digests = None
+    with knob_overrides(multirun=multirun):
+        for _ in range(REPEATS):
+            digests, stages = _run_once(preps, cache)
+            total = sum(stages.values())
+            if best is None or total < best[0]:
+                best = (total, stages)
+    return digests, best[1], best[0]
+
+
+def test_multirun_speedup():
+    # Preparation is shared and untimed: both modes evaluate exactly
+    # the same PreparedWorkload objects.
+    preps = prefetch_workloads(
+        CAPACITY_WORKLOADS, scale=SCALE, accesses_per_core=ACCESSES,
+        seed=SEED, jobs=1)
+    cache = WorkloadCache(accesses_per_core=ACCESSES, scale=SCALE,
+                          seed=SEED).prefetch(SWEEP_WORKLOADS, jobs=1)
+
+    oracle_digests, oracle_stages, oracle_total = _best_run(
+        False, preps, cache)
+    multi_digests, multi_stages, multi_total = _best_run(
+        True, preps, cache)
+
+    # Parity gate: every figure must be bit-identical before timing
+    # means anything.
+    for name in ("capacity", "fig13"):
+        assert multi_digests[name] == oracle_digests[name], (
+            f"{name} rows diverge between oracle and multirun modes")
+
+    points = (len(CAPACITY_WORKLOADS) * len(FRACTIONS) * 2
+              + len(SWEEP_WORKLOADS) * len(INTERVALS))
+    report = {
+        "accesses_per_core": ACCESSES,
+        "config_points": points,
+        "oracle_seconds": oracle_total,
+        "multirun_seconds": multi_total,
+        "speedup_multirun_vs_oracle": oracle_total / multi_total,
+        "stages": {
+            name: {
+                "oracle_seconds": oracle_stages[name],
+                "multirun_seconds": multi_stages[name],
+                "speedup": oracle_stages[name] / multi_stages[name],
+            }
+            for name in oracle_stages
+        },
+    }
+
+    out = os.environ.get("REPRO_BENCH_MULTIRUN_JSON", "BENCH_multirun.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    per_stage = "; ".join(
+        f"{name} {row['speedup']:.1f}x" for name, row in
+        report["stages"].items())
+    print(f"\nmulti-run engine ({points} config points): "
+          f"{report['speedup_multirun_vs_oracle']:.1f}x batched vs "
+          f"per-point ({per_stage}) -> {out}")
+
+    got = report["speedup_multirun_vs_oracle"]
+    assert got >= MULTIRUN_FLOOR, (
+        f"config-batched engine only {got:.2f}x the per-point oracle "
+        f"(floor {MULTIRUN_FLOOR}x)")

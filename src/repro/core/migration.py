@@ -132,6 +132,13 @@ class MigrationMechanism(ABC):
     def _use_array_kernel(self, hma) -> bool:
         return self.policy_kernel == "array" and hasattr(hma, "fast_mask")
 
+    #: Whether :meth:`observe_counts` may stand in for
+    #: :meth:`observe_chunk`.  True only for mechanisms whose
+    #: observation is order-free per-page tallying (FC-style counters);
+    #: stream-order trackers (MEA) and time-based trackers (ACE) must
+    #: keep the raw chunk.
+    supports_observe_counts: bool = False
+
     @abstractmethod
     def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
                       times: "np.ndarray | None" = None) -> None:
@@ -141,6 +148,19 @@ class MigrationMechanism(ABC):
         engine for mechanisms that need temporal information — the
         hardware-realisable mechanisms ignore it.
         """
+
+    def observe_counts(self, pages_r: np.ndarray, counts_r: np.ndarray,
+                       pages_w: np.ndarray, counts_w: np.ndarray) -> None:
+        """Feed pre-aggregated per-page chunk tallies into the counters.
+
+        Only valid when :attr:`supports_observe_counts` is true; the
+        multi-run engine aggregates each chunk once (``np.unique`` over
+        the read and write streams) and feeds every batched config from
+        the shared tallies, with counter state bit-identical to
+        :meth:`observe_chunk` on the raw chunk.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not accept aggregated counts")
 
     @abstractmethod
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
@@ -186,6 +206,7 @@ class PerformanceFocusedMigration(MigrationMechanism):
     """
 
     name = "perf-migration"
+    supports_observe_counts = True
 
     def __init__(self, counter_bits: int = 8,
                  max_swap_fraction: float = 0.1,
@@ -211,6 +232,10 @@ class PerformanceFocusedMigration(MigrationMechanism):
         check_parallel_arrays(f"{self.name}.observe_chunk",
                               pages, is_write, times)
         self.counters.record_batch(pages, is_write)
+
+    def observe_counts(self, pages_r: np.ndarray, counts_r: np.ndarray,
+                       pages_w: np.ndarray, counts_w: np.ndarray) -> None:
+        self.counters.record_counts(pages_r, counts_r, pages_w, counts_w)
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
         if self._use_array_kernel(hma):
@@ -314,6 +339,7 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
     """
 
     name = "fc-migration"
+    supports_observe_counts = True
 
     def __init__(self, counter_bits: int = 8,
                  max_swap_fraction: float = 0.1,
@@ -329,6 +355,10 @@ class ReliabilityAwareFCMigration(MigrationMechanism):
         check_parallel_arrays(f"{self.name}.observe_chunk",
                               pages, is_write, times)
         self.counters.record_batch(pages, is_write)
+
+    def observe_counts(self, pages_r: np.ndarray, counts_r: np.ndarray,
+                       pages_w: np.ndarray, counts_w: np.ndarray) -> None:
+        self.counters.record_counts(pages_r, counts_r, pages_w, counts_w)
 
     def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
         if self._use_array_kernel(hma):

@@ -44,6 +44,21 @@ class PlacementPolicy(ABC):
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         """Pages to install in the fast memory (at most the capacity)."""
 
+    def select_ranking(self, stats: PageStats) -> "np.ndarray | None":
+        """Full preference order, when the policy has prefix structure.
+
+        When this returns an array, ``select_fast_pages(stats, c)`` is
+        exactly ``ranking[:self.ranked_take(c)]`` for every capacity —
+        the multi-run engine ranks once per policy and slices per
+        capacity instead of re-sorting per sweep point.  ``None`` means
+        no such structure; callers fall back to per-capacity calls.
+        """
+        return None
+
+    def ranked_take(self, capacity_pages: int) -> int:
+        """Ranking prefix length that a given capacity maps to."""
+        return max(0, capacity_pages)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -56,6 +71,9 @@ class DdrOnlyPlacement(PlacementPolicy):
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
 
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
 
 class PerformanceFocusedPlacement(PlacementPolicy):
     """Profile-guided top-hot placement (IPC upper bound, Sec. 4.2)."""
@@ -65,6 +83,9 @@ class PerformanceFocusedPlacement(PlacementPolicy):
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         return _take_top(stats, stats.hotness.astype(np.float64), capacity_pages)
 
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return _take_top(stats, stats.hotness.astype(np.float64), len(stats))
+
 
 class ReliabilityFocusedPlacement(PlacementPolicy):
     """Naive lowest-AVF placement, hotness-blind (Sec. 5.1)."""
@@ -73,6 +94,9 @@ class ReliabilityFocusedPlacement(PlacementPolicy):
 
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         return _take_top(stats, -stats.avf, capacity_pages)
+
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return _take_top(stats, -stats.avf, len(stats))
 
 
 class BalancedPlacement(PlacementPolicy):
@@ -86,13 +110,15 @@ class BalancedPlacement(PlacementPolicy):
     name = "balanced"
 
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
+        return self.select_ranking(stats)[: max(0, capacity_pages)]
+
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
         hotness = stats.hotness.astype(np.float64)
         in_quadrant = (hotness > hotness.mean()) & (stats.avf < stats.avf.mean())
         if not in_quadrant.any():
             return np.empty(0, dtype=np.int64)
         order = np.argsort(-hotness[in_quadrant], kind="stable")
-        chosen = stats.pages[in_quadrant][order]
-        return chosen[: max(0, capacity_pages)].astype(np.int64)
+        return stats.pages[in_quadrant][order].astype(np.int64)
 
 
 class WrRatioPlacement(PlacementPolicy):
@@ -103,6 +129,9 @@ class WrRatioPlacement(PlacementPolicy):
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         return _take_top(stats, stats.write_ratio, capacity_pages)
 
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return _take_top(stats, stats.write_ratio, len(stats))
+
 
 class Wr2RatioPlacement(PlacementPolicy):
     """Top Wr^2/Rd pages: the hotness-weighted proxy (Sec. 5.4.2)."""
@@ -111,6 +140,9 @@ class Wr2RatioPlacement(PlacementPolicy):
 
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         return _take_top(stats, stats.wr2_ratio, capacity_pages)
+
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return _take_top(stats, stats.wr2_ratio, len(stats))
 
 
 class HotFractionPlacement(PlacementPolicy):
@@ -125,6 +157,12 @@ class HotFractionPlacement(PlacementPolicy):
     def select_fast_pages(self, stats: PageStats, capacity_pages: int) -> np.ndarray:
         take = int(round(capacity_pages * self.fraction))
         return _take_top(stats, stats.hotness.astype(np.float64), take)
+
+    def select_ranking(self, stats: PageStats) -> np.ndarray:
+        return _take_top(stats, stats.hotness.astype(np.float64), len(stats))
+
+    def ranked_take(self, capacity_pages: int) -> int:
+        return max(0, int(round(capacity_pages * self.fraction)))
 
     def __repr__(self) -> str:
         return f"HotFractionPlacement(fraction={self.fraction})"

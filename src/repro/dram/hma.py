@@ -122,15 +122,68 @@ class HeterogeneousMemory:
 
     def install_placement(self, fast_pages, all_pages) -> None:
         """Map ``fast_pages`` into HBM and the rest of ``all_pages``
-        into DDR."""
+        into DDR.
+
+        The common case — distinct, non-negative, previously unmapped
+        pages installed within capacity on a table whose free lists are
+        empty — is applied as a handful of array writes with frames
+        assigned in ``all_pages`` appearance order per device, exactly
+        as the per-page loop would.  Any other case (duplicates,
+        already-mapped pages, overflow, recycled frames) falls back to
+        the scalar loop so partial state on the error paths stays
+        identical.
+        """
         fast_set = set(int(p) for p in fast_pages)
         if len(fast_set) > self.fast_capacity_pages:
             raise CapacityError(
                 f"placement has {len(fast_set)} pages for "
                 f"{self.fast_capacity_pages} HBM frames"
             )
+        if not isinstance(all_pages, (np.ndarray, list, tuple, range)):
+            all_pages = list(all_pages)
+        if self._install_bulk(fast_set, all_pages):
+            return
         for page in all_pages:
             self.map_page(int(page), FAST if int(page) in fast_set else SLOW)
+
+    def _install_bulk(self, fast_set, all_pages) -> bool:
+        """Vectorised :meth:`install_placement` body; False → use loop."""
+        if self._free_frames[FAST] or self._free_frames[SLOW]:
+            return False
+        try:
+            pages = np.asarray(all_pages, dtype=np.int64).ravel()
+        except (TypeError, ValueError):
+            return False
+        if not len(pages):
+            return True
+        if int(pages.min()) < 0:
+            return False
+        uniq = np.unique(pages)
+        if len(uniq) != len(pages):
+            return False
+        self._ensure_table(int(pages.max()))
+        if (self._pt_device[pages] != _UNMAPPED).any():
+            return False
+        if fast_set:
+            is_fast = np.isin(pages, np.fromiter(
+                fast_set, dtype=np.int64, count=len(fast_set)))
+        else:
+            is_fast = np.zeros(len(pages), dtype=bool)
+        n_fast = int(np.count_nonzero(is_fast))
+        n_slow = len(pages) - n_fast
+        if (self._next_frame[FAST] + n_fast > self.fast_capacity_pages
+                or self._next_frame[SLOW] + n_slow > self.slow_capacity_pages):
+            return False  # overflow mid-loop: replicate partial state
+        for device, sel, count in ((FAST, is_fast, n_fast),
+                                   (SLOW, ~is_fast, n_slow)):
+            chosen = pages[sel]
+            base = self._next_frame[device]
+            self._pt_device[chosen] = device
+            self._pt_frame[chosen] = base + np.arange(count, dtype=np.int64)
+            self._next_frame[device] = base + count
+            self._occupancy[device] += count
+        self._fast_set.update(pages[is_fast].tolist())
+        return True
 
     def lookup(self, page: int) -> "tuple[int, int]":
         """``(device, frame)`` of ``page``, faulting it in on demand."""
@@ -198,6 +251,16 @@ class HeterogeneousMemory:
     def fast_pages_snapshot(self) -> "set[int]":
         """A copy of the current fast-device residency set."""
         return set(self._fast_set)
+
+    def page_tables(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The live dense page-table columns ``(device, frame)``.
+
+        Views, not copies: migrations mutate them in place and
+        :meth:`_ensure_table` may replace them wholesale, so callers
+        (the multi-run kernel) must re-fetch per chunk and never cache
+        across operations that can map pages.
+        """
+        return self._pt_device, self._pt_frame
 
     # -- request service -----------------------------------------------------
 

@@ -8,6 +8,7 @@ exposed to the weakly-protected fast memory.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,53 @@ class SerModel:
             fit_slow_per_page=uncorrected_fit_per_page(config.slow_memory, **kwargs),
         )
 
+    @classmethod
+    def for_systems(
+        cls,
+        configs: "list[SystemConfig]",
+        trials: "int | None" = None,
+        seed: "int | None" = None,
+        overlap_window_hours: float = DEFAULT_OVERLAP_WINDOW_HOURS,
+    ) -> "list[SerModel]":
+        """One :meth:`for_system` model per config, campaigns deduped.
+
+        Sweeps often vary only one memory (or neither — a FIT
+        multiplier applies downstream), so identical
+        ``(memory config, simulator arguments)`` campaigns run once and
+        fan out.  Deduplication is only applied when the campaign is
+        deterministic (analytic, or Monte-Carlo with an explicit seed);
+        the values are then exactly what per-config :meth:`for_system`
+        calls would produce.
+        """
+        trials = resolve_fault_trials(trials)
+        kwargs = dict(
+            seed=seed,
+            overlap_window_hours=overlap_window_hours,
+            analytic=trials == 0,
+        )
+        if trials:
+            kwargs["trials"] = trials
+        deterministic = trials == 0 or seed is not None
+        memo: "dict[tuple, float]" = {}
+
+        def fit(mem) -> float:
+            if deterministic:
+                try:
+                    key = (type(mem).__name__, dataclasses.astuple(mem))
+                except (TypeError, ValueError):
+                    key = None
+                if key is not None:
+                    if key not in memo:
+                        memo[key] = uncorrected_fit_per_page(mem, **kwargs)
+                    return memo[key]
+            return uncorrected_fit_per_page(mem, **kwargs)
+
+        return [
+            cls(fit_fast_per_page=fit(config.fast_memory),
+                fit_slow_per_page=fit(config.slow_memory))
+            for config in configs
+        ]
+
     @property
     def fit_ratio(self) -> float:
         """Per-page uncorrected FIT of fast over slow memory."""
@@ -70,11 +118,21 @@ class SerModel:
     # -- static placements -----------------------------------------------------
 
     def ser_static(self, stats: PageStats, fast_pages) -> float:
-        """System SER for a static placement (``fast_pages`` in HBM)."""
-        fast_set = set(int(p) for p in fast_pages)
-        in_fast = np.fromiter(
-            (int(p) in fast_set for p in stats.pages), dtype=bool, count=len(stats)
+        """System SER for a static placement (``fast_pages`` in HBM).
+
+        Membership is an ``np.isin`` against the profile's page array —
+        the same booleans (and therefore the same masked-sum rounding)
+        as the original per-page set-membership loop.
+        """
+        fast_arr = np.asarray(
+            fast_pages if isinstance(fast_pages, np.ndarray)
+            else [int(p) for p in fast_pages],
+            dtype=np.int64,
         )
+        if len(fast_arr):
+            in_fast = np.isin(stats.pages, fast_arr)
+        else:
+            in_fast = np.zeros(len(stats), dtype=bool)
         avf_fast = float(stats.avf[in_fast].sum())
         avf_slow = float(stats.avf[~in_fast].sum())
         return avf_fast * self.fit_fast_per_page + avf_slow * self.fit_slow_per_page
@@ -109,6 +167,48 @@ class SerModel:
                 else:
                     total += avf * self.fit_slow_per_page
         return total
+
+    def ser_dynamic_arrays(
+        self,
+        interval_pairs: "list[tuple[np.ndarray, np.ndarray]]",
+        fast_residency: "list[set[int]]",
+    ) -> float:
+        """:meth:`ser_dynamic` over per-interval ``(pages, avf)`` arrays.
+
+        Consumes the array form produced by
+        :class:`~repro.avf.page.IntervalProfileBuilder` without ever
+        building interval dicts.  The per-page products are folded with
+        a strictly-sequential accumulation in the oracle's iteration
+        order, so the result is bit-identical to :meth:`ser_dynamic` on
+        the equivalent :class:`~repro.avf.page.IntervalProfile`.
+        """
+        if len(fast_residency) != len(interval_pairs):
+            raise ValueError(
+                "need one residency set per interval "
+                f"({len(interval_pairs)}), got {len(fast_residency)}"
+            )
+        products: "list[np.ndarray]" = []
+        for (pages, values), resident in zip(interval_pairs, fast_residency):
+            if not len(pages):
+                continue
+            if resident:
+                resident_arr = np.fromiter(resident, dtype=np.int64,
+                                           count=len(resident))
+                in_fast = np.isin(pages, resident_arr)
+            else:
+                in_fast = np.zeros(len(pages), dtype=bool)
+            products.append(values * np.where(
+                in_fast, self.fit_fast_per_page, self.fit_slow_per_page))
+        if not products:
+            return 0.0
+        # One value per (interval, page) in oracle order; accumulate
+        # sequentially so the float64 rounding matches the scalar loop.
+        flat = (products[0] if len(products) == 1
+                else np.concatenate(products))
+        seq = np.empty(len(flat) + 1)
+        seq[0] = 0.0
+        seq[1:] = flat
+        return float(np.add.accumulate(seq)[-1])
 
     def ser_dynamic_series(
         self,

@@ -44,10 +44,14 @@ from repro.faults.ser import SerModel
 from repro.harness.reporting import format_table, gmean
 from repro.sim.system import (
     DEFAULT_SCALE,
+    MigrationSpec,
     PreparedWorkload,
+    StaticSpec,
     evaluate_annotations,
     evaluate_migration,
+    evaluate_migration_multi,
     evaluate_static,
+    evaluate_static_multi,
     prepare_workload,
 )
 from repro.trace.mixes import MIX_NAMES, MIX_TABLE
@@ -376,11 +380,21 @@ def _static_figure(
         workloads,
         key=lambda w: -(PROFILES[w].mpki if w in PROFILES else 10.0),
     )
+    multirun = bool(knob_value("multirun"))
     for wl in order:
         prep = cache.get(wl)
-        res = evaluate_static(prep, policy)
+        if multirun:
+            specs = [StaticSpec(policy)]
+            if relative_to_perf:
+                specs.append(StaticSpec(PerformanceFocusedPlacement()))
+            evals = evaluate_static_multi(prep, specs)
+            res = evals[0]
+            base = evals[1] if relative_to_perf else None
+        else:
+            res = evaluate_static(prep, policy)
+            base = (evaluate_static(prep, PerformanceFocusedPlacement())
+                    if relative_to_perf else None)
         if relative_to_perf:
-            base = evaluate_static(prep, PerformanceFocusedPlacement())
             ipc_ratio = res.ipc / base.ipc if base.ipc else 0.0
             ser_ratio = res.ser / base.ser if base.ser else 0.0
         else:
@@ -592,21 +606,38 @@ def fig13_interval_sweep(
     migration reacts too slowly.
     """
     cache = _cache(cache, accesses_per_core, scale, seed)
+    # The sweep starts from an empty HBM (first-touch into DDR) so both
+    # failure modes are visible: long intervals adapt too slowly to
+    # ever exploit the fast memory, short ones drown in migration
+    # bandwidth.
+    if knob_value("multirun"):
+        # One batched pass per workload covers every interval count
+        # (sharing the trace precompute and the interval profiler),
+        # then the results regroup into the oracle's per-count rows.
+        per_wl = {}
+        for wl in workloads:
+            per_wl[wl] = evaluate_migration_multi(cache.get(wl), [
+                MigrationSpec(PerformanceFocusedMigration(),
+                              num_intervals=n,
+                              initial_policy=DdrOnlyPlacement())
+                for n in intervals
+            ])
+        results = {
+            (n, wl): per_wl[wl][j]
+            for wl in workloads for j, n in enumerate(intervals)
+        }
+    else:
+        results = {
+            (n, wl): evaluate_migration(
+                cache.get(wl), PerformanceFocusedMigration(),
+                num_intervals=n, initial_policy=DdrOnlyPlacement(),
+            )
+            for n in intervals for wl in workloads
+        }
     rows = []
     best = None
     for n in intervals:
-        ipcs = []
-        for wl in workloads:
-            prep = cache.get(wl)
-            # The sweep starts from an empty HBM (first-touch into DDR)
-            # so both failure modes are visible: long intervals adapt
-            # too slowly to ever exploit the fast memory, short ones
-            # drown in migration bandwidth.
-            res = evaluate_migration(
-                prep, PerformanceFocusedMigration(), num_intervals=n,
-                initial_policy=DdrOnlyPlacement(),
-            )
-            ipcs.append(res.ipc_vs_ddr)
+        ipcs = [results[(n, wl)].ipc_vs_ddr for wl in workloads]
         mean = gmean(ipcs)
         rows.append([n, mean])
         if best is None or mean > best[1]:
@@ -627,15 +658,26 @@ def _migration_vs_perf(
 ) -> FigureResult:
     cache = _cache(cache, accesses_per_core, scale, seed)
     rows, ipc_ratios, ser_ratios = [], [], []
+    multirun = bool(knob_value("multirun"))
     for wl in workloads:
         prep = cache.get(wl)
-        base = evaluate_migration(
-            prep, PerformanceFocusedMigration(), num_intervals=num_intervals,
-        )
-        res = evaluate_migration(
-            prep, mechanism_factory(), num_intervals=num_intervals,
-            initial_policy=BalancedPlacement(),
-        )
+        if multirun:
+            base, res = evaluate_migration_multi(prep, [
+                MigrationSpec(PerformanceFocusedMigration(),
+                              num_intervals=num_intervals),
+                MigrationSpec(mechanism_factory(),
+                              num_intervals=num_intervals,
+                              initial_policy=BalancedPlacement()),
+            ])
+        else:
+            base = evaluate_migration(
+                prep, PerformanceFocusedMigration(),
+                num_intervals=num_intervals,
+            )
+            res = evaluate_migration(
+                prep, mechanism_factory(), num_intervals=num_intervals,
+                initial_policy=BalancedPlacement(),
+            )
         ipc_ratio = res.ipc / base.ipc if base.ipc else 0.0
         ser_ratio = res.ser / base.ser if base.ser else 0.0
         rows.append([wl, ipc_ratio, ser_ratio, res.migrations])

@@ -304,8 +304,8 @@ def prefetch_workloads(
 def _run_experiment_worker(item):
     import inspect
 
-    (name, accesses, scale, seed, cache_dir,
-     fault_trials, policy_kernel, cache_kernel, telemetry, obs_dir) = item
+    (name, accesses, scale, seed, cache_dir, fault_trials,
+     policy_kernel, cache_kernel, multirun, telemetry, obs_dir) = item
     # Imported lazily so forked workers reuse the parent's modules and
     # fresh processes pay the import only once each.
     from repro.config import knob_overrides
@@ -323,7 +323,8 @@ def _run_experiment_worker(item):
     # runs or sibling workers.
     with knob_overrides(fault_trials=fault_trials,
                         policy_kernel=policy_kernel,
-                        cache_kernel=cache_kernel):
+                        cache_kernel=cache_kernel,
+                        multirun=multirun):
         with run_context(
                 name,
                 config={"experiment": name, "accesses": accesses,
@@ -351,6 +352,7 @@ def run_experiments(
     fault_trials: "int | None" = None,
     policy_kernel: "str | None" = None,
     cache_kernel: "str | None" = None,
+    multirun: "bool | None" = None,
     telemetry: bool = False,
     obs_dir: "str | None" = None,
 ):
@@ -371,8 +373,8 @@ def run_experiments(
     ``(name, FigureResult)`` tuples) without raising.
     """
     cache_dir = resolve_cache_dir(cache_dir)
-    items = [(name, accesses_per_core, scale, seed, cache_dir,
-              fault_trials, policy_kernel, cache_kernel, telemetry, obs_dir)
+    items = [(name, accesses_per_core, scale, seed, cache_dir, fault_trials,
+              policy_kernel, cache_kernel, multirun, telemetry, obs_dir)
              for name in names]
     manifest = None
     if checkpoint_dir is not None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, knob_value
 from repro.core.placement import (
     PerformanceFocusedPlacement,
     PlacementPolicy,
@@ -26,7 +26,12 @@ from repro.core.placement import (
 from repro.faults.ser import SerModel
 from repro.harness.experiments import FigureResult
 from repro.harness.reporting import gmean
-from repro.sim.system import evaluate_static, prepare_workload
+from repro.sim.system import (
+    StaticSpec,
+    evaluate_static,
+    evaluate_static_multi,
+    prepare_workload,
+)
 
 
 def _config_with_fast_pages(base: SystemConfig, pages: int) -> SystemConfig:
@@ -63,6 +68,36 @@ def _capacity_row(item) -> list:
     ]
 
 
+def _capacity_workload(item) -> "list[list[float]]":
+    """One multi-run job: every sweep fraction for one workload.
+
+    The config batch (two policies x all fractions) rides a single
+    :func:`~repro.sim.system.evaluate_static_multi` call, so the trace
+    is replayed through one stacked kernel pass instead of once per
+    (fraction, policy) point.  Returns one ``[perf_ipc, perf_ser,
+    wr2_ipc, wr2_ser]`` quartet per fraction for the parent to fold
+    across workloads.
+    """
+    from repro.harness.shm import resolve_payload
+
+    name, fractions, preps = item
+    prep = resolve_payload(preps)[name]
+    perf, wr2 = PerformanceFocusedPlacement(), Wr2RatioPlacement()
+    specs = []
+    for fraction in fractions:
+        pages = max(1, int(prep.workload_trace.footprint_pages * fraction))
+        config = _config_with_fast_pages(prep.config, pages)
+        specs.append(StaticSpec(perf, config=config))
+        specs.append(StaticSpec(wr2, config=config))
+    results = evaluate_static_multi(prep, specs)
+    rows = []
+    for j in range(len(fractions)):
+        p, w = results[2 * j], results[2 * j + 1]
+        rows.append([float(p.ipc_vs_ddr), float(p.ser_vs_ddr),
+                     float(w.ipc_vs_ddr), float(max(w.ser_vs_ddr, 1e-9))])
+    return rows
+
+
 def capacity_sweep(
     workloads=("mcf", "milc", "mix1"),
     fractions=(0.05, 0.1, 0.2, 0.4, 0.8),
@@ -75,6 +110,7 @@ def capacity_sweep(
     resume: bool = False,
     job_timeout: "float | None" = None,
     retries: "int | None" = None,
+    preps: "dict | None" = None,
 ) -> FigureResult:
     """Sweep HBM capacity as a fraction of the workload footprint.
 
@@ -82,44 +118,77 @@ def capacity_sweep(
     placements converge in IPC (everything hot fits) while their SER
     gap narrows much more slowly — vulnerable data keeps flowing into
     the weak memory.  ``jobs``/``cache_dir`` parallelise and persist
-    the workload preparation (see :mod:`repro.harness.runner`).
+    the workload preparation (see :mod:`repro.harness.runner`);
+    ``preps`` injects already-prepared workloads and skips that step.
 
-    Each fraction is one fault-tolerant job: its finished row journals
-    into ``checkpoint_dir`` immediately, so a killed sweep restarted
-    with ``resume=True`` recomputes only the unfinished fractions, and
-    ``job_timeout``/``retries`` bound each fraction's execution.
+    Under the ``multirun`` knob (the default) each *workload* is one
+    fault-tolerant job whose fractions ride a single config-batched
+    replay; with the knob off each *fraction* is one job evaluated
+    point by point (the oracle path — rows are bit-identical either
+    way).  Finished jobs journal into ``checkpoint_dir`` immediately,
+    so a killed sweep restarted with ``resume=True`` recomputes only
+    the unfinished jobs, and ``job_timeout``/``retries`` bound each
+    job's execution.
     """
     from repro.harness.resilience import (RunManifest, checkpointed_map,
                                           run_key)
     from repro.harness.runner import prefetch_workloads
     from repro.harness.shm import shared_handoff
 
-    preps = prefetch_workloads(
-        workloads, scale=scale, accesses_per_core=accesses_per_core,
-        seed=seed, cache_dir=cache_dir, jobs=jobs,
-    )
+    multirun = bool(knob_value("multirun"))
+    if preps is None:
+        preps = prefetch_workloads(
+            workloads, scale=scale, accesses_per_core=accesses_per_core,
+            seed=seed, cache_dir=cache_dir, jobs=jobs,
+        )
     manifest = None
     if checkpoint_dir is not None:
         manifest = RunManifest(
             checkpoint_dir,
             run_key=run_key(kind="capacity_sweep", workloads=list(workloads),
                             scale=scale, accesses=accesses_per_core,
-                            seed=seed),
+                            seed=seed,
+                            fanout="workload" if multirun else "fraction"),
             resume=resume)
-    # Every fraction's job carries the same prepared workloads; the
-    # shared handoff pickles their trace arrays into one shm segment
-    # instead of once per job, and workers map it once per process.
-    # The segment outlives pool respawns (resilient_map re-dispatches
-    # into fresh workers, which simply re-attach) and is unlinked here
-    # once the map has completed.
+    # Every job carries the same prepared workloads; the shared handoff
+    # pickles their trace arrays into one shm segment for the whole
+    # sweep instead of once per job, and workers map it once per
+    # process.  The segment outlives pool respawns (resilient_map
+    # re-dispatches into fresh workers, which simply re-attach) and is
+    # unlinked here once the map has completed.
     with shared_handoff(preps) as preps_item:
-        report = checkpointed_map(
-            _capacity_row, [(fraction, preps_item) for fraction in fractions],
-            keys=[f"fraction-{fraction:.4f}" for fraction in fractions],
-            manifest=manifest, store="json", jobs=jobs, timeout=job_timeout,
-            retries=retries)
+        if multirun:
+            names = list(preps)
+            report = checkpointed_map(
+                _capacity_workload,
+                [(name, tuple(fractions), preps_item) for name in names],
+                keys=[f"workload-{name}" for name in names],
+                manifest=manifest, store="json", jobs=jobs,
+                timeout=job_timeout, retries=retries)
+        else:
+            report = checkpointed_map(
+                _capacity_row,
+                [(fraction, preps_item) for fraction in fractions],
+                keys=[f"fraction-{fraction:.4f}" for fraction in fractions],
+                manifest=manifest, store="json", jobs=jobs,
+                timeout=job_timeout, retries=retries)
     report.raise_if_failed()
-    rows = report.results
+    if multirun:
+        # Re-fold the per-workload quartets into the oracle's
+        # per-fraction rows (same values, same gmean order).
+        cols = dict(zip(names, report.results))
+        rows = []
+        for j, fraction in enumerate(fractions):
+            quads = [cols[name][j] for name in names]
+            rows.append([
+                f"{fraction:.2f}",
+                float(gmean([q[0] for q in quads])),
+                float(gmean([q[1] for q in quads])),
+                float(gmean([q[2] for q in quads])),
+                float(gmean([q[3] for q in quads])),
+            ])
+    else:
+        rows = report.results
     return FigureResult(
         figure="Sweep",
         description="HBM capacity as a fraction of footprint",
@@ -150,17 +219,38 @@ def fit_multiplier_sweep(
     """
     prep = prepare_workload(workload, scale=scale,
                             accesses_per_core=accesses_per_core, seed=seed)
-    rows = []
+    configs = []
     for multiplier in multipliers:
         fast = replace(prep.config.fast_memory, fit_multiplier=multiplier)
-        config = replace(prep.config, fast_memory=fast)
-        ser_model = SerModel.for_system(config)
-        swept = replace_config(prep, config)
-        swept.ser_model = ser_model
-        perf = evaluate_static(swept, PerformanceFocusedPlacement())
-        wr2 = evaluate_static(swept, Wr2RatioPlacement())
-        rows.append([multiplier, ser_model.fit_ratio,
-                     perf.ser_vs_ddr, wr2.ser_vs_ddr])
+        configs.append(replace(prep.config, fast_memory=fast))
+    rows = []
+    if knob_value("multirun"):
+        # One deduplicated fault campaign and one batched replay pass:
+        # the multiplier only moves the fault model, so every point
+        # shares the same two (policy, placement) replays.
+        ser_models = SerModel.for_systems(configs)
+        perf_p, wr2_p = PerformanceFocusedPlacement(), Wr2RatioPlacement()
+        specs = []
+        for config, ser_model in zip(configs, ser_models):
+            specs.append(StaticSpec(perf_p, config=config,
+                                    ser_model=ser_model))
+            specs.append(StaticSpec(wr2_p, config=config,
+                                    ser_model=ser_model))
+        results = evaluate_static_multi(prep, specs)
+        for j, (multiplier, ser_model) in enumerate(
+                zip(multipliers, ser_models)):
+            rows.append([multiplier, ser_model.fit_ratio,
+                         results[2 * j].ser_vs_ddr,
+                         results[2 * j + 1].ser_vs_ddr])
+    else:
+        for multiplier, config in zip(multipliers, configs):
+            ser_model = SerModel.for_system(config)
+            swept = replace_config(prep, config)
+            swept.ser_model = ser_model
+            perf = evaluate_static(swept, PerformanceFocusedPlacement())
+            wr2 = evaluate_static(swept, Wr2RatioPlacement())
+            rows.append([multiplier, ser_model.fit_ratio,
+                         perf.ser_vs_ddr, wr2.ser_vs_ddr])
     return FigureResult(
         figure="Sweep",
         description=f"Die-stacked raw-FIT multiplier ({workload})",
@@ -194,18 +284,41 @@ def mlp_sensitivity(
     wt = prep.workload_trace
     fast_pages = policy.select_fast_pages(prep.stats, prep.capacity_pages)
     rows = []
-    for window in windows:
-        windows_vec = [window] * prep.config.num_cores
-        ddr = HeterogeneousMemory(prep.config)
-        ddr.install_placement([], prep.stats.pages)
-        base = replay(prep.config, ddr, wt.trace, wt.times,
-                      core_windows=windows_vec)
-        hma = HeterogeneousMemory(prep.config)
-        hma.install_placement(fast_pages, prep.stats.pages)
-        res = replay(prep.config, hma, wt.trace, wt.times,
-                     core_windows=windows_vec)
-        rows.append([window, base.ipc, res.ipc,
-                     res.ipc / base.ipc if base.ipc else 0.0])
+    if knob_value("multirun"):
+        # Specs differ only in the miss window, which is per-config
+        # state in the stacked kernel: all (window, memory) points ride
+        # one replay_multi pass.
+        from repro.sim.engine import ReplaySpec, replay_multi
+
+        specs = []
+        for window in windows:
+            windows_vec = [window] * prep.config.num_cores
+            ddr = HeterogeneousMemory(prep.config)
+            ddr.install_placement([], prep.stats.pages)
+            hma = HeterogeneousMemory(prep.config)
+            hma.install_placement(fast_pages, prep.stats.pages)
+            specs.append(ReplaySpec(config=prep.config, hma=ddr,
+                                    core_windows=windows_vec))
+            specs.append(ReplaySpec(config=prep.config, hma=hma,
+                                    core_windows=windows_vec))
+        results = replay_multi(specs, wt.trace, wt.times)
+        for j, window in enumerate(windows):
+            base, res = results[2 * j], results[2 * j + 1]
+            rows.append([window, base.ipc, res.ipc,
+                         res.ipc / base.ipc if base.ipc else 0.0])
+    else:
+        for window in windows:
+            windows_vec = [window] * prep.config.num_cores
+            ddr = HeterogeneousMemory(prep.config)
+            ddr.install_placement([], prep.stats.pages)
+            base = replay(prep.config, ddr, wt.trace, wt.times,
+                          core_windows=windows_vec)
+            hma = HeterogeneousMemory(prep.config)
+            hma.install_placement(fast_pages, prep.stats.pages)
+            res = replay(prep.config, hma, wt.trace, wt.times,
+                         core_windows=windows_vec)
+            rows.append([window, base.ipc, res.ipc,
+                         res.ipc / base.ipc if base.ipc else 0.0])
     return FigureResult(
         figure="Sweep",
         description=f"Miss-window (MLP) sensitivity ({workload})",

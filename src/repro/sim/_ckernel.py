@@ -144,6 +144,162 @@ void repro_replay_chunk(
 }
 """
 
+_MULTI_SOURCE = r"""
+#include <stdint.h>
+
+/* One chunk of the config-batched multi-run replay loop.
+ *
+ * Identical timing arithmetic to repro_replay_chunk, with two
+ * differences: (1) page-table translation and channel/bank/row routing
+ * happen here, per request, instead of in numpy (the integer / and %
+ * match numpy's floor division exactly for the non-negative operands
+ * involved), and (2) an outer loop walks nspec system configurations
+ * stacked along the leading axis of every state array, so one call
+ * replays the shared request chunk against N page tables / capacities /
+ * latency tables.  The request arrays (core, dts, page, line, is_write)
+ * are shared by every config and span the whole trace; the chunk is the
+ * index range [start, stop), so callers pass full-trace pointers once
+ * and move only the bounds between chunks.  Everything else is
+ * per-config with the config index as the leading dimension.
+ *
+ * dev_counts layout per config: [reads_fast, reads_slow, writes_fast,
+ * writes_slow], incremented in place.
+ */
+void repro_multi_chunk(
+    int64_t nspec,
+    int64_t start,
+    int64_t stop,
+    const int32_t *core,
+    const double *dts,
+    const int64_t *page,
+    const int64_t *line,
+    const uint8_t *is_write,
+    int64_t lines_per_page,
+    int64_t lines_per_row,
+    int64_t f_nc, int64_t s_nc,
+    int64_t f_bpc, int64_t s_bpc,
+    int64_t n_fast_banks,
+    const int16_t *pt_device,     /* [nspec][pt_len] */
+    const int64_t *pt_frame,      /* [nspec][pt_len] */
+    int64_t pt_len,
+    const double *latconst,       /* [nspec][8] */
+    double *core_time,            /* [nspec][ncores] */
+    const int32_t *windows,       /* [nspec][ncores] */
+    double *ring,                 /* [nspec][ncores][ringcap] */
+    int32_t *ring_head,           /* [nspec][ncores] */
+    int32_t *ring_len,            /* [nspec][ncores] */
+    int32_t ringcap,
+    int64_t ncores,
+    double *bank_busy,            /* [nspec][nbanks] */
+    int64_t *bank_open,           /* [nspec][nbanks] */
+    int64_t *bank_hits,
+    int64_t *bank_misses,
+    int64_t *bank_conflicts,
+    double *chan_busy,            /* [nspec][nchan] */
+    int64_t nbanks,
+    int64_t nchan,
+    double *read_lat,             /* [nspec][2] */
+    double *busy_acc,             /* [nspec][2] */
+    double *read_total,           /* [nspec] */
+    int64_t *dev_counts)          /* [nspec][4] */
+{
+    for (int64_t k = 0; k < nspec; k++) {
+        const int16_t *ptd = pt_device + k * pt_len;
+        const int64_t *ptf = pt_frame + k * pt_len;
+        const double *lconst = latconst + k * 8;
+        double *ctime = core_time + k * ncores;
+        const int32_t *wins = windows + k * ncores;
+        double *kring = ring + k * ncores * ringcap;
+        int32_t *khead = ring_head + k * ncores;
+        int32_t *klen = ring_len + k * ncores;
+        double *bbusy = bank_busy + k * nbanks;
+        int64_t *bopen = bank_open + k * nbanks;
+        int64_t *bhits = bank_hits + k * nbanks;
+        int64_t *bmiss = bank_misses + k * nbanks;
+        int64_t *bconf = bank_conflicts + k * nbanks;
+        double *cbusy = chan_busy + k * nchan;
+        double *rlat = read_lat + k * 2;
+        double *bacc = busy_acc + k * 2;
+        int64_t *counts = dev_counts + k * 4;
+        double rtotal = read_total[k];
+        for (int64_t i = start; i < stop; i++) {
+            /* -- translation + routing (pure integer, matches numpy) -- */
+            int64_t p = page[i];
+            int64_t d = (int64_t)ptd[p];
+            int64_t local = ptf[p] * lines_per_page + line[i];
+            int64_t nc = d ? s_nc : f_nc;
+            int64_t bpc = d ? s_bpc : f_bpc;
+            int64_t channel = local % nc;
+            int64_t row_global = (local / nc) / lines_per_row;
+            int64_t bank = row_global % bpc;
+            int64_t rw = row_global / bpc;
+            int64_t g = d ? n_fast_banks + channel * s_bpc + bank
+                          : channel * f_bpc + bank;
+            int64_t cd = d ? f_nc + channel : channel;
+            counts[d ? (is_write[i] ? 3 : 1) : (is_write[i] ? 2 : 0)]++;
+
+            /* -- busy-until resolution (identical to repro_replay_chunk) */
+            int32_t c = core[i];
+            double t = ctime[c] + dts[i];
+            double *r = kring + (int64_t)c * ringcap;
+            int32_t head = khead[c];
+            int32_t len = klen[c];
+            while (len > 0 && r[head] <= t) {
+                head++; if (head == ringcap) head = 0;
+                len--;
+            }
+            if (len >= wins[c]) {
+                double oldest = r[head];
+                head++; if (head == ringcap) head = 0;
+                len--;
+                if (oldest > t) t = oldest;
+                while (len > 0 && r[head] <= t) {
+                    head++; if (head == ringcap) head = 0;
+                    len--;
+                }
+            }
+            double bb = bbusy[g];
+            double begin = t > bb ? t : bb;
+            int64_t open_row = bopen[g];
+            const double *lc = lconst + d * 4;
+            double access_done;
+            if (open_row == rw) {
+                bhits[g]++;
+                access_done = begin + lc[0];
+            } else if (open_row < 0) {
+                bmiss[g]++;
+                access_done = begin + lc[1];
+            } else {
+                bconf[g]++;
+                access_done = begin + lc[2];
+            }
+            bopen[g] = rw;
+            double b = lc[3];
+            double burst_start = access_done - b;
+            double cb = cbusy[cd];
+            if (cb > burst_start) burst_start = cb;
+            double finish = burst_start + b;
+            cbusy[cd] = finish;
+            bbusy[g] = finish;
+            if (!is_write[i]) {
+                double latency = finish - t;
+                rlat[d] += latency;
+                rtotal += latency;
+            }
+            bacc[d] += b;
+            int32_t tail = head + len;
+            if (tail >= ringcap) tail -= ringcap;
+            r[tail] = finish;
+            len++;
+            khead[c] = head;
+            klen[c] = len;
+            ctime[c] = t;
+        }
+        read_total[k] = rtotal;
+    }
+}
+"""
+
 _FILTER_SOURCE = r"""
 #include <stdint.h>
 
@@ -273,6 +429,8 @@ _lock = threading.Lock()
 _cached: "tuple[object, str | None] | None" = None
 #: Same memoisation for the cache-filter kernel.
 _filter_cached: "tuple[object, str | None] | None" = None
+#: Same memoisation for the config-batched multi-run kernel.
+_multi_cached: "tuple[object, str | None] | None" = None
 
 
 def _cache_dir() -> str:
@@ -385,10 +543,11 @@ def build_error() -> "str | None":
 
 def _reset_for_tests() -> None:
     """Forget the per-process memoised outcomes (chaos tests only)."""
-    global _cached, _filter_cached
+    global _cached, _filter_cached, _multi_cached
     with _lock:
         _cached = None
         _filter_cached = None
+        _multi_cached = None
 
 
 def available() -> bool:
@@ -464,6 +623,173 @@ def filter_build_error() -> "str | None":
 
 def filter_available() -> bool:
     return load_filter() is not None
+
+
+def _bind_multi(so_path: str):
+    lib = ctypes.CDLL(so_path)
+    fn = lib.repro_multi_chunk
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_i32 = ctypes.POINTER(ctypes.c_int32)
+    p_i16 = ctypes.POINTER(ctypes.c_int16)
+    p_u8 = ctypes.POINTER(ctypes.c_uint8)
+    c_i64 = ctypes.c_int64
+    fn.argtypes = [
+        c_i64, c_i64, c_i64,                   # nspec, start, stop
+        p_i32, p_f64, p_i64, p_i64, p_u8,      # core, dts, page, line, write
+        c_i64, c_i64,                          # lines_per_page, lines_per_row
+        c_i64, c_i64, c_i64, c_i64, c_i64,     # f_nc, s_nc, f_bpc, s_bpc,
+                                               # n_fast_banks
+        p_i16, p_i64, c_i64,                   # pt_device, pt_frame, pt_len
+        p_f64,                                 # latconst
+        p_f64, p_i32,                          # core_time, windows
+        p_f64, p_i32, p_i32, ctypes.c_int32,   # ring, head, len, ringcap
+        c_i64,                                 # ncores
+        p_f64, p_i64, p_i64, p_i64, p_i64,     # bank state
+        p_f64, c_i64, c_i64,                   # chan_busy, nbanks, nchan
+        p_f64, p_f64, p_f64,                   # read_lat, busy_acc, read_total
+        p_i64,                                 # dev_counts
+    ]
+    fn.restype = None
+    return fn
+
+
+def load_multi():
+    """The compiled multi-config chunk kernel, or ``None``.
+
+    Gated by the same ``replay_native`` knob as :func:`load` and
+    memoised identically; failure warns once and the multi-run engine
+    transparently falls back to the bit-identical per-spec path.
+    """
+    global _multi_cached
+    if _multi_cached is not None:
+        return _multi_cached[0]
+    with _lock:
+        if _multi_cached is not None:
+            return _multi_cached[0]
+        from repro.config import knob_value
+
+        fn, error = None, None
+        if knob_value("replay_native"):
+            digest = hashlib.sha256(_MULTI_SOURCE.encode()).hexdigest()[:16]
+            so_path = os.path.join(_cache_dir(), f"multi-{digest}.so")
+            try:
+                if not os.path.exists(so_path):
+                    error = _build(so_path, _MULTI_SOURCE)
+                if error is None:
+                    fn = _bind_multi(so_path)
+            except OSError as exc:
+                fn, error = None, repr(exc)
+            if fn is None and error is None:
+                error = "unknown load failure"
+        _multi_cached = (fn, error)
+        if error is not None:
+            warnings.warn(
+                "native multi-run kernel unavailable, falling back to "
+                f"the per-spec replay path (bit-identical, slower): "
+                f"{error}",
+                NativeKernelUnavailableWarning,
+                stacklevel=2,
+            )
+        return fn
+
+
+def multi_build_error() -> "str | None":
+    """The cached multi-kernel build/load failure, if any (after
+    :func:`load_multi`)."""
+    return _multi_cached[1] if _multi_cached is not None else None
+
+
+def multi_available() -> bool:
+    return load_multi() is not None
+
+
+def _pi16(a):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_int16))
+
+
+def run_multi_chunk(fn, core, dts, page, line, is_write,
+                    lines_per_page, lines_per_row,
+                    f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+                    pt_device, pt_frame, pt_len,
+                    latconst, core_time, windows,
+                    ring, ring_head, ring_len, ringcap, ncores,
+                    bank_busy, bank_open, bank_hits, bank_misses,
+                    bank_conflicts, chan_busy, nbanks, nchan,
+                    read_lat, busy_acc, read_total, dev_counts) -> None:
+    """Invoke the compiled multi-config loop on C-contiguous arrays.
+
+    ``nspec`` is taken from ``read_total``; every per-config array must
+    be stacked ``[nspec, ...]`` C-contiguously.  Every page referenced
+    by the chunk must already be mapped in every config's page table
+    (``dev == -1`` would index out of bounds) — the engine guarantees
+    that by calling ``ensure_mapped`` per spec before the chunk.
+    """
+    fn(len(read_total), 0, len(core),
+       _pi32(core), _pf64(dts), _pi64(page), _pi64(line), _pu8(is_write),
+       int(lines_per_page), int(lines_per_row),
+       int(f_nc), int(s_nc), int(f_bpc), int(s_bpc), int(n_fast_banks),
+       _pi16(pt_device), _pi64(pt_frame), int(pt_len),
+       _pf64(latconst), _pf64(core_time), _pi32(windows),
+       _pf64(ring), _pi32(ring_head), _pi32(ring_len), int(ringcap),
+       int(ncores),
+       _pf64(bank_busy), _pi64(bank_open), _pi64(bank_hits),
+       _pi64(bank_misses), _pi64(bank_conflicts),
+       _pf64(chan_busy), int(nbanks), int(nchan),
+       _pf64(read_lat), _pf64(busy_acc), _pf64(read_total),
+       _pi64(dev_counts))
+
+
+class MultiCall:
+    """A pre-bound multi-kernel invocation for one chunked replay.
+
+    Chunked replays call the kernel once per interval with the same
+    request and state arrays every time; re-deriving ~20 ctypes
+    pointers per call costs more than some chunks' C work.  This caches
+    every pointer at construction (holding array references so the
+    memory stays alive) and per chunk passes only the request range and
+    the page-table columns, which migrations may reallocate between
+    chunks.
+    """
+
+    def __init__(self, fn, core, dts, page, line, is_write,
+                 lines_per_page, lines_per_row,
+                 f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+                 latconst, core_time, windows,
+                 ring, ring_head, ring_len, ringcap, ncores,
+                 bank_busy, bank_open, bank_hits, bank_misses,
+                 bank_conflicts, chan_busy, nbanks, nchan,
+                 read_lat, busy_acc, read_total, dev_counts) -> None:
+        self._fn = fn
+        self._nspec = len(read_total)
+        self._keep = (core, dts, page, line, is_write, latconst,
+                      core_time, windows, ring, ring_head, ring_len,
+                      bank_busy, bank_open, bank_hits, bank_misses,
+                      bank_conflicts, chan_busy, read_lat, busy_acc,
+                      read_total, dev_counts)
+        self._request = (
+            _pi32(core), _pf64(dts), _pi64(page), _pi64(line),
+            _pu8(is_write),
+            int(lines_per_page), int(lines_per_row),
+            int(f_nc), int(s_nc), int(f_bpc), int(s_bpc),
+            int(n_fast_banks),
+        )
+        self._state = (
+            _pf64(latconst), _pf64(core_time), _pi32(windows),
+            _pf64(ring), _pi32(ring_head), _pi32(ring_len), int(ringcap),
+            int(ncores),
+            _pf64(bank_busy), _pi64(bank_open), _pi64(bank_hits),
+            _pi64(bank_misses), _pi64(bank_conflicts),
+            _pf64(chan_busy), int(nbanks), int(nchan),
+            _pf64(read_lat), _pf64(busy_acc), _pf64(read_total),
+            _pi64(dev_counts),
+        )
+
+    def run(self, start, stop, pt_device, pt_frame, pt_len) -> None:
+        """Replay requests ``[start, stop)`` against the bound state."""
+        self._fn(self._nspec, int(start), int(stop), *self._request,
+                 _pi16(pt_device), _pi64(pt_frame), int(pt_len),
+                 *self._state)
 
 
 def run_filter_chunk(fn, core, line, is_write,

@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import os
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import LINE_SIZE, PAGE_SIZE, SystemConfig
+from repro.config import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE, SystemConfig
 from repro.core.migration import MigrationMechanism
 from repro.sim import _ckernel
 from repro.dram.device import LINES_PER_ROW
@@ -137,13 +138,15 @@ def _build_result(
     read_count: int,
     residency: "list[set[int]]",
     bounds: np.ndarray,
+    core_instructions: "list[int] | None" = None,
 ) -> ReplayResult:
-    core_instructions = [0] * config.num_cores
-    core_ids_all = trace.core
-    gaps_all = trace.gap
-    for c in range(config.num_cores):
-        sel = core_ids_all == c
-        core_instructions[c] = int(gaps_all[sel].sum()) + int(sel.sum())
+    if core_instructions is None:
+        core_instructions = [0] * config.num_cores
+        core_ids_all = trace.core
+        gaps_all = trace.gap
+        for c in range(config.num_cores):
+            sel = core_ids_all == c
+            core_instructions[c] = int(gaps_all[sel].sum()) + int(sel.sum())
     per_core_ipc = [
         (core_instructions[c]
          / (core_times[c] * config.core.frequency_hz))
@@ -752,4 +755,515 @@ def _replay_batched_native(
     return _build_result(
         config, hma, trace, final, core_times,
         float(read_total[0]), read_count, residency, bounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Config-batched multi-run engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplaySpec:
+    """One configuration point for :func:`replay_multi`.
+
+    The fields mirror the per-point :func:`replay` arguments; every
+    spec replays the *same* trace, so only the system side varies.
+    """
+
+    config: SystemConfig
+    hma: HeterogeneousMemory
+    mechanism: "MigrationMechanism | None" = None
+    num_intervals: int = 1
+    core_windows: "list[int] | None" = None
+
+
+class _TraceShared:
+    """Trace-side precompute shared by every spec of one multi-run.
+
+    Page/line decomposition, contiguous request arrays, per-core
+    instruction tallies, and the ``gap * seconds_per_instruction``
+    products depend only on the trace (and, for the last two, on
+    scalars most specs share), so they are computed once and reused —
+    per-point replay recomputes them per run.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.pages = (trace.address // PAGE_SIZE).astype(np.int64)
+        self.lines = ((trace.address % PAGE_SIZE) // LINE_SIZE).astype(np.int64)
+        self.core_i32 = np.ascontiguousarray(trace.core, dtype=np.int32)
+        self.writes_u8 = np.ascontiguousarray(trace.is_write, dtype=np.uint8)
+        self._dts: "dict[float, np.ndarray]" = {}
+        self._instr: "dict[int, list[int]]" = {}
+        self._chunking: "dict[int, tuple]" = {}
+
+    def dts(self, spi: float) -> np.ndarray:
+        """``gap * spi`` for the whole trace (slices match per-chunk
+        ``np.multiply(gap[start:stop], spi)`` element for element)."""
+        arr = self._dts.get(spi)
+        if arr is None:
+            arr = np.multiply(self.trace.gap, spi)
+            self._dts[spi] = arr
+        return arr
+
+    def core_instructions(self, num_cores: int) -> "list[int]":
+        """Per-core instruction totals (the :func:`_build_result` loop,
+        which is config-independent)."""
+        got = self._instr.get(num_cores)
+        if got is None:
+            core_ids_all = self.trace.core
+            gaps_all = self.trace.gap
+            counts = np.bincount(core_ids_all, minlength=num_cores)
+            sums = np.bincount(core_ids_all, weights=gaps_all,
+                               minlength=num_cores)
+            if len(counts) == num_cores and float(sums.max(initial=0.0)) < 2.0 ** 53:
+                # uint32 gaps summed in float64 stay exact integers
+                # below 2^53, so this matches the per-core int sums.
+                got = [int(s) + int(c) for s, c in zip(sums, counts)]
+            else:
+                got = [0] * num_cores
+                for c in range(num_cores):
+                    sel = core_ids_all == c
+                    got[c] = int(gaps_all[sel].sum()) + int(sel.sum())
+            self._instr[num_cores] = got
+        return got
+
+    def chunking(self, total_chunks: int, times: "np.ndarray | None"):
+        """``(starts, stops, bounds)`` for a chunk count, memoised."""
+        got = self._chunking.get(total_chunks)
+        if got is None:
+            if total_chunks > 1:
+                if times is None:
+                    raise ValueError(
+                        "times required for interval-based replay")
+                bounds = interval_boundaries(total_chunks)
+                cut = np.searchsorted(times, bounds)
+                starts = np.concatenate(([0], cut))
+                stops = np.concatenate((cut, [len(self.trace)]))
+            else:
+                starts, stops = np.array([0]), np.array([len(self.trace)])
+                bounds = np.empty(0)
+            got = (starts, stops, bounds)
+            self._chunking[total_chunks] = got
+        return got
+
+
+class _ChunkCounts:
+    """Memoised per-chunk unique-page read/write tallies.
+
+    When several specs replay the same chunking, mechanisms that accept
+    pre-aggregated counts (``supports_observe_counts``) can share one
+    ``np.unique`` pass per chunk instead of re-counting per spec.
+    """
+
+    def __init__(self, shared: _TraceShared, starts, stops) -> None:
+        self._shared = shared
+        self._starts = starts
+        self._stops = stops
+        self._memo: "dict[int, tuple]" = {}
+
+    def get(self, chunk: int) -> tuple:
+        got = self._memo.get(chunk)
+        if got is None:
+            start, stop = int(self._starts[chunk]), int(self._stops[chunk])
+            pages = self._shared.pages[start:stop]
+            writes = self._shared.trace.is_write[start:stop]
+            pages_w, counts_w = np.unique(pages[writes], return_counts=True)
+            pages_r, counts_r = np.unique(pages[~writes], return_counts=True)
+            got = (pages_r, counts_r, pages_w, counts_w)
+            self._memo[chunk] = got
+        return got
+
+
+def _spec_windows(spec: ReplaySpec) -> "list[int]":
+    """The per-core miss windows for one spec (validated)."""
+    num_cores = spec.config.num_cores
+    if spec.core_windows is not None and len(spec.core_windows) != num_cores:
+        raise ValueError("core_windows must have one entry per core")
+    cap = spec.config.core.max_outstanding_misses
+    windows = (
+        [min(cap, w) for w in spec.core_windows]
+        if spec.core_windows is not None else [cap] * num_cores
+    )
+    if any(w < 1 for w in windows):
+        raise ValueError("miss window must be >= 1")
+    return windows
+
+
+def _group_signature(spec: ReplaySpec) -> tuple:
+    """Stacking compatibility key: specs whose state arrays share a
+    shape (and whose traces share ``dts``) can ride one kernel call."""
+    fast, slow = spec.hma.fast, spec.hma.slow
+    return (
+        spec.config.num_cores,
+        spec.config.core.issue_width,
+        spec.config.core.frequency_hz,
+        fast.num_channels, slow.num_channels,
+        fast.banks_per_channel, slow.banks_per_channel,
+        fast.num_banks_total, slow.num_banks_total,
+    )
+
+
+def replay_multi(
+    specs: "list[ReplaySpec]",
+    trace: Trace,
+    times: "np.ndarray | None" = None,
+    kernel: "str | None" = None,
+) -> "list[ReplayResult]":
+    """Replay one trace against N system configurations.
+
+    Returns one :class:`ReplayResult` per spec, bit-identical to
+    calling :func:`replay` per spec in order (the per-point path is the
+    oracle; ``tests/sim/test_multirun_parity.py`` enforces parity).
+
+    Static specs (no mechanism, one interval) that share core count,
+    clocking, and device geometry are stacked along a leading config
+    axis and replayed in a single compiled pass; chunked specs
+    (migration mechanisms or multi-interval residency sampling) replay
+    one spec at a time but share the trace-side precompute and move
+    routing into the compiled loop.  Anything the fast paths cannot
+    take — scalar-only memories, an explicit non-native ``kernel``,
+    active telemetry, or a missing C toolchain — falls back to
+    :func:`replay` per spec, which is always valid because the results
+    are identical by construction.
+    """
+    results: "list[ReplayResult | None]" = [None] * len(specs)
+    shared: "_TraceShared | None" = None
+    static_groups: "dict[tuple, list[tuple[int, ReplaySpec]]]" = {}
+    chunked: "list[tuple[int, ReplaySpec]]" = []
+
+    multi_fn = _ckernel.load_multi()
+    telemetry_on = _metrics.enabled()
+    with span("replay_multi", specs=len(specs), requests=len(trace)):
+        for i, spec in enumerate(specs):
+            try:
+                resolved = _resolve_kernel(kernel, spec.hma)
+            except (ValueError, RuntimeError):
+                resolved = None
+            eligible = (
+                resolved == "batched-native"
+                and multi_fn is not None
+                and not telemetry_on
+                and hasattr(spec.hma, "page_tables")
+            )
+            if not eligible:
+                results[i] = replay(
+                    spec.config, spec.hma, trace, times,
+                    mechanism=spec.mechanism,
+                    num_intervals=spec.num_intervals,
+                    core_windows=spec.core_windows, kernel=kernel,
+                )
+                continue
+            if shared is None:
+                shared = _TraceShared(trace)
+            if spec.mechanism is None and spec.num_intervals == 1:
+                key = _group_signature(spec)
+                static_groups.setdefault(key, []).append((i, spec))
+            else:
+                chunked.append((i, spec))
+
+        for group in static_groups.values():
+            group_results = _replay_multi_static(
+                multi_fn, [spec for _, spec in group], trace, shared)
+            for (i, _), res in zip(group, group_results):
+                results[i] = res
+
+        if chunked:
+            by_chunks: "dict[int, list[tuple[int, ReplaySpec]]]" = {}
+            for i, spec in chunked:
+                sub = (spec.mechanism.subintervals_per_interval
+                       if spec.mechanism else 1)
+                by_chunks.setdefault(spec.num_intervals * sub,
+                                     []).append((i, spec))
+            for total_chunks, members in by_chunks.items():
+                cache = None
+                if len(members) > 1:
+                    starts, stops, _ = shared.chunking(total_chunks, times)
+                    cache = _ChunkCounts(shared, starts, stops)
+                for i, spec in members:
+                    results[i] = _replay_multi_chunked(
+                        multi_fn, spec, trace, times, shared, cache)
+    return results
+
+
+def _replay_multi_static(
+    fn, specs: "list[ReplaySpec]", trace: Trace, shared: _TraceShared,
+) -> "list[ReplayResult]":
+    """Stacked single-chunk replay for static (no-migration) specs.
+
+    All specs share one :func:`_group_signature`; their per-config
+    state is stacked ``[K, ...]`` and the compiled multi kernel walks
+    the shared request arrays once per config in a single call.
+    """
+    K = len(specs)
+    config0 = specs[0].config
+    num_cores = config0.num_cores
+    spi = 1.0 / (config0.core.issue_width * config0.core.frequency_hz)
+    n = len(trace)
+
+    fast0, slow0 = specs[0].hma.fast, specs[0].hma.slow
+    f_nc, s_nc = fast0.num_channels, slow0.num_channels
+    f_bpc, s_bpc = fast0.banks_per_channel, slow0.banks_per_channel
+    n_fast_banks = fast0.num_banks_total
+    nbanks = n_fast_banks + slow0.num_banks_total
+    nchan = f_nc + s_nc
+
+    windows_np = np.empty((K, num_cores), dtype=np.int32)
+    for k, spec in enumerate(specs):
+        windows_np[k] = _spec_windows(spec)
+    ringcap = int(windows_np.max())
+
+    residency = [[_residency_snapshot(spec.hma)] for spec in specs]
+
+    latconst = np.empty((K, 8))
+    core_time = np.zeros((K, num_cores))
+    ring = np.zeros((K, num_cores, ringcap))
+    ring_head = np.zeros((K, num_cores), dtype=np.int32)
+    ring_len = np.zeros((K, num_cores), dtype=np.int32)
+    bank_busy = np.empty((K, nbanks))
+    bank_open = np.empty((K, nbanks), dtype=np.int64)
+    bank_hits = np.empty((K, nbanks), dtype=np.int64)
+    bank_misses = np.empty((K, nbanks), dtype=np.int64)
+    bank_conflicts = np.empty((K, nbanks), dtype=np.int64)
+    chan_busy = np.empty((K, nchan))
+    read_lat = np.empty((K, 2))
+    busy_acc = np.empty((K, 2))
+    read_total = np.zeros(K)
+    dev_counts = np.zeros((K, 4), dtype=np.int64)
+
+    if n:
+        pt_len = int(shared.pages.max()) + 1
+        ptd = np.empty((K, pt_len), dtype=np.int16)
+        ptf = np.empty((K, pt_len), dtype=np.int64)
+
+    for k, spec in enumerate(specs):
+        hma = spec.hma
+        fast, slow = hma.fast, hma.slow
+        if n:
+            # Fault unmapped pages into DDR in first-touch order, as
+            # the per-point route would; the table copy then covers
+            # every page the chunk can reference.
+            hma.ensure_mapped(shared.pages)
+            d_col, f_col = hma.page_tables()
+            ptd[k] = d_col[:pt_len]
+            ptf[k] = f_col[:pt_len]
+        latconst[k] = (
+            fast.hit_seconds, fast.miss_seconds, fast.conflict_seconds,
+            fast.burst_seconds,
+            slow.hit_seconds, slow.miss_seconds, slow.conflict_seconds,
+            slow.burst_seconds,
+        )
+        bank_open_l, bank_busy_l, hits_l, misses_l, conflicts_l = \
+            flatten_bank_state(fast, slow)
+        bank_open[k] = bank_open_l
+        bank_busy[k] = bank_busy_l
+        bank_hits[k] = hits_l
+        bank_misses[k] = misses_l
+        bank_conflicts[k] = conflicts_l
+        chan_busy[k] = (list(fast.channel_busy_until)
+                        + list(slow.channel_busy_until))
+        read_lat[k] = (fast.stats.total_read_latency,
+                       slow.stats.total_read_latency)
+        busy_acc[k] = (fast.stats.busy_time, slow.stats.busy_time)
+
+    if n:
+        _ckernel.run_multi_chunk(
+            fn, shared.core_i32, shared.dts(spi), shared.pages,
+            shared.lines, shared.writes_u8,
+            LINES_PER_PAGE, LINES_PER_ROW,
+            f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+            ptd, ptf, pt_len,
+            latconst, core_time, windows_np,
+            ring, ring_head, ring_len, ringcap, num_cores,
+            bank_busy, bank_open, bank_hits, bank_misses,
+            bank_conflicts, chan_busy, nbanks, nchan,
+            read_lat, busy_acc, read_total, dev_counts,
+        )
+
+    bounds = np.empty(0)
+    instr = shared.core_instructions(num_cores)
+    out: "list[ReplayResult]" = []
+    for k, spec in enumerate(specs):
+        hma = spec.hma
+        fast, slow = hma.fast, hma.slow
+        core_times = core_time[k].tolist()
+        final = 0.0
+        for c in range(num_cores):
+            t = core_times[c]
+            live_n = int(ring_len[k, c])
+            if live_n:
+                h = int(ring_head[k, c])
+                live = [float(ring[k, c, (h + j) % ringcap])
+                        for j in range(live_n)]
+                last = max(live)
+                if last > t:
+                    t = last
+                core_times[c] = t
+            if t > final:
+                final = t
+        restore_bank_state(
+            fast, slow, bank_open[k].tolist(), bank_busy[k].tolist(),
+            bank_hits[k].tolist(), bank_misses[k].tolist(),
+            bank_conflicts[k].tolist())
+        fast.channel_busy_until = chan_busy[k, :f_nc].tolist()
+        slow.channel_busy_until = chan_busy[k, f_nc:].tolist()
+        reads_f, reads_s, writes_f, writes_s = (
+            int(x) for x in dev_counts[k])
+        fast.stats.reads += reads_f
+        slow.stats.reads += reads_s
+        fast.stats.writes += writes_f
+        slow.stats.writes += writes_s
+        fast.stats.total_read_latency = float(read_lat[k, 0])
+        slow.stats.total_read_latency = float(read_lat[k, 1])
+        fast.stats.busy_time = float(busy_acc[k, 0])
+        slow.stats.busy_time = float(busy_acc[k, 1])
+        out.append(_build_result(
+            spec.config, hma, trace, final, core_times,
+            float(read_total[k]), reads_f + reads_s, residency[k], bounds,
+            core_instructions=instr,
+        ))
+    return out
+
+
+def _replay_multi_chunked(
+    fn, spec: ReplaySpec, trace: Trace, times: "np.ndarray | None",
+    shared: _TraceShared, counts_cache: "_ChunkCounts | None",
+) -> ReplayResult:
+    """Chunked single-spec replay with compiled in-kernel routing.
+
+    Structure of :func:`_replay_batched_native` with the numpy
+    translation/routing stage folded into the compiled loop (the multi
+    kernel with a config axis of one): the page table is re-fetched and
+    re-sliced per chunk because migrations mutate it in place.
+    """
+    config, hma, mechanism = spec.config, spec.hma, spec.mechanism
+    sub = mechanism.subintervals_per_interval if mechanism else 1
+    total_chunks = spec.num_intervals * sub
+    starts, stops, bounds = shared.chunking(total_chunks, times)
+
+    num_cores = config.num_cores
+    spi = 1.0 / (config.core.issue_width * config.core.frequency_hz)
+    windows_np = np.asarray(_spec_windows(spec), dtype=np.int32)
+    ringcap = int(windows_np.max())
+    core_time = np.zeros(num_cores)
+    ring = np.zeros((num_cores, ringcap))
+    ring_head = np.zeros(num_cores, dtype=np.int32)
+    ring_len = np.zeros(num_cores, dtype=np.int32)
+
+    fast, slow = hma.fast, hma.slow
+    f_nc, s_nc = fast.num_channels, slow.num_channels
+    f_bpc, s_bpc = fast.banks_per_channel, slow.banks_per_channel
+    n_fast_banks = fast.num_banks_total
+    nbanks = n_fast_banks + slow.num_banks_total
+    nchan = f_nc + s_nc
+    latconst = np.array([
+        fast.hit_seconds, fast.miss_seconds, fast.conflict_seconds,
+        fast.burst_seconds,
+        slow.hit_seconds, slow.miss_seconds, slow.conflict_seconds,
+        slow.burst_seconds,
+    ])
+
+    bank_open_l, bank_busy_l, hits_l, misses_l, conflicts_l = \
+        flatten_bank_state(fast, slow)
+    bank_open = np.asarray(bank_open_l, dtype=np.int64)
+    bank_busy = np.asarray(bank_busy_l)
+    bank_hits = np.asarray(hits_l, dtype=np.int64)
+    bank_misses = np.asarray(misses_l, dtype=np.int64)
+    bank_conflicts = np.asarray(conflicts_l, dtype=np.int64)
+    chan_busy = np.array(list(fast.channel_busy_until)
+                         + list(slow.channel_busy_until))
+    seed_reads = (fast.stats.reads, slow.stats.reads)
+    seed_writes = (fast.stats.writes, slow.stats.writes)
+    read_lat = np.array([fast.stats.total_read_latency,
+                         slow.stats.total_read_latency])
+    busy_acc = np.array([fast.stats.busy_time, slow.stats.busy_time])
+    read_total = np.zeros(1)
+    dev_counts = np.zeros((1, 4), dtype=np.int64)
+    dts_full = shared.dts(spi)
+    use_counts = (counts_cache is not None and mechanism is not None
+                  and mechanism.supports_observe_counts)
+    # One pointer-cached binding serves every chunk; only the request
+    # range and the page-table columns change between calls.
+    call = _ckernel.MultiCall(
+        fn, shared.core_i32, dts_full, shared.pages, shared.lines,
+        shared.writes_u8,
+        LINES_PER_PAGE, LINES_PER_ROW,
+        f_nc, s_nc, f_bpc, s_bpc, n_fast_banks,
+        latconst, core_time, windows_np,
+        ring, ring_head, ring_len, ringcap, num_cores,
+        bank_busy, bank_open, bank_hits, bank_misses,
+        bank_conflicts, chan_busy, nbanks, nchan,
+        read_lat, busy_acc, read_total, dev_counts,
+    )
+
+    def _sync_to_devices() -> None:
+        fast.channel_busy_until = chan_busy[:f_nc].tolist()
+        slow.channel_busy_until = chan_busy[f_nc:].tolist()
+        fast.stats.reads = seed_reads[0] + int(dev_counts[0, 0])
+        slow.stats.reads = seed_reads[1] + int(dev_counts[0, 1])
+        fast.stats.writes = seed_writes[0] + int(dev_counts[0, 2])
+        slow.stats.writes = seed_writes[1] + int(dev_counts[0, 3])
+        fast.stats.total_read_latency = float(read_lat[0])
+        slow.stats.total_read_latency = float(read_lat[1])
+        fast.stats.busy_time = float(busy_acc[0])
+        slow.stats.busy_time = float(busy_acc[1])
+
+    residency: "list[set[int]]" = []
+
+    for chunk in range(total_chunks):
+        start, stop = int(starts[chunk]), int(stops[chunk])
+        residency.append(_residency_snapshot(hma))
+
+        chunk_pages = shared.pages[start:stop]
+        if mechanism is not None and stop > start:
+            if use_counts:
+                mechanism.observe_counts(*counts_cache.get(chunk))
+            else:
+                chunk_times = times[start:stop] if times is not None else None
+                mechanism.observe_chunk(
+                    chunk_pages, trace.is_write[start:stop],
+                    times=chunk_times)
+
+        if stop > start:
+            hma.ensure_mapped(chunk_pages)
+            d_col, f_col = hma.page_tables()
+            call.run(start, stop, d_col, f_col,
+                     int(chunk_pages.max()) + 1)
+
+        if mechanism is not None and chunk < total_chunks - 1:
+            now = float(core_time.max())
+            to_fast, to_slow = _plan_migration(mechanism, hma, chunk, sub)
+            if to_fast or to_slow:
+                _sync_to_devices()
+                hma.migrate_pairs(to_fast, to_slow, now)
+                # In place: the kernel binding holds these pointers.
+                chan_busy[:f_nc] = fast.channel_busy_until
+                chan_busy[f_nc:] = slow.channel_busy_until
+                busy_acc[0] = fast.stats.busy_time
+                busy_acc[1] = slow.stats.busy_time
+
+    core_times = core_time.tolist()
+    final = 0.0
+    for c in range(num_cores):
+        t = core_times[c]
+        live_n = int(ring_len[c])
+        if live_n:
+            h = int(ring_head[c])
+            live = [float(ring[c, (h + j) % ringcap]) for j in range(live_n)]
+            last = max(live)
+            if last > t:
+                t = last
+            core_times[c] = t
+        if t > final:
+            final = t
+
+    restore_bank_state(fast, slow, bank_open.tolist(), bank_busy.tolist(),
+                       bank_hits.tolist(), bank_misses.tolist(),
+                       bank_conflicts.tolist())
+    _sync_to_devices()
+    return _build_result(
+        config, hma, trace, final, core_times,
+        float(read_total[0]),
+        int(dev_counts[0, 0] + dev_counts[0, 1]), residency, bounds,
+        core_instructions=shared.core_instructions(num_cores),
     )

@@ -19,7 +19,10 @@ that sweeps over many schemes reuse them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.avf.page import PageStats, profile_intervals, profile_trace
 from repro.config import SystemConfig, scaled_config
@@ -184,6 +187,210 @@ def evaluate_migration(
         migrations=hma.migration_stats.total,
         mean_read_latency=result.mean_read_latency,
     )
+
+
+# ---------------------------------------------------------------------------
+# Config-batched multi-run evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StaticSpec:
+    """One static-placement point for :func:`evaluate_static_multi`.
+
+    ``config`` overrides the prepared workload's config (e.g. a smaller
+    fast memory in a capacity sweep); ``ser_model`` overrides its SER
+    model (e.g. a different raw-FIT multiplier).  ``None`` means "use
+    the prep's".
+    """
+
+    policy: PlacementPolicy
+    config: "SystemConfig | None" = None
+    ser_model: "SerModel | None" = None
+
+
+@dataclass
+class MigrationSpec:
+    """One dynamic-migration point for :func:`evaluate_migration_multi`."""
+
+    mechanism: MigrationMechanism
+    num_intervals: int = 16
+    initial_policy: "PlacementPolicy | None" = None
+
+
+def _select_fast_pages(policy, stats, capacity_pages, memo):
+    """``policy.select_fast_pages`` with the ranking shared across
+    capacities.
+
+    Policies exposing a capacity-independent ranking
+    (:meth:`~repro.core.placement.PlacementPolicy.select_ranking`) rank
+    once per (policy, workload) and answer every capacity with a prefix
+    slice — by the policies' prefix contract that slice is exactly what
+    ``select_fast_pages`` returns.
+    """
+    got = memo.get(id(policy))
+    if got is None:
+        ranking = policy.select_ranking(stats)
+        got = (False, None) if ranking is None else (True, ranking)
+        memo[id(policy)] = got
+    ranked, ranking = got
+    if ranked:
+        return ranking[: policy.ranked_take(capacity_pages)]
+    return policy.select_fast_pages(stats, capacity_pages)
+
+
+def _replay_dedup_key(config: SystemConfig, fast_pages):
+    """Hashable identity of one static replay, or ``None``.
+
+    The fault-model-only ``fit_multiplier`` fields are neutralised so
+    sweeps that vary nothing else (the FIT sweep) collapse to a single
+    replay; every other config field may affect timing and stays in the
+    key.  Returns ``None`` (no deduplication) for exotic configs that
+    do not tuplify.
+    """
+    try:
+        neutral = dataclasses.replace(
+            config,
+            fast_memory=dataclasses.replace(config.fast_memory,
+                                            fit_multiplier=1.0),
+            slow_memory=dataclasses.replace(config.slow_memory,
+                                            fit_multiplier=1.0),
+        )
+        cfg_key = dataclasses.astuple(neutral)
+        hash(cfg_key)
+    except (TypeError, ValueError):
+        return None
+    return (cfg_key, np.asarray(fast_pages, dtype=np.int64).tobytes())
+
+
+def evaluate_static_multi(
+    prep: PreparedWorkload, specs: "list[StaticSpec]"
+) -> "list[ExperimentResult]":
+    """:func:`evaluate_static` for N configuration points in one pass.
+
+    All specs replay the prepared workload's trace; the replays are
+    batched through :func:`repro.sim.engine.replay_multi` (deduplicated
+    when specs differ only in fault model) and each result is composed
+    with the spec's SER model.  Results are element-wise bit-identical
+    to per-point :func:`evaluate_static` calls on
+    ``replace_config(prep, spec.config)`` preps.
+    """
+    from repro.sim.engine import ReplaySpec, replay_multi
+
+    wt = prep.workload_trace
+    rankings: dict = {}
+    placements = []
+    for spec in specs:
+        config = spec.config if spec.config is not None else prep.config
+        fast_pages = _select_fast_pages(
+            spec.policy, prep.stats, config.fast_memory.num_pages, rankings)
+        placements.append((config, fast_pages))
+
+    replay_specs: "list[ReplaySpec]" = []
+    slot_of: "list[int]" = []
+    seen: dict = {}
+    for config, fast_pages in placements:
+        key = _replay_dedup_key(config, fast_pages)
+        slot = seen.get(key) if key is not None else None
+        if slot is None:
+            hma = HeterogeneousMemory(config)
+            hma.install_placement(fast_pages, prep.stats.pages)
+            slot = len(replay_specs)
+            replay_specs.append(ReplaySpec(
+                config=config, hma=hma, core_windows=wt.core_mlp))
+            if key is not None:
+                seen[key] = slot
+        slot_of.append(slot)
+
+    replays = replay_multi(replay_specs, wt.trace, wt.times)
+
+    base = prep.ddr_baseline
+    out = []
+    for spec, (config, fast_pages), slot in zip(specs, placements, slot_of):
+        result = replays[slot]
+        ser_model = (spec.ser_model if spec.ser_model is not None
+                     else prep.ser_model)
+        ser = ser_model.ser_static(prep.stats, fast_pages)
+        out.append(ExperimentResult(
+            workload=prep.name,
+            scheme=spec.policy.name,
+            ipc=result.ipc,
+            ser=ser,
+            ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+            ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+            mean_read_latency=result.mean_read_latency,
+        ))
+    return out
+
+
+def evaluate_migration_multi(
+    prep: PreparedWorkload, specs: "list[MigrationSpec]"
+) -> "list[ExperimentResult]":
+    """:func:`evaluate_migration` for N mechanism points in one pass.
+
+    One :func:`repro.sim.engine.replay_multi` call covers every spec,
+    and one :class:`~repro.avf.page.IntervalProfileBuilder` serves the
+    dynamic-SER accounting of every interval count.  Results are
+    element-wise bit-identical to per-point :func:`evaluate_migration`.
+    """
+    from repro.avf.page import IntervalProfileBuilder
+    from repro.sim.engine import ReplaySpec, replay_multi
+
+    wt = prep.workload_trace
+    rankings: dict = {}
+    default_policy = PerformanceFocusedPlacement()
+    replay_specs = []
+    for spec in specs:
+        policy = (spec.initial_policy if spec.initial_policy is not None
+                  else default_policy)
+        fast_pages = _select_fast_pages(
+            policy, prep.stats, prep.capacity_pages, rankings)
+        hma = HeterogeneousMemory(prep.config)
+        hma.install_placement(fast_pages, prep.stats.pages)
+        replay_specs.append(ReplaySpec(
+            config=prep.config, hma=hma, mechanism=spec.mechanism,
+            num_intervals=spec.num_intervals, core_windows=wt.core_mlp))
+
+    replays = replay_multi(replay_specs, wt.trace, wt.times)
+
+    # The builder depends only on the prep's (immutable) trace and
+    # times, so cache it on the prep across evaluate calls.
+    builder = getattr(prep, "_interval_builder", None)
+    if builder is None:
+        builder = IntervalProfileBuilder(wt.trace, wt.times)
+        prep._interval_builder = builder
+    pairs_memo: dict = {}
+    base = prep.ddr_baseline
+    out = []
+    for spec, rspec, result in zip(specs, replay_specs, replays):
+        bounds = result.interval_boundaries
+        if result.snapshots is not None:
+            # Telemetry needs the dict-form profile for the epoch
+            # series; reuse the builder rather than re-profiling.
+            intervals = builder.profile(bounds)
+            ser = prep.ser_model.ser_dynamic(intervals, result.fast_residency)
+            _attach_run_series(
+                f"{prep.name}:{spec.mechanism.name}", result,
+                prep.ser_model.ser_dynamic_series(intervals,
+                                                  result.fast_residency))
+        else:
+            key = bounds.tobytes()
+            pairs = pairs_memo.get(key)
+            if pairs is None:
+                pairs = builder.intervals_arrays(bounds)
+                pairs_memo[key] = pairs
+            ser = prep.ser_model.ser_dynamic_arrays(pairs,
+                                                    result.fast_residency)
+        out.append(ExperimentResult(
+            workload=prep.name,
+            scheme=spec.mechanism.name,
+            ipc=result.ipc,
+            ser=ser,
+            ipc_vs_ddr=result.ipc / base.ipc if base.ipc else 0.0,
+            ser_vs_ddr=ser / base.ser if base.ser else 0.0,
+            migrations=rspec.hma.migration_stats.total,
+            mean_read_latency=result.mean_read_latency,
+        ))
+    return out
 
 
 def evaluate_annotations(

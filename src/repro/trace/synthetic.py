@@ -358,7 +358,7 @@ class TraceGenerator:
             [np.ones(len(wr_page), dtype=bool), np.zeros(n_reads, dtype=bool)]
         )
 
-        order = np.argsort(time, kind="stable")
+        order = _stable_time_argsort(time)
         page, line, time, is_write = page[order], line[order], time[order], is_write[order]
 
         address = page.astype(np.uint64) * PAGE_SIZE + line.astype(np.uint64) * LINE_SIZE
@@ -379,6 +379,27 @@ class TraceGenerator:
         return GeneratedCoreTrace(trace=trace, layouts=self.layouts, times=time)
 
 
+def _stable_time_argsort(times: np.ndarray) -> np.ndarray:
+    """Stable argsort of a nonnegative float64 time array.
+
+    For nonnegative finite IEEE-754 doubles the raw bit pattern is
+    monotonic in the value and equal values share one pattern, so a
+    stable argsort of the ``uint64`` view orders exactly like a stable
+    argsort of the floats while using numpy's integer sort path
+    (measured ~10% faster on both random times and the concatenated
+    per-core runs :func:`interleave_cores` merges; the e2e pipeline
+    benchmark's ``synthesis`` stage picks the gain up).  Anything
+    outside that domain — negatives, ``-0.0``, NaN/inf, other dtypes,
+    non-contiguous views — falls back to the float sort.
+    """
+    if (times.dtype == np.float64 and times.flags.c_contiguous
+            and len(times)
+            and not np.signbit(times).any()
+            and np.isfinite(times).all()):
+        return np.argsort(times.view(np.uint64), kind="stable")
+    return np.argsort(times, kind="stable")
+
+
 def interleave_cores(cores: "list[GeneratedCoreTrace]") -> "tuple[Trace, np.ndarray]":
     """Merge per-core traces into one global, time-ordered trace.
 
@@ -394,7 +415,7 @@ def interleave_cores(cores: "list[GeneratedCoreTrace]") -> "tuple[Trace, np.ndar
     core_ids = np.concatenate(
         [np.full(len(c.trace), i, dtype=np.uint16) for i, c in enumerate(cores)]
     )
-    order = np.argsort(times, kind="stable")
+    order = _stable_time_argsort(times)
     merged = Trace(
         core=core_ids[order],
         address=addresses[order],

@@ -23,6 +23,10 @@ randomized :class:`~repro.verify.cases.DiffCase` scenarios:
 * ``serve``            — the placement service (:mod:`repro.serve`):
   streaming a trace through a tenant session (wire encoding, chunk
   spool, worker replay) must reproduce the batch result bit-exactly.
+* ``multirun``         — the config-batched multi-run engine
+  (:func:`~repro.sim.engine.replay_multi`): a ragged config batch of
+  static placements plus a migration spec must match per-point
+  :func:`~repro.sim.engine.replay` digests spec by spec.
 
 A check returns ``None`` on agreement or a human-readable mismatch
 description.  The fuzz driver shrinks failures greedily and dumps a
@@ -381,6 +385,53 @@ def check_serve(case: DiffCase) -> "str | None":
     return None
 
 
+def check_multirun(case: DiffCase) -> "str | None":
+    """Config-batched ``replay_multi`` vs per-point ``replay``.
+
+    The case becomes a ragged config batch — the case's placement, a
+    half-capacity variant, DDR-only, and (when the case carries one) a
+    migration spec — replayed in one :func:`replay_multi` call and
+    compared digest-by-digest against fresh per-point replays.  The
+    batch mixes static (stacked-kernel) and chunked specs, so the
+    grouping, dispatch, and both fast paths all participate.
+    """
+    from repro.dram.hma import HeterogeneousMemory
+    from repro.sim.engine import ReplaySpec, replay, replay_multi
+
+    config = build_config(case)
+    trace, times = build_trace(case)
+    fast, all_pages = build_placement(case)
+    windows = core_windows(case)
+
+    variants = [(fast, None, 1), (fast[: len(fast) // 2], None, 1),
+                ([], None, 1)]
+    if case.mechanism:
+        variants.append((fast, case.mechanism, case.num_intervals))
+
+    def build_specs():
+        specs = []
+        for placement, mech_name, n in variants:
+            hma = HeterogeneousMemory(config)
+            hma.install_placement(placement, all_pages)
+            specs.append(ReplaySpec(
+                config=config, hma=hma,
+                mechanism=_make_mechanism(mech_name),
+                num_intervals=n, core_windows=windows))
+        return specs
+
+    multi = replay_multi(build_specs(), trace, times)
+    for i, spec in enumerate(build_specs()):
+        oracle = replay(config, spec.hma, trace, times,
+                        mechanism=spec.mechanism,
+                        num_intervals=spec.num_intervals,
+                        core_windows=windows)
+        diff = _first_diff({"oracle": _digest(oracle),
+                            "multirun": _digest(multi[i])})
+        if diff:
+            return f"spec {i}: {diff}"
+    return None
+
+
 #: All differential check families, in fuzz order.
 CHECKS = {
     "replay-kernels": check_replay_kernels,
@@ -391,6 +442,7 @@ CHECKS = {
     "cache-filter": check_cache_filter,
     "shm-roundtrip": check_shm_roundtrip,
     "serve": check_serve,
+    "multirun": check_multirun,
 }
 
 

@@ -233,3 +233,34 @@ def test_generator_invariants(wf, spread, seed):
     assert len(out.trace) == pytest.approx(2000, rel=0.05)
     measured_wf = out.trace.is_write.mean()
     assert measured_wf == pytest.approx(wf, abs=0.08)
+
+
+class TestStableTimeArgsort:
+    """uint64-view argsort must equal the float stable argsort exactly."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(0, 500))
+    def test_matches_float_sort(self, seed, n):
+        from repro.trace.synthetic import _stable_time_argsort
+
+        rng = np.random.default_rng(seed)
+        # Duplicates on purpose: stability must match too.
+        t = rng.choice(rng.random(max(1, n // 4 + 1)), size=n)
+        got = _stable_time_argsort(t)
+        want = np.argsort(t, kind="stable")
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("t", [
+        np.array([]),                                   # empty
+        np.array([0.3, -0.0, 0.1]),                     # -0.0 falls back
+        np.array([0.3, -1.0, 0.1]),                     # negative
+        np.array([0.3, np.nan, 0.1]),                   # NaN
+        np.array([0.3, np.inf, 0.1]),                   # inf
+        np.array([3, 1, 2], dtype=np.int64),            # non-float dtype
+    ])
+    def test_fallback_domains_still_sort(self, t):
+        from repro.trace.synthetic import _stable_time_argsort
+
+        got = _stable_time_argsort(t)
+        want = np.argsort(t, kind="stable")
+        assert np.array_equal(got, want)

@@ -14,7 +14,8 @@
 #    mid-replay and a poison tenant (survivors must be bit-identical
 #    to batch), plus a flooding tenant that must be throttled with
 #    retry_after without degrading a polite tenant's p95 latency.
-# 4. Runs the replay-kernel, policy-kernel, and end-to-end pipeline
+# 4. Runs the replay-kernel, policy-kernel, end-to-end pipeline, and
+#    config-batched multi-run engine (oracle vs batched sweeps)
 #    throughput benchmarks at a small scale with relaxed JSON output
 #    paths, so CI catches both correctness drift (the benchmarks
 #    assert bit-exact parity of replay results, migration plans,
@@ -87,6 +88,11 @@ echo "== end-to-end pipeline smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_E2E_JSON="$workdir/BENCH_e2e.json" \
 python -m pytest benchmarks/bench_e2e_pipeline.py -q -s -p no:cacheprovider
+
+echo "== multi-run engine smoke benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_MULTIRUN_JSON="$workdir/BENCH_multirun.json" \
+python -m pytest benchmarks/bench_multirun.py -q -s -p no:cacheprovider
 
 echo "== telemetry smoke =="
 obsdir="$workdir/obs"
