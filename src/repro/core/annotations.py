@@ -9,6 +9,15 @@ Structures here are the workload generator's named regions
 (:class:`~repro.trace.synthetic.RegionSpec`): each benchmark exposes
 its arrays/heaps/tables, and annotating one structure covers every
 process running that benchmark (as annotating the source does).
+
+This module also hosts the per-page **error-tolerance classes**
+(Heterogeneous-Reliability Memory, Luo et al.): an annotation of how
+much an application cares about silent corruption of each structure.
+``critical`` data (indexes, session state) must not corrupt silently;
+``tolerant`` data (refetchable caches, verifiable outputs) can absorb
+the low-reliability tier.  :class:`ToleranceMap` carries the class per
+page; the ``tolerance-tiered`` migration policy weighs measured ACE
+time by the class's intolerance weight when ranking pages.
 """
 
 from __future__ import annotations
@@ -20,6 +29,113 @@ import numpy as np
 from repro.avf.page import PageStats
 from repro.trace.synthetic import RegionLayout
 from repro.trace.workloads import WorkloadTrace
+
+
+#: Tolerance classes, ordered from least to most tolerant.  The index
+#: into this tuple is the on-wire per-page class id.
+TOLERANCE_CLASSES = ("critical", "standard", "tolerant")
+
+#: Intolerance weight per class: how strongly a unit of measured ACE
+#: time counts against keeping the page in the low-reliability tier.
+#: ``critical`` ACE counts in full; ``tolerant`` ACE is discounted to
+#: near-nothing (an error there is absorbed by the application).
+TOLERANCE_WEIGHTS = {"critical": 1.0, "standard": 0.6, "tolerant": 0.15}
+
+DEFAULT_TOLERANCE = "standard"
+
+
+@dataclass
+class ToleranceMap:
+    """Per-page error-tolerance classes over one workload footprint.
+
+    ``page_class[p]`` is the index into :data:`TOLERANCE_CLASSES` for
+    global page ``p``.  Pages beyond the array (or any page when no map
+    exists) are treated as ``standard``.
+    """
+
+    #: int8 class index per page, length == workload footprint.
+    page_class: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.page_class = np.asarray(self.page_class, dtype=np.int8)
+        if self.page_class.ndim != 1:
+            raise ValueError("page_class must be one-dimensional")
+        if len(self.page_class) and not (
+            (self.page_class >= 0)
+            & (self.page_class < len(TOLERANCE_CLASSES))
+        ).all():
+            raise ValueError("page_class entries must index "
+                             f"TOLERANCE_CLASSES (0..{len(TOLERANCE_CLASSES) - 1})")
+
+    def __len__(self) -> int:
+        return len(self.page_class)
+
+    @property
+    def _class_weights(self) -> np.ndarray:
+        return np.array([TOLERANCE_WEIGHTS[c] for c in TOLERANCE_CLASSES])
+
+    def weights(self) -> np.ndarray:
+        """Per-page intolerance weight, float64, aligned with pages."""
+        return self._class_weights[self.page_class]
+
+    def weights_of(self, pages) -> np.ndarray:
+        """Intolerance weights for arbitrary global page ids.
+
+        Pages outside the mapped footprint get the ``standard`` weight.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        out = np.full(len(pages), TOLERANCE_WEIGHTS[DEFAULT_TOLERANCE])
+        valid = (pages >= 0) & (pages < len(self.page_class))
+        if valid.any():
+            out[valid] = self._class_weights[self.page_class[pages[valid]]]
+        return out
+
+    def weight_of(self, page: int) -> float:
+        """Scalar intolerance weight of one page (bit-identical to the
+        corresponding :meth:`weights_of` lane)."""
+        if 0 <= page < len(self.page_class):
+            return float(
+                self._class_weights[int(self.page_class[page])])
+        return float(TOLERANCE_WEIGHTS[DEFAULT_TOLERANCE])
+
+    def class_counts(self) -> "dict[str, int]":
+        """Pages per tolerance class."""
+        counts = np.bincount(self.page_class,
+                             minlength=len(TOLERANCE_CLASSES))
+        return {name: int(counts[i])
+                for i, name in enumerate(TOLERANCE_CLASSES)}
+
+    def mix_fractions(self) -> "dict[str, float]":
+        """Footprint fraction per tolerance class."""
+        total = max(1, len(self.page_class))
+        return {name: count / total
+                for name, count in self.class_counts().items()}
+
+
+def tolerance_map(
+    workload_trace: WorkloadTrace,
+    region_classes: "dict[str, str]",
+    default: str = DEFAULT_TOLERANCE,
+) -> ToleranceMap:
+    """Build a per-page tolerance map from per-region class labels.
+
+    ``region_classes`` maps unqualified region names (``hot_keys``) to
+    tolerance classes; every page of every core's region inherits its
+    class.  Unlisted regions get ``default``.
+    """
+    for cls in list(region_classes.values()) + [default]:
+        if cls not in TOLERANCE_CLASSES:
+            raise ValueError(f"unknown tolerance class {cls!r} "
+                             f"(have {', '.join(TOLERANCE_CLASSES)})")
+    page_class = np.full(workload_trace.footprint_pages,
+                         TOLERANCE_CLASSES.index(default), dtype=np.int8)
+    for layouts in workload_trace.core_layouts:
+        for layout in layouts:
+            cls = region_classes.get(layout.spec.name, default)
+            page_class[layout.first_page:
+                       layout.first_page + layout.num_pages] = (
+                TOLERANCE_CLASSES.index(cls))
+    return ToleranceMap(page_class=page_class)
 
 
 @dataclass(frozen=True)

@@ -853,3 +853,170 @@ class OracleRiskMigration(MigrationMechanism):
     def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
         # Not realisable in hardware; report the FC cost as a floor.
         return FullCounters.storage_cost(total_pages).total_bytes
+
+
+class ToleranceTieredMigration(MigrationMechanism):
+    """Tolerance-tiered placement: hotness x windowed AVF x tolerance.
+
+    Extends :class:`OracleRiskMigration`'s measured-ACE exchange with
+    the per-page error-tolerance classes of
+    :mod:`repro.core.annotations` (Heterogeneous-Reliability Memory,
+    Luo et al.).  A page's effective risk is its windowed ACE time
+    scaled by the intolerance weight of its class::
+
+        risk(p) = window_ace(p) * tolerance_weight(p)
+
+    so hot *tolerant* pages (refetchable caches, verifiable outputs)
+    absorb the low-reliability fast tier under capacity pressure,
+    while critical pages with the same measured ACE are evicted first.
+    With no tolerance map every weight is 1.0 and the policy degrades
+    exactly to :class:`OracleRiskMigration`.
+
+    Both kernels rank identically: ``sparse`` streams per-request ACE
+    through :class:`~repro.avf.tracker.AceTracker`, ``array`` batches
+    through :class:`~repro.avf.tracker.WindowedAceTracker`; the
+    weighting is one float64 multiply per page in either, so plans
+    stay bit-identical across kernels.
+    """
+
+    name = "tolerance-tiered"
+
+    def __init__(self, tolerance=None, max_swap_fraction: float = 0.1,
+                 policy_kernel: "str | None" = None) -> None:
+        from repro.avf.tracker import AceTracker, WindowedAceTracker
+
+        if not 0 < max_swap_fraction <= 1:
+            raise ValueError("max_swap_fraction must be in (0, 1]")
+        self.policy_kernel = resolve_policy_kernel(policy_kernel)
+        self.counters = make_counters(8, self.policy_kernel)
+        if self.policy_kernel == "array":
+            self.tracker = WindowedAceTracker()
+        else:
+            self.tracker = AceTracker()
+        self.max_swap_fraction = max_swap_fraction
+        self._weights = self._coerce_weights(tolerance)
+
+    @staticmethod
+    def _coerce_weights(tolerance) -> "np.ndarray | None":
+        """Per-page float64 intolerance weights, or None for neutral."""
+        if tolerance is None:
+            return None
+        if hasattr(tolerance, "weights"):  # ToleranceMap
+            return np.asarray(tolerance.weights(), dtype=np.float64)
+        return np.asarray(tolerance, dtype=np.float64)
+
+    def _weight(self, page: int) -> float:
+        weights = self._weights
+        if weights is None or not 0 <= page < len(weights):
+            return 1.0
+        return float(weights[page])
+
+    def _weights_of(self, pages: np.ndarray) -> np.ndarray:
+        weights = self._weights
+        pages = np.asarray(pages, dtype=np.int64)
+        if weights is None:
+            return np.ones(len(pages))
+        out = np.ones(len(pages))
+        valid = (pages >= 0) & (pages < len(weights))
+        if valid.any():
+            out[valid] = weights[pages[valid]]
+        return out
+
+    def observe_chunk(self, pages: np.ndarray, is_write: np.ndarray,
+                      times: "np.ndarray | None" = None) -> None:
+        check_parallel_arrays(f"{self.name}.observe_chunk",
+                              pages, is_write, times)
+        self.counters.record_batch(pages, is_write)
+        if times is None:
+            raise ValueError(
+                "ToleranceTieredMigration needs per-request times; run "
+                "it through the replay engine"
+            )
+        if self.policy_kernel == "array":
+            self.tracker.observe_chunk(pages, times, is_write)
+            return
+        access = self.tracker.access
+        for page, write, time in zip(np.asarray(pages).tolist(),
+                                     np.asarray(is_write).tolist(),
+                                     np.asarray(times).tolist()):
+            access(int(page), float(time), bool(write))
+
+    def window_ace_total(self) -> float:
+        return float(sum(self.tracker.line_ace_times().values()))
+
+    def plan(self, hma: HeterogeneousMemory) -> MigrationPlan:
+        if self._use_array_kernel(hma):
+            return self._record_plan(self._plan_array(hma))
+        return self._record_plan(self._plan_sparse(hma))
+
+    def _plan_sparse(self, hma) -> MigrationPlan:
+        counters = self.counters
+        touched = counters.touched_pages()
+        hotness = {p: counters.hotness(p) for p in touched}
+        ace = self.tracker.reset_window()
+
+        def risk_of(page: int) -> float:
+            return ace.get(page, 0.0) * self._weight(page)
+
+        hot_threshold = _mean_threshold(list(hotness.values()))
+        risk_threshold = _mean_threshold([risk_of(p) for p in touched])
+
+        in_fast_list = hma.pages_in(FAST)
+        in_fast = set(in_fast_list)
+
+        def is_good(page: int) -> bool:
+            return (
+                hotness.get(page, 0) > hot_threshold
+                and risk_of(page) <= risk_threshold
+            )
+
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+        candidates_in = sorted(
+            (p for p in touched if p not in in_fast and is_good(p)),
+            key=lambda p: -hotness[p],
+        )[:budget]
+        evictable = sorted(
+            (p for p in in_fast_list if not is_good(p)),
+            key=lambda p: -risk_of(p),
+        )
+        to_slow = evictable[:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:free]
+        counters.reset()
+        return to_fast, to_slow
+
+    def _plan_array(self, hma) -> MigrationPlan:
+        counters = self.counters
+        tracker = self.tracker
+        pages, reads, writes = counters.touched_arrays()
+        hot = reads + writes
+        risk = tracker.window_ace_of(pages) * self._weights_of(pages)
+        in_fast = hma.pages_in_array(FAST)
+        r_risk = tracker.window_ace_of(in_fast) * self._weights_of(in_fast)
+        tracker.clear_window()
+
+        hot_threshold = _mean_threshold(hot)
+        risk_threshold = _mean_threshold(risk)
+        budget = max(1, int(hma.fast_capacity_pages * self.max_swap_fraction))
+
+        good = (hot > hot_threshold) & (risk <= risk_threshold)
+        cand_mask = good & ~hma.fast_mask(pages)
+        sel = _top_hot_desc(pages[cand_mask], hot[cand_mask], budget)
+        candidates_in = pages[cand_mask][sel]
+
+        r_hot = counters.hotness_of(in_fast)
+        evict = ~((r_hot > hot_threshold) & (r_risk <= risk_threshold))
+        e_pages = in_fast[evict]
+        # Highest weighted risk first, ascending-page ties.
+        order = np.lexsort((e_pages, -r_risk[evict]))
+        to_slow = e_pages[order][:budget]
+        free = hma.fast_capacity_pages - len(in_fast) + len(to_slow)
+        to_fast = candidates_in[:max(free, 0)]
+        counters.reset()
+        return to_fast.tolist(), to_slow.tolist()
+
+    def hardware_cost_bytes(self, total_pages: int, fast_pages: int) -> int:
+        # FC counters plus a 2-bit tolerance class per page (the class
+        # itself comes free from the loader's annotation tables).
+        return (FullCounters.storage_cost(total_pages).total_bytes
+                + (2 * total_pages + 7) // 8)

@@ -35,7 +35,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    sub.add_parser("workloads", help="list the bundled benchmark profiles")
+    workloads = sub.add_parser(
+        "workloads",
+        help="list the bundled benchmark profiles and server generators",
+    )
+    workloads.add_argument("--list", action="store_true", default=False,
+                           help="list all workloads (the default)")
+    workloads.add_argument("--describe", metavar="NAME", default=None,
+                           help="print one workload's parameters, phase "
+                                "schedule, and tolerance-class mix")
+    workloads.add_argument("--seed", type=int, default=None,
+                           help="seed for the described phase schedule "
+                                "(env REPRO_SEED; default 0)")
 
     trace = sub.add_parser(
         "trace", help="generate a workload trace and save it to a file"
@@ -268,9 +279,37 @@ def _run_one(name: str, cache: WorkloadCache, args) -> None:
     result.print()
 
 
-def _cmd_workloads() -> int:
+def _cmd_workloads(args) -> int:
     from repro.trace.mixes import MIX_TABLE
     from repro.trace.workloads import PROFILES
+    from repro.workloads import (
+        FRONTIER_PROFILES, describe, is_frontier, tolerance_mix,
+    )
+
+    if args.describe is not None:
+        name = args.describe
+        if is_frontier(name):
+            print(describe(name, seed=args.seed))
+            return 0
+        if name in PROFILES:
+            profile = PROFILES[name]
+            print(f"{name}: SPEC-style profile, "
+                  f"{profile.footprint_mb:.0f} MB/core, "
+                  f"MPKI {profile.mpki:g}, MLP {profile.mlp}")
+            print(f"  {'region':14s} {'share':>6s} {'hot':>5s} {'wr':>5s} "
+                  f"{'spread':>6s} {'alpha':>5s} {'churn':>5s}")
+            for spec in profile.regions:
+                print(f"  {spec.name:14s} {spec.footprint_share:>6.2f} "
+                      f"{spec.hotness:>5.1f} {spec.write_frac:>5.2f} "
+                      f"{spec.read_spread:>6.2f} {spec.zipf_alpha:>5.2f} "
+                      f"{spec.churn:>5g}")
+            return 0
+        if name in MIX_TABLE:
+            print(f"{name}: mixed workload, one core per entry:")
+            print(" ", ", ".join(MIX_TABLE[name]))
+            return 0
+        print(f"unknown workload: {name!r} (try 'repro-hma workloads')")
+        return 2
 
     print(f"{'benchmark':12s} {'footprint':>10s} {'MPKI':>6s} {'MLP':>4s} "
           f"structures")
@@ -279,17 +318,27 @@ def _cmd_workloads() -> int:
               f"{profile.mpki:>6.1f} {profile.mlp:>4d} "
               f"{len(profile.regions)}")
     print()
+    print(f"{'server generator':16s} {'footprint':>10s} {'MPKI':>6s} "
+          f"{'MLP':>4s} {'cores':>5s} {'phases':>6s}  model     "
+          f"tolerance mix")
+    for name, profile in FRONTIER_PROFILES.items():
+        mix = ", ".join(f"{cls[:4]} {frac * 100:.0f}%"
+                        for cls, frac in tolerance_mix(profile).items())
+        print(f"{name:16s} {profile.footprint_mb:>8.0f}MB "
+              f"{profile.mpki:>6.1f} {profile.mlp:>4d} "
+              f"{profile.num_cores:>5d} {profile.phases:>6d}  "
+              f"{profile.phase_model:8s}  {mix}")
+    print()
     print("mixes:", ", ".join(MIX_TABLE))
+    print("describe one with: repro-hma workloads --describe <name>")
     return 0
 
 
 def _cmd_trace(args) -> int:
+    from repro.sim.system import resolve_workload
     from repro.trace.io import save_npz, save_text
-    from repro.trace.workloads import Workload
 
-    workload = (Workload.mix(args.workload)
-                if args.workload.startswith("mix")
-                else Workload.spec(args.workload))
+    workload = resolve_workload(args.workload)
     wt = workload.generate(scale=args.scale,
                            accesses_per_core=args.accesses, seed=args.seed)
     if args.output.endswith(".npz"):
@@ -334,7 +383,7 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
             print(f"{name:8s} {doc}")
         return 0
     if args.command == "workloads":
-        return _cmd_workloads()
+        return _cmd_workloads(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "config":

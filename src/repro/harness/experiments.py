@@ -29,6 +29,7 @@ from repro.core.migration import (
     CrossCountersMigration,
     PerformanceFocusedMigration,
     ReliabilityAwareFCMigration,
+    ToleranceTieredMigration,
 )
 from repro.core.placement import (
     BalancedPlacement,
@@ -56,6 +57,7 @@ from repro.sim.system import (
 )
 from repro.trace.mixes import MIX_NAMES, MIX_TABLE
 from repro.trace.workloads import HOMOGENEOUS_BENCHMARKS, PROFILES
+from repro.workloads import FRONTIER_WORKLOADS
 
 #: The paper's full workload set: nine 16-copy homogeneous workloads
 #: plus the five Table 2 mixes.
@@ -727,6 +729,89 @@ def fig15_cc_migration(workloads=ALL_WORKLOADS, cache=None,
 
 
 # ---------------------------------------------------------------------------
+# Extension: the datacenter workload frontier
+# ---------------------------------------------------------------------------
+
+def workload_frontier(
+    workloads=FRONTIER_WORKLOADS,
+    cache=None,
+    accesses_per_core=DEFAULT_ACCESSES,
+    scale=DEFAULT_SCALE,
+    seed=None,
+    num_intervals=DEFAULT_INTERVALS,
+) -> FigureResult:
+    """Extension: phase-aware server workloads under the migration
+    ladder, with ``tolerance-tiered`` head-to-head against CC.
+
+    Runs the paper's migration ladder (perf / FC / CC) plus the
+    tolerance-tiered policy on the frontier server workloads (kvstore,
+    webserver, compiler) at equal HBM capacity.  Tolerance-tiered gets
+    each workload's per-page :class:`~repro.core.annotations.ToleranceMap`;
+    the headline is SER of tolerance-tiered relative to hotness-only
+    CC (``< 1`` means the tolerance dimension buys extra reliability).
+
+    Reproduce with::
+
+        repro-hma run workload-frontier
+    """
+    cache = _cache(cache, accesses_per_core, scale, seed)
+    multirun = bool(knob_value("multirun"))
+    rows = []
+    ipc_vs_cc, ser_vs_cc = [], []
+    summary: "dict[str, float]" = {}
+    for wl in workloads:
+        prep = cache.get(wl)
+        tol = getattr(prep.workload_trace, "tolerance", None)
+        specs = [
+            MigrationSpec(PerformanceFocusedMigration(),
+                          num_intervals=num_intervals),
+            MigrationSpec(ReliabilityAwareFCMigration(),
+                          num_intervals=num_intervals,
+                          initial_policy=BalancedPlacement()),
+            MigrationSpec(CrossCountersMigration(),
+                          num_intervals=num_intervals,
+                          initial_policy=BalancedPlacement()),
+            MigrationSpec(ToleranceTieredMigration(tolerance=tol),
+                          num_intervals=num_intervals,
+                          initial_policy=BalancedPlacement()),
+        ]
+        if multirun:
+            results = evaluate_migration_multi(prep, specs)
+        else:
+            results = [
+                evaluate_migration(prep, spec.mechanism,
+                                   num_intervals=spec.num_intervals,
+                                   initial_policy=spec.initial_policy)
+                for spec in specs
+            ]
+        by_name = {res.scheme: res for res in results}
+        for res in results:
+            rows.append([wl, res.scheme, res.ipc_vs_ddr,
+                         res.ser_vs_ddr, res.migrations])
+        cc = by_name["cc-migration"]
+        tt = by_name["tolerance-tiered"]
+        wl_ipc = tt.ipc / cc.ipc if cc.ipc else 0.0
+        wl_ser = tt.ser / cc.ser if cc.ser else 0.0
+        ipc_vs_cc.append(wl_ipc)
+        ser_vs_cc.append(wl_ser)
+        summary[f"{wl}_ser_tt_vs_cc"] = wl_ser
+    summary.update({
+        "mean_ipc_tt_vs_cc": gmean(ipc_vs_cc),
+        "mean_ser_tt_vs_cc": gmean(ser_vs_cc),
+        "best_ser_tt_vs_cc": min(ser_vs_cc) if ser_vs_cc else 0.0,
+        "frontier_wins": float(sum(1 for s in ser_vs_cc if s < 1.0)),
+    })
+    return FigureResult(
+        figure="Workload frontier",
+        description="Server workloads: migration ladder + tolerance-tiered",
+        headers=["workload", "scheme", "IPC vs DDR", "SER vs DDR",
+                 "migrations"],
+        rows=rows,
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Figures 16-17: program annotations
 # ---------------------------------------------------------------------------
 
@@ -931,6 +1016,7 @@ EXPERIMENTS = {
     "fig17": fig17_annotation_counts,
     "table3": table3_summary,
     "hwcost": hw_cost,
+    "workload-frontier": workload_frontier,
     "sweep-capacity": _sweep("capacity_sweep"),
     "sweep-fit": _sweep("fit_multiplier_sweep"),
     "sweep-mlp": _sweep("mlp_sensitivity"),

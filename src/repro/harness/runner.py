@@ -90,7 +90,8 @@ __all__ = [
 
 #: Bump to invalidate every on-disk entry when the pickle layout changes.
 #: v2: entries carry an integrity header (schema version + checksum).
-CACHE_VERSION = 2
+#: v3: WorkloadTrace gained core_mlps + tolerance (frontier workloads).
+CACHE_VERSION = 3
 
 
 # ---------------------------------------------------------------------------

@@ -162,6 +162,7 @@ def make_mechanism(name: "str | None"):
         OracleRiskMigration,
         PerformanceFocusedMigration,
         ReliabilityAwareFCMigration,
+        ToleranceTieredMigration,
     )
 
     factories = {
@@ -169,6 +170,7 @@ def make_mechanism(name: "str | None"):
         "fc-migration": ReliabilityAwareFCMigration,
         "cc-migration": CrossCountersMigration,
         "oracle-risk-migration": OracleRiskMigration,
+        "tolerance-tiered": ToleranceTieredMigration,
     }
     if name is None:
         return None

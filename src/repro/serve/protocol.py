@@ -41,7 +41,8 @@ PROTOCOL_VERSION = 1
 
 #: Migration mechanisms a session may request (None = static placement).
 SESSION_MECHANISMS = (None, "perf-migration", "fc-migration",
-                      "cc-migration", "oracle-risk-migration")
+                      "cc-migration", "oracle-risk-migration",
+                      "tolerance-tiered")
 
 #: Stable error codes carried in failure responses.
 ERR_PROTOCOL = "protocol"        # malformed message: session poisoned

@@ -61,6 +61,20 @@ class PreparedWorkload:
         return self.workload.name
 
 
+def resolve_workload(name: str):
+    """Resolve a workload name: ``mix*`` tables, frontier server
+    generators, or a homogeneous SPEC-style benchmark spec."""
+    # Imported lazily: repro.workloads pulls in core.annotations, which
+    # this module's callers don't always need.
+    from repro.workloads import frontier_workload, is_frontier
+
+    if is_frontier(name):
+        return frontier_workload(name)
+    if name.startswith("mix"):
+        return Workload.mix(name)
+    return Workload.spec(name)
+
+
 def prepare_workload(
     workload: "Workload | str",
     config: "SystemConfig | None" = None,
@@ -71,10 +85,7 @@ def prepare_workload(
 ) -> PreparedWorkload:
     """Generate, profile, and baseline one workload."""
     if isinstance(workload, str):
-        workload = (
-            Workload.mix(workload) if workload.startswith("mix")
-            else Workload.spec(workload)
-        )
+        workload = resolve_workload(workload)
     if config is None:
         config = scaled_config(scale)
     wt = workload.generate(

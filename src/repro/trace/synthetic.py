@@ -54,7 +54,8 @@ class RegionSpec:
     #: written (low risk), ~1 means data stays live until the next
     #: write (high risk).
     read_spread: float
-    #: Zipf skew of per-page hotness inside the region (0 = uniform).
+    #: Zipf skew of per-page hotness inside the region; must be
+    #: positive (alpha -> 0 approaches uniform).
     zipf_alpha: float = 0.6
     #: Distinct cache lines touched per page (out of 64).
     lines_touched: int = LINES_PER_PAGE
@@ -64,14 +65,21 @@ class RegionSpec:
     churn: float = 0.0
 
     def __post_init__(self) -> None:
+        # Every range check is phrased to also reject NaN (NaN fails
+        # any comparison, so `not lo <= x <= hi` style catches it).
         if not 0 < self.footprint_share <= 1:
             raise ValueError(f"{self.name}: footprint_share must be in (0, 1]")
-        if self.hotness < 0:
+        if not self.hotness >= 0:
             raise ValueError(f"{self.name}: hotness must be non-negative")
         if not 0 <= self.write_frac <= 1:
             raise ValueError(f"{self.name}: write_frac must be in [0, 1]")
         if not 0 <= self.read_spread <= 1:
             raise ValueError(f"{self.name}: read_spread must be in [0, 1]")
+        if not self.zipf_alpha > 0 or not np.isfinite(self.zipf_alpha):
+            raise ValueError(
+                f"{self.name}: zipf_alpha must be a positive finite "
+                f"number (got {self.zipf_alpha!r}; alpha -> 0 "
+                f"approaches uniform)")
         if not 1 <= self.lines_touched <= LINES_PER_PAGE:
             raise ValueError(f"{self.name}: lines_touched must be in [1, 64]")
         if not 0 <= self.churn <= 1:
@@ -107,11 +115,11 @@ class GeneratorParams:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.target_accesses <= 0:
+        if not self.target_accesses > 0:
             raise ValueError("target_accesses must be positive")
-        if self.mpki <= 0:
-            raise ValueError("mpki must be positive")
-        if self.phases < 1:
+        if not self.mpki > 0 or not np.isfinite(self.mpki):
+            raise ValueError("mpki must be a positive finite number")
+        if not self.phases >= 1:
             raise ValueError("phases must be >= 1")
 
 
@@ -141,6 +149,11 @@ def layout_regions(
     rounding slack is apportioned by largest remainder so the total is
     exact even at tiny scales.
     """
+    if not regions:
+        raise ValueError("at least one region is required")
+    if footprint_pages <= 0:
+        raise ValueError(
+            f"footprint_pages must be positive (got {footprint_pages})")
     if footprint_pages < len(regions):
         raise ValueError("footprint smaller than the number of regions")
     shares = np.array([r.footprint_share for r in regions], dtype=np.float64)

@@ -362,10 +362,20 @@ class WorkloadTrace:
     core_benchmarks: "list[str]"
     #: Total footprint in pages (sum over cores).
     footprint_pages: int
+    #: Explicit per-core MLP for workloads whose benchmarks are not in
+    #: PROFILES (the frontier server generators); None -> look up.
+    core_mlps: "list[int] | None" = None
+    #: Optional per-page error-tolerance classes
+    #: (:class:`repro.core.annotations.ToleranceMap`).
+    tolerance: "object | None" = None
 
     @property
     def core_mlp(self) -> "list[int]":
         """Per-core outstanding-miss windows from the profiles."""
+        # getattr: traces unpickled from pre-v3 caches lack the field.
+        mlps = getattr(self, "core_mlps", None)
+        if mlps is not None:
+            return list(mlps)
         return [PROFILES[b].mlp for b in self.core_benchmarks]
 
     def structures(self) -> "dict[str, list[RegionLayout]]":

@@ -36,7 +36,7 @@ from repro.trace.record import Trace
 
 #: Migration mechanisms a case may exercise (None = static placement).
 MECHANISMS = (None, "perf-migration", "fc-migration", "cc-migration",
-              "oracle-risk-migration")
+              "oracle-risk-migration", "tolerance-tiered")
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,7 @@ def _make_mechanism(name: "str | None", policy_kernel: "str | None" = None):
         OracleRiskMigration,
         PerformanceFocusedMigration,
         ReliabilityAwareFCMigration,
+        ToleranceTieredMigration,
     )
 
     factories = {
@@ -110,6 +111,7 @@ def _make_mechanism(name: "str | None", policy_kernel: "str | None" = None):
         "fc-migration": ReliabilityAwareFCMigration,
         "cc-migration": CrossCountersMigration,
         "oracle-risk-migration": OracleRiskMigration,
+        "tolerance-tiered": ToleranceTieredMigration,
     }
     if name is None:
         return None
@@ -385,6 +387,86 @@ def check_serve(case: DiffCase) -> "str | None":
     return None
 
 
+def check_frontier(case: DiffCase) -> "str | None":
+    """Frontier server-workload generators: determinism + parity.
+
+    Three gates per case, rotating through the generator families:
+
+    1. *Seeded determinism*: generating the same frontier workload
+       twice must be byte-identical, array for array.
+    2. *Streamed vs batch*: the generated trace chunked through a real
+       :class:`~repro.serve.client.ServiceClient` session running the
+       ``tolerance-tiered`` mechanism must produce a digest
+       bit-identical to :func:`~repro.serve.engine.run_session` on the
+       assembled trace (this also crosses the sparse/array policy
+       kernels via the session's default resolution).
+    3. *Injected drift (negative)*: flipping a single request's
+       read/write bit must change the digest — proving the digest
+       actually covers the payload and a real divergence cannot hide.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.client import ServiceClient
+    from repro.serve.engine import run_session
+    from repro.serve.protocol import SessionSpec
+    from repro.serve.service import PlacementService, ServiceConfig
+    from repro.trace.record import Trace
+    from repro.workloads import FRONTIER_WORKLOADS, generate_frontier
+
+    name = FRONTIER_WORKLOADS[case.case_id % len(FRONTIER_WORKLOADS)]
+    accesses = max(60, min(case.accesses, 400))
+    scale = 1 / 16384  # tiny footprints keep the fuzz loop cheap
+    wt = generate_frontier(name, scale=scale, accesses_per_core=accesses,
+                           seed=case.seed)
+    twin = generate_frontier(name, scale=scale, accesses_per_core=accesses,
+                             seed=case.seed)
+    for fld in ("core", "address", "is_write", "gap"):
+        if (getattr(wt.trace, fld).tobytes()
+                != getattr(twin.trace, fld).tobytes()):
+            return f"{name}: non-deterministic generation ({fld})"
+    if wt.times.tobytes() != twin.times.tobytes():
+        return f"{name}: non-deterministic generation (times)"
+    if wt.tolerance.page_class.tobytes() != twin.tolerance.page_class.tobytes():
+        return f"{name}: non-deterministic tolerance map"
+
+    spec = SessionSpec(
+        tenant=f"frontier-{case.case_id}",
+        num_cores=len(wt.core_benchmarks),
+        fast_pages=max(4, wt.footprint_pages // 8),
+        slow_pages=wt.footprint_pages,
+        mechanism="tolerance-tiered",
+        num_intervals=max(1, min(case.num_intervals, 4)),
+    )
+    batch = run_session(spec, wt.trace, wt.times)
+    serve_dir = tempfile.mkdtemp(prefix="repro-fuzz-frontier-")
+    try:
+        config = ServiceConfig(isolation="inline", serve_dir=serve_dir,
+                               idle_timeout=None, pool_workers=1)
+        with PlacementService(config) as service:
+            chunk_size = max(1, -(-len(wt.trace) // 4))  # ~4 wire chunks
+            served = ServiceClient(service).run(
+                spec, wt.trace, wt.times, chunk_size=chunk_size)
+    finally:
+        shutil.rmtree(serve_dir, ignore_errors=True)
+    if served.digest != batch.digest:
+        return _first_diff({"batch": batch.digest, "served": served.digest})
+    if served.sha != batch.sha:
+        return f"digest sha: batch={batch.sha} served={served.sha}"
+
+    # Negative test: one flipped write bit must not digest-collide.
+    flipped = wt.trace.is_write.copy()
+    mid = len(flipped) // 2
+    flipped[mid] = ~flipped[mid]
+    drift_trace = Trace(core=wt.trace.core, address=wt.trace.address,
+                        is_write=flipped, gap=wt.trace.gap)
+    drifted = run_session(spec, drift_trace, wt.times)
+    if drifted.sha == batch.sha:
+        return (f"{name}: injected drift not detected "
+                f"(sha {batch.sha} unchanged)")
+    return None
+
+
 def check_multirun(case: DiffCase) -> "str | None":
     """Config-batched ``replay_multi`` vs per-point ``replay``.
 
@@ -443,6 +525,7 @@ CHECKS = {
     "shm-roundtrip": check_shm_roundtrip,
     "serve": check_serve,
     "multirun": check_multirun,
+    "frontier": check_frontier,
 }
 
 

@@ -1,0 +1,35 @@
+"""Server-workload frontier: phase-aware statistical generators.
+
+See :mod:`repro.workloads.frontier` for the generator models and
+:mod:`repro.core.annotations` for the tolerance classes they attach.
+"""
+
+from repro.workloads.frontier import (
+    FRONTIER_PROFILES,
+    FRONTIER_WORKLOADS,
+    FrontierProfile,
+    FrontierWorkload,
+    PhaseSpec,
+    describe,
+    frontier_profile,
+    frontier_workload,
+    generate_frontier,
+    is_frontier,
+    phase_schedule,
+    tolerance_mix,
+)
+
+__all__ = [
+    "FRONTIER_PROFILES",
+    "FRONTIER_WORKLOADS",
+    "FrontierProfile",
+    "FrontierWorkload",
+    "PhaseSpec",
+    "describe",
+    "frontier_profile",
+    "frontier_workload",
+    "generate_frontier",
+    "is_frontier",
+    "phase_schedule",
+    "tolerance_mix",
+]

@@ -97,3 +97,79 @@ class TestPlanAnnotations:
         astar_plan = plan_annotations(prepared.workload_trace, prepared.stats,
                                       256)
         assert mix_plan.num_annotations > astar_plan.num_annotations
+
+
+class TestToleranceRoundtrip:
+    """Tolerance maps and annotation plans must survive the prep cache
+    and the shm handoff bit-identically."""
+
+    def test_frontier_tolerance_through_prep_cache(self, tmp_path):
+        from repro.harness.runner import prepare_workload_cached
+
+        kwargs = dict(scale=1 / 2048, accesses_per_core=600, seed=4,
+                      cache_dir=tmp_path)
+        first = prepare_workload_cached("kvstore", **kwargs)
+        second = prepare_workload_cached("kvstore", **kwargs)
+        tol_a = first.workload_trace.tolerance
+        tol_b = second.workload_trace.tolerance
+        assert tol_a is not None and tol_b is not None
+        assert tol_a.page_class.dtype == tol_b.page_class.dtype
+        assert tol_a.page_class.tobytes() == tol_b.page_class.tobytes()
+        assert tol_a.weights().tobytes() == tol_b.weights().tobytes()
+
+    def test_spec_workloads_have_no_tolerance(self, prepared):
+        assert getattr(prepared.workload_trace, "tolerance", None) is None
+
+    def test_annotation_plan_shm_roundtrip(self, prepared):
+        import pickle
+
+        from repro.config import knob_overrides
+        from repro.harness import shm
+
+        plan = plan_annotations(prepared.workload_trace, prepared.stats,
+                                capacity_pages=64)
+        payload = {"pinned": plan.pinned_pages,
+                   "names": plan.structure_names}
+        with knob_overrides(shm_handoff=True):
+            item = shm.share_payload(payload, threshold=8)
+        if not isinstance(item, shm.SharedPayload):
+            pytest.skip("no shared memory on this platform")
+        try:
+            clone = pickle.loads(pickle.dumps(item)).load()
+            assert clone["pinned"].tobytes() == plan.pinned_pages.tobytes()
+            assert clone["names"] == plan.structure_names
+        finally:
+            shm.release_payload(item)
+
+    def test_tolerance_map_shm_roundtrip_property(self):
+        pytest.importorskip("hypothesis")
+        import pickle
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.config import knob_overrides
+        from repro.core.annotations import TOLERANCE_CLASSES, ToleranceMap
+        from repro.harness import shm
+
+        @settings(max_examples=25, deadline=None)
+        @given(st.lists(st.integers(0, len(TOLERANCE_CLASSES) - 1),
+                        min_size=1, max_size=512))
+        def roundtrip(classes):
+            tm = ToleranceMap(
+                page_class=np.array(classes, dtype=np.int8))
+            with knob_overrides(shm_handoff=True):
+                item = shm.share_payload({"cls": tm.page_class},
+                                         threshold=8)
+            if not isinstance(item, shm.SharedPayload):
+                return
+            try:
+                clone = pickle.loads(pickle.dumps(item)).load()
+                rebuilt = ToleranceMap(page_class=clone["cls"])
+                assert (rebuilt.page_class.tobytes()
+                        == tm.page_class.tobytes())
+                assert rebuilt.weights().tobytes() == tm.weights().tobytes()
+            finally:
+                shm.release_payload(item)
+
+        roundtrip()

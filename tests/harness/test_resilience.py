@@ -350,6 +350,17 @@ class TestReplicateResume:
 
 
 class TestCapacitySweepResume:
+    # The journal surgery below assumes the per-fraction fan-out; under
+    # the multirun knob (the default) each workload is one job, so pin
+    # the oracle path.  tests/sim/test_multirun_parity.py covers the
+    # knob-on rows being bit-identical.
+    @pytest.fixture(autouse=True)
+    def _fraction_fanout(self):
+        from repro.config import knob_overrides
+
+        with knob_overrides(multirun=False):
+            yield
+
     def test_resume_serves_finished_fractions_from_journal(self, tmp_path,
                                                            monkeypatch):
         d = str(tmp_path / "run")

@@ -49,6 +49,9 @@ class TestSessionSpec:
     def test_none_mechanism_is_static(self):
         SessionSpec(tenant="t", mechanism=None).validate()
 
+    def test_tolerance_tiered_mechanism_accepted(self):
+        SessionSpec(tenant="t", mechanism="tolerance-tiered").validate()
+
     def test_unknown_fields_rejected(self):
         with pytest.raises(ProtocolError, match="unknown spec fields"):
             SessionSpec.from_dict({"tenant": "t", "colour": "red"})

@@ -56,3 +56,60 @@ class TestExpand:
     def test_overfull_rejected(self):
         with pytest.raises(ValueError):
             _expand({"a": 17})
+
+
+class TestMixRoundtrip:
+    """Every mix must round-trip the prep cache and shm bit-identically."""
+
+    SCALE = 1 / 2048
+    ACCESSES = 800
+
+    @pytest.mark.parametrize("name", MIX_NAMES)
+    def test_prepared_workload_cache_roundtrip(self, name, tmp_path):
+        from repro.harness.runner import prepare_workload_cached
+
+        kwargs = dict(scale=self.SCALE, accesses_per_core=self.ACCESSES,
+                      seed=9, cache_dir=tmp_path)
+        first = prepare_workload_cached(name, **kwargs)
+        assert list(tmp_path.glob("*.pkl")), "expected an on-disk entry"
+        second = prepare_workload_cached(name, **kwargs)
+
+        wt_a, wt_b = first.workload_trace, second.workload_trace
+        for fld in ("core", "address", "is_write", "gap"):
+            assert (getattr(wt_a.trace, fld).tobytes()
+                    == getattr(wt_b.trace, fld).tobytes()), fld
+        assert wt_a.times.tobytes() == wt_b.times.tobytes()
+        assert wt_a.core_benchmarks == wt_b.core_benchmarks
+        assert wt_a.core_mlp == wt_b.core_mlp
+        assert wt_a.footprint_pages == wt_b.footprint_pages
+        assert [tuple(l.spec.name for l in ls) for ls in wt_a.core_layouts] \
+            == [tuple(l.spec.name for l in ls) for ls in wt_b.core_layouts]
+        assert first.stats.pages.tobytes() == second.stats.pages.tobytes()
+        assert first.stats.avf.tobytes() == second.stats.avf.tobytes()
+        assert first.ddr_baseline.ipc == second.ddr_baseline.ipc
+
+    @pytest.mark.parametrize("name", MIX_NAMES)
+    def test_shm_handoff_roundtrip(self, name):
+        import pickle
+
+        from repro.config import knob_overrides
+        from repro.harness import shm
+        from repro.trace.workloads import Workload
+
+        wt = Workload.mix(name).generate(
+            scale=self.SCALE, accesses_per_core=self.ACCESSES, seed=9)
+        payload = {"address": wt.trace.address, "is_write": wt.trace.is_write,
+                   "gap": wt.trace.gap, "core": wt.trace.core,
+                   "times": wt.times}
+        with knob_overrides(shm_handoff=True):
+            item = shm.share_payload(payload, threshold=8)
+        if not isinstance(item, shm.SharedPayload):
+            pytest.skip("no shared memory on this platform")
+        try:
+            clone = pickle.loads(pickle.dumps(item)).load()
+            for key, sent in payload.items():
+                got = clone[key]
+                assert sent.dtype == got.dtype and sent.shape == got.shape
+                assert sent.tobytes() == got.tobytes(), key
+        finally:
+            shm.release_payload(item)

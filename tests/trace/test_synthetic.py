@@ -33,6 +33,17 @@ class TestRegionSpec:
         dict(lines_touched=0),
         dict(lines_touched=65),
         dict(churn=2.0),
+        # Up-front range validation: zipf_alpha must be positive and
+        # finite, and NaNs must not slip through any range check.
+        dict(zipf_alpha=0.0),
+        dict(zipf_alpha=-0.5),
+        dict(zipf_alpha=float("nan")),
+        dict(zipf_alpha=float("inf")),
+        dict(hotness=float("nan")),
+        dict(footprint_share=float("nan")),
+        dict(write_frac=float("nan")),
+        dict(read_spread=float("nan")),
+        dict(churn=float("nan")),
     ])
     def test_validation(self, kwargs):
         base = dict(name="x", footprint_share=0.5, hotness=1.0,
@@ -40,6 +51,10 @@ class TestRegionSpec:
         base.update(kwargs)
         with pytest.raises(ValueError):
             RegionSpec(**base)
+
+    def test_validation_message_names_region_and_value(self):
+        with pytest.raises(ValueError, match="x: zipf_alpha.*-1.0"):
+            region(name="x", zipf_alpha=-1.0)
 
 
 class TestZipfWeights:
@@ -57,6 +72,15 @@ class TestZipfWeights:
 
 
 class TestLayoutRegions:
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ValueError, match="at least one region"):
+            layout_regions([], 100)
+
+    @pytest.mark.parametrize("pages", [0, -1, -100])
+    def test_non_positive_footprint_rejected(self, pages):
+        with pytest.raises(ValueError, match="footprint_pages"):
+            layout_regions([region("a", 1.0)], pages)
+
     def test_sizes_sum_to_footprint(self):
         regions = [region("a", 0.5), region("b", 0.3), region("c", 0.2)]
         layouts = layout_regions(regions, 100)
@@ -103,7 +127,11 @@ class TestLayoutRegions:
 class TestGeneratorParams:
     @pytest.mark.parametrize("kwargs", [
         dict(target_accesses=0, mpki=1.0),
+        dict(target_accesses=-5, mpki=1.0),
         dict(target_accesses=10, mpki=0.0),
+        dict(target_accesses=10, mpki=-2.0),
+        dict(target_accesses=10, mpki=float("nan")),
+        dict(target_accesses=10, mpki=float("inf")),
         dict(target_accesses=10, mpki=1.0, phases=0),
     ])
     def test_validation(self, kwargs):

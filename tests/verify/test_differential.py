@@ -104,6 +104,47 @@ class TestServeFamily:
         assert finding is not None
 
 
+class TestFrontierFamily:
+    """The frontier-generator check family: determinism, streamed
+    parity, and the injected-drift negative gate."""
+
+    def test_registered(self):
+        assert "frontier" in CHECKS
+
+    @pytest.mark.parametrize("case_id", [0, 1, 2])
+    def test_clean_case_passes_per_generator(self, case_id):
+        case = replace(_some_case(4), case_id=case_id)
+        assert differential.check_frontier(case) is None
+
+    def test_tolerance_tiered_mechanism_in_rotation(self):
+        from repro.verify.cases import MECHANISMS
+
+        assert "tolerance-tiered" in MECHANISMS
+
+    def test_policy_kernel_divergence_is_caught(self, monkeypatch):
+        # Plant a bug in the tolerance weighting used by the session's
+        # mechanism: the streamed and batch replays share the planted
+        # code, so instead divergence is checked at the generator level
+        # — a non-deterministic generator must be reported.
+        from repro.workloads import frontier as frontier_mod
+
+        orig = frontier_mod.FrontierWorkload.generate
+        calls = {"n": 0}
+
+        def flaky(self, **kwargs):
+            wt = orig(self, **kwargs)
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                wt.trace.is_write[0] = ~wt.trace.is_write[0]
+            return wt
+
+        monkeypatch.setattr(frontier_mod.FrontierWorkload, "generate",
+                            flaky)
+        finding = differential.check_frontier(_some_case(4))
+        assert finding is not None
+        assert "non-deterministic" in finding
+
+
 class TestMutationSmoke:
     """A planted bug must be caught, shrunk, and dumped."""
 

@@ -7,29 +7,34 @@
 # 2. Re-runs the chaos suites verbosely (worker SIGKILL, hangs past
 #    timeout, corrupted cache entries, compile failure) so a resilience
 #    regression is named in the CI log, not buried in the dots.
-# 3. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
+# 3. Runs the workload-frontier smoke: one small server-workload
+#    generator per family (kvstore, webserver, compiler) through the
+#    fused pipeline with the tolerance-tiered policy, gated on
+#    seeded determinism, sparse/array plan parity, and a reliability
+#    win over the perf-focused baseline.
+# 4. Runs the kill/resume smoke: SIGKILLs a real checkpointed sweep
 #    mid-run, resumes it, and asserts bit-identical rows with only the
 #    unfinished fractions recomputed.  Then the serve chaos smoke: a
 #    live placement daemon on a unix socket with a worker SIGKILL'd
 #    mid-replay and a poison tenant (survivors must be bit-identical
 #    to batch), plus a flooding tenant that must be throttled with
 #    retry_after without degrading a polite tenant's p95 latency.
-# 4. Runs the replay-kernel, policy-kernel, end-to-end pipeline, and
-#    config-batched multi-run engine (oracle vs batched sweeps)
-#    throughput benchmarks at a small scale with relaxed JSON output
-#    paths, so CI catches both correctness drift (the benchmarks
-#    assert bit-exact parity of replay results, migration plans,
-#    residual cache-filter traces, shm handoffs, and fault-simulator
-#    tallies) and gross performance regressions without a long
-#    wall-clock bill.
-# 5. Runs the telemetry smoke: a tiny migration experiment twice with
+# 5. Runs the replay-kernel, policy-kernel, end-to-end pipeline,
+#    config-batched multi-run engine (oracle vs batched sweeps), and
+#    workload-generator throughput benchmarks at a small scale with
+#    relaxed JSON output paths, so CI catches both correctness drift
+#    (the benchmarks assert bit-exact parity of replay results,
+#    migration plans, residual cache-filter traces, shm handoffs,
+#    fault-simulator tallies, and seeded generator determinism) and
+#    gross performance regressions without a long wall-clock bill.
+# 6. Runs the telemetry smoke: a tiny migration experiment twice with
 #    REPRO_TELEMETRY on, asserting the run registry holds both rows
 #    with non-empty epoch series, that `report` renders, and that a
 #    self-`compare` of the two identical runs exits 0.
-# 6. Runs the telemetry-overhead benchmark, asserting the dormant
+# 7. Runs the telemetry-overhead benchmark, asserting the dormant
 #    (telemetry-off) instrumentation stays within 2% of the bare
 #    engine and that telemetry never perturbs simulation results.
-# 7. Runs the fuzz-marked property suites, the full verification
+# 8. Runs the fuzz-marked property suites, the full verification
 #    ladder (`repro-hma verify --quick`: cross-kernel differential
 #    fuzzer, paper-invariant checks, EXPERIMENTS.md shape gate), and
 #    the line-coverage gate against tools/coverage_baseline.json.
@@ -73,6 +78,9 @@ python tools/kill_resume_smoke.py
 echo "== serve chaos smoke =="
 python tools/serve_chaos_smoke.py
 
+echo "== workload frontier smoke =="
+python tools/frontier_smoke.py
+
 echo "== replay kernel smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_REPLAY_JSON="$workdir/BENCH_replay.json" \
@@ -93,6 +101,11 @@ echo "== multi-run engine smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_MULTIRUN_JSON="$workdir/BENCH_multirun.json" \
 python -m pytest benchmarks/bench_multirun.py -q -s -p no:cacheprovider
+
+echo "== workload generator smoke benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_WORKLOADS_JSON="$workdir/BENCH_workloads.json" \
+python -m pytest benchmarks/bench_workloads.py -q -s -p no:cacheprovider
 
 echo "== telemetry smoke =="
 obsdir="$workdir/obs"

@@ -27,6 +27,13 @@ SRC = os.path.join(ROOT, "src")
 PACKAGE = os.path.join(SRC, "repro")
 BASELINE = os.path.join(ROOT, "tools", "coverage_baseline.json")
 
+# Run as a script, sys.path[0] is tools/, so the `tests.*` namespace
+# imports some suites use (`python -m pytest` gets them from the cwd
+# entry) need the repo root put back explicitly.
+for _p in (ROOT, SRC):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
 #: How far (in percentage points) a run may fall below the recorded
 #: floor before the gate fails.  Absorbs platform jitter (e.g. the
 #: native-kernel fallback paths covering slightly different lines).

@@ -27,6 +27,7 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from repro.config import knob_overrides  # noqa: E402
 from repro.harness import sweeps  # noqa: E402
 
 SWEEP = dict(workloads=("mcf",), fractions=(0.1, 0.3, 0.6),
@@ -64,6 +65,16 @@ def _journal(path: str, record_type: str) -> "list[dict]":
 
 
 def main() -> int:
+    # The kill choreography (slowed _capacity_row, fraction-N journal
+    # keys) targets the per-fraction fan-out; under the multirun knob
+    # (the default) the single workload is one job and the kill cannot
+    # land mid-sweep.  The override is in-memory, so the forked victim
+    # inherits it.
+    with knob_overrides(multirun=False):
+        return _main()
+
+
+def _main() -> int:
     print("== kill/resume smoke ==")
     reference = sweeps.capacity_sweep(**SWEEP)
 
