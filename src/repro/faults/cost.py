@@ -1,0 +1,176 @@
+"""Area / energy / storage cost models for the ECC design space.
+
+The paper fixes one scheme per tier and never prices protection; this
+module gives every registered scheme (see
+:data:`repro.faults.ecc.SCHEME_LADDER`) a cost so placement studies
+can trade reliability against silicon.  Three axes per scheme:
+
+* **storage overhead** — check bits per data bit, straight from the
+  codec's ``(n, k)`` (e.g. 8/64 for SEC-DED, 14/113 for BCH, 2/16
+  symbols for ChipKill).
+* **decoder area** — an XOR-gate-count proxy derived from the real
+  codec structure: the ones of the parity-check matrix (each one is an
+  XOR tap of the syndrome tree), plus match/locator logic where the
+  codec has it (SEC-DAEC's adjacent-pair matcher, BCH's quadratic
+  locator scan, ChipKill's GF(256) multiplier array).
+* **decode energy** — a per-64-bit-access proxy, modelled as
+  proportional to the gates that toggle on a read
+  (``GATE_ENERGY_PJ`` x gates, normalised to 64 data bits so schemes
+  with different word lengths compare fairly).
+
+The proxies are *relative* prices, not a synthesis report: what
+matters downstream (the ``EccSelector``, the ``ecc-pareto`` frontier)
+is that the ordering and rough magnitudes track real decoder
+complexity — stronger codes cost strictly more on every axis, which
+the test suite asserts along the ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Energy proxy per toggled decoder gate (pJ); a relative unit.
+GATE_ENERGY_PJ = 0.002
+#: Area proxy per decoder gate in NAND2-equivalents.
+GATE_AREA_UNITS = 1.0
+
+
+@dataclass(frozen=True)
+class EccCost:
+    """The price of one ECC scheme, per 64 data bits of coverage."""
+
+    scheme: str
+    data_bits: int
+    check_bits: int
+    #: Decoder complexity proxy in gate equivalents (see module doc).
+    decoder_gates: int
+
+    def __post_init__(self) -> None:
+        if self.data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        if self.check_bits < 0 or self.decoder_gates < 0:
+            raise ValueError("cost components must be non-negative")
+
+    @property
+    def storage_overhead(self) -> float:
+        """Check bits per data bit (DRAM capacity tax of the scheme)."""
+        return self.check_bits / self.data_bits
+
+    @property
+    def area_units(self) -> float:
+        """Decoder area proxy (NAND2-equivalent units)."""
+        return self.decoder_gates * GATE_AREA_UNITS
+
+    @property
+    def decode_energy_pj(self) -> float:
+        """Energy proxy per 64-bit data word decoded."""
+        return (self.decoder_gates * GATE_ENERGY_PJ
+                * 64.0 / self.data_bits)
+
+    @property
+    def total(self) -> float:
+        """Scalar cost used for cheapest-first selection.
+
+        A normalised sum of the three axes: storage overhead (the
+        dominant recurring cost — DRAM capacity), area, and energy.
+        Storage is weighted as if spent on ~1000 gate-equivalents per
+        12.5% overhead so the axes land on comparable scales.
+        """
+        return (self.storage_overhead * 8000.0
+                + self.area_units
+                + self.decode_energy_pj * 100.0)
+
+
+def _hamming_gates() -> int:
+    from repro.faults import hamming
+
+    # Every one of H is a syndrome XOR tap; the corrector is a 72-way
+    # match (one 8-bit comparator per column).
+    ones = int(np.sum(hamming.H))
+    return ones + hamming.CODE_BITS * hamming.CHECK_BITS
+
+
+def _secdaec_gates() -> int:
+    from repro.faults import secdaec
+
+    # SEC-DED-style tree and matchers, plus one extra 8-bit comparator
+    # per adjacent pair for the DAEC match stage.
+    ones = int(np.sum(secdaec.H))
+    matchers = secdaec.CODE_BITS * secdaec.CHECK_BITS
+    pair_matchers = (secdaec.CODE_BITS - 1) * secdaec.CHECK_BITS
+    return ones + matchers + pair_matchers
+
+
+def _bch_gates() -> int:
+    from repro.faults import bch
+
+    # Two syndrome trees over GF(2^7) (one 7-bit constant-multiplier
+    # accumulation per position each), a cube/compare single-error
+    # path, and the quadratic locator's 127-way Chien-style scan.
+    syndrome_taps = 2 * bch.CODE_BITS * 7
+    single_path = 3 * 7 * 7  # S1^3 (two GF mults) + compare
+    chien_scan = bch.CODE_BITS * 2 * 7  # evaluate z^2 + S1 z + c
+    return syndrome_taps + single_path + chien_scan
+
+
+def _chipkill_gates() -> int:
+    from repro.faults.reed_solomon import ChipKillCode
+
+    code = ChipKillCode()
+    # A Mastrovito GF(256) multiplier is ~64 AND + ~77 XOR gates; the
+    # symbol datapath uses full multipliers (constants ROM-fed): two
+    # syndrome accumulators over all code symbols, a Fermat inversion
+    # chain (13 multiplies) for the locator divide, one multiply for
+    # the error value, and the per-symbol correction muxes.
+    gf_mult = 141
+    syndrome_taps = 2 * code.code_symbols * gf_mult
+    inverter = 13 * gf_mult
+    corrector = code.code_symbols * 8 + inverter + gf_mult
+    return syndrome_taps + corrector
+
+
+def _chipkill_symbol_bits() -> "tuple[int, int]":
+    from repro.faults.reed_solomon import ChipKillCode
+
+    code = ChipKillCode()
+    return code.data_symbols * 8, 2 * 8
+
+
+def cost_of(scheme: str) -> EccCost:
+    """The :class:`EccCost` of one registered scheme name."""
+    if scheme == "none":
+        return EccCost(scheme="none", data_bits=64, check_bits=0,
+                       decoder_gates=0)
+    if scheme == "secded":
+        from repro.faults import hamming
+
+        return EccCost(scheme="secded", data_bits=hamming.DATA_BITS,
+                       check_bits=hamming.CHECK_BITS,
+                       decoder_gates=_hamming_gates())
+    if scheme == "secdaec":
+        from repro.faults import secdaec
+
+        return EccCost(scheme="secdaec", data_bits=secdaec.DATA_BITS,
+                       check_bits=secdaec.CHECK_BITS,
+                       decoder_gates=_secdaec_gates())
+    if scheme == "bch":
+        from repro.faults import bch
+
+        return EccCost(scheme="bch", data_bits=bch.DATA_BITS,
+                       check_bits=bch.CHECK_BITS,
+                       decoder_gates=_bch_gates())
+    if scheme == "chipkill":
+        data_bits, check_bits = _chipkill_symbol_bits()
+        return EccCost(scheme="chipkill", data_bits=data_bits,
+                       check_bits=check_bits,
+                       decoder_gates=_chipkill_gates())
+    raise ValueError(f"unknown ECC scheme {scheme!r}")
+
+
+def all_costs() -> "dict[str, EccCost]":
+    """Costs for every scheme on the ladder, weakest first."""
+    from repro.faults.ecc import SCHEME_LADDER
+
+    return {name: cost_of(name) for name in SCHEME_LADDER}

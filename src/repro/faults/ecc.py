@@ -149,6 +149,81 @@ class SecDed(EccScheme):
         return 0.0
 
 
+class SecDaec(EccScheme):
+    """Single-error-correct, double-ADJACENT-error-correct per word.
+
+    The real codec behind this table lives in
+    :mod:`repro.faults.secdaec`: an odd-weight-column Hamming variant
+    whose column ordering makes every adjacent-pair syndrome uniquely
+    decodable.  Behaviourally that moves the WORD component (a
+    clustered multi-bit upset — adjacent bits of one codeword under
+    the beat mapping) from DETECTED to CORRECTED relative to SEC-DED,
+    and a COLUMN fault (one bit per codeword across a column stripe,
+    aligned, hence adjacent-pair-shaped per beat pair) from
+    UNCORRECTED to DETECTED.  Row/bank/rank faults still scatter
+    non-adjacent corruption beyond the code.
+    """
+
+    name = "secdaec"
+
+    def classify_single(self, component: FaultComponent) -> Outcome:
+        if component in (FaultComponent.BIT, FaultComponent.WORD):
+            return Outcome.CORRECTED
+        if component is FaultComponent.COLUMN:
+            return Outcome.DETECTED
+        return Outcome.UNCORRECTED
+
+    def pair_uncorrectable(self, a, b, same_chip, geo) -> float:
+        # Two independent single-bit faults in one codeword exceed SEC
+        # unless they happen to land adjacent (DAEC rescues those):
+        # 71 adjacent pairs of the C(72, 2) position pairs, i.e. a
+        # 2 / 72 rescue fraction.
+        if a is FaultComponent.BIT and b is FaultComponent.BIT:
+            from repro.faults import secdaec
+
+            rescue = 2.0 / secdaec.CODE_BITS
+            return footprint_overlap_probability(a, b, geo) * (1.0 - rescue)
+        return 0.0
+
+
+class BchDec(EccScheme):
+    """Double-error-correcting BCH: any two bits per codeword.
+
+    The real codec is the (127, 113) t = 2 BCH code in
+    :mod:`repro.faults.bch`.  With arbitrary (not just adjacent)
+    double-bit correction, WORD and COLUMN faults are corrected; a ROW
+    fault corrupts many bits of each codeword sharing the row (beyond
+    t = 2) but stays within the code's detection reach; bank/rank
+    faults scatter wide multi-bit corruption that can alias.
+    """
+
+    name = "bch"
+
+    def classify_single(self, component: FaultComponent) -> Outcome:
+        if component in (FaultComponent.BIT, FaultComponent.WORD,
+                         FaultComponent.COLUMN):
+            return Outcome.CORRECTED
+        if component is FaultComponent.ROW:
+            return Outcome.DETECTED
+        return Outcome.UNCORRECTED
+
+    def pair_uncorrectable(self, a, b, same_chip, geo) -> float:
+        pair = {a, b}
+        # Two single-bit faults in one codeword: still within t = 2.
+        if pair == {FaultComponent.BIT}:
+            return 0.0
+        # A WORD fault already consumed the correction budget; a
+        # colliding second multi-bit burst exceeds t = 2 and can alias
+        # past the locator.
+        if pair == {FaultComponent.WORD}:
+            return footprint_overlap_probability(a, b, geo)
+        if pair == {FaultComponent.BIT, FaultComponent.WORD}:
+            # 3 bits: the locator fails (no quadratic roots) for the
+            # non-aliasing majority; modelled as detected.
+            return 0.0
+        return 0.0
+
+
 class ChipKill(EccScheme):
     """Single-symbol correction: survives any single-chip fault.
 
@@ -218,7 +293,19 @@ def build_ecc_luts(scheme: EccScheme, geometry: ChipGeometry) -> EccLuts:
     return luts
 
 
-_SCHEMES = {"none": NoEcc, "secded": SecDed, "chipkill": ChipKill}
+#: Registered schemes, weakest to strongest (the design-space ladder).
+_SCHEMES = {
+    "none": NoEcc,
+    "secded": SecDed,
+    "secdaec": SecDaec,
+    "bch": BchDec,
+    "chipkill": ChipKill,
+}
+
+#: Scheme names ordered by protection strength (ascending).  The
+#: ordering is behavioural — per-component uncorrected FIT mass
+#: strictly decreases along it — and is asserted by the test suite.
+SCHEME_LADDER = ("none", "secded", "secdaec", "bch", "chipkill")
 
 
 def make_scheme(name: str) -> EccScheme:

@@ -1,0 +1,257 @@
+"""A (72, 64) SEC-DAEC code — adjacent-double-error-correcting Hamming.
+
+Scaled DRAM processes make *adjacent* multi-bit upsets the dominant
+multi-bit failure mode: one particle strike flips physically
+neighbouring cells, which map to neighbouring bits of a codeword.
+SEC-DAEC codes (single-error-correct, double-ADJACENT-error-correct)
+extend Hsiao's odd-weight-column construction so that, besides every
+single bit, every *adjacent pair* of bits is also correctable — at the
+same 8 check bits per 64-bit word as plain SEC-DED.
+
+The construction is the classical one (Dutta & Touba, "Multiple Bit
+Upset Tolerant Memory Using a Selective Cycle Avoidance Based SEC-DED-
+DAEC Code", VTS 2007, in spirit):
+
+* every column of H is a distinct odd-weight 8-bit vector, so single
+  errors produce odd-weight syndromes;
+* the columns are *ordered* so that all 71 adjacent-pair XORs are
+  pairwise distinct.  Pair syndromes have even weight, hence never
+  collide with a single-bit syndrome, and by construction never with
+  each other — each is uniquely decodable.
+
+The check bits occupy the last 8 positions as an identity block, so
+encode stays systematic (``check = A @ data``) exactly like
+:mod:`repro.faults.hamming`.  The price of DAEC at this length is a
+bounded *miscorrection* exposure: some non-adjacent double errors
+alias to a single- or adjacent-pair syndrome and are silently
+mis-corrected (SEC-DED would have flagged them).  The exhaustive test
+sweep measures and bounds that rate.
+
+Used by the behavioural ``secdaec`` scheme in :mod:`repro.faults.ecc`
+and validated against it in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.faults.ecc import Outcome
+
+DATA_BITS = 64
+CHECK_BITS = 8
+CODE_BITS = DATA_BITS + CHECK_BITS
+
+
+def _odd_weight_columns() -> "list[np.ndarray]":
+    """All odd-weight-(>=3) 8-bit vectors, lightest first."""
+    columns = []
+    for weight in (3, 5, 7):
+        for ones in combinations(range(CHECK_BITS), weight):
+            col = np.zeros(CHECK_BITS, dtype=np.uint8)
+            col[list(ones)] = 1
+            columns.append(col)
+    return columns
+
+
+def _build_parity_matrix() -> np.ndarray:
+    """H = [A | I] with all 71 adjacent-pair column XORs distinct.
+
+    The identity tail is fixed (so encode is systematic); its internal
+    adjacent XORs ``e_i ^ e_{i+1}`` seed the used-syndrome set.  The 64
+    data columns are then chosen greedily from the odd-weight pool:
+    append the first candidate whose XOR with the previous column is a
+    pair syndrome not seen yet (including, for the final data column,
+    the junction XOR into the identity block).  The greedy order is
+    deterministic, so H is a module-level constant.
+    """
+    identity = [np.eye(CHECK_BITS, dtype=np.uint8)[:, i]
+                for i in range(CHECK_BITS)]
+    used_pairs = {
+        tuple(identity[i] ^ identity[i + 1]) for i in range(CHECK_BITS - 1)
+    }
+    pool = _odd_weight_columns()
+    chosen: "list[np.ndarray]" = []
+    taken = [False] * len(pool)
+    while len(chosen) < DATA_BITS:
+        progressed = False
+        for idx, col in enumerate(pool):
+            if taken[idx]:
+                continue
+            new_pairs = set()
+            if chosen:
+                left = tuple(chosen[-1] ^ col)
+                if left in used_pairs:
+                    continue
+                new_pairs.add(left)
+            if len(chosen) == DATA_BITS - 1:
+                junction = tuple(col ^ identity[0])
+                if junction in used_pairs or junction in new_pairs:
+                    continue
+                new_pairs.add(junction)
+            chosen.append(col)
+            taken[idx] = True
+            used_pairs |= new_pairs
+            progressed = True
+            break
+        if not progressed:  # pragma: no cover - construction always lands
+            raise RuntimeError("SEC-DAEC column ordering failed")
+    a = np.stack(chosen, axis=1)
+    return np.concatenate([a, np.eye(CHECK_BITS, dtype=np.uint8)], axis=1)
+
+
+#: Module-level parity-check matrix (8 x 72).
+H = _build_parity_matrix()
+#: Syndrome (as a tuple) -> correctable single bit position.
+_SYNDROME_TO_BIT = {tuple(H[:, bit]): bit for bit in range(CODE_BITS)}
+#: Syndrome (as a tuple) -> correctable adjacent pair (bit, bit + 1).
+_SYNDROME_TO_PAIR = {
+    tuple(H[:, bit] ^ H[:, bit + 1]): (bit, bit + 1)
+    for bit in range(CODE_BITS - 1)
+}
+
+#: Integer syndrome -> batch decode action tables (see decode_batch):
+#: first/second bit to flip, -1 = no flip at that slot, both -1 with a
+#: non-zero syndrome = DETECTED.
+_POWERS = (1 << np.arange(CHECK_BITS)).astype(np.int64)
+
+
+def _build_batch_tables() -> "tuple[np.ndarray, np.ndarray]":
+    first = np.full(1 << CHECK_BITS, -1, dtype=np.int64)
+    second = np.full(1 << CHECK_BITS, -1, dtype=np.int64)
+    for syn, bit in _SYNDROME_TO_BIT.items():
+        first[int(np.asarray(syn) @ _POWERS)] = bit
+    for syn, (lo, hi) in _SYNDROME_TO_PAIR.items():
+        key = int(np.asarray(syn) @ _POWERS)
+        first[key] = lo
+        second[key] = hi
+    return first, second
+
+
+_BATCH_FIRST, _BATCH_SECOND = _build_batch_tables()
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one 72-bit codeword."""
+
+    outcome: Outcome
+    #: The corrected 64-bit data word (valid unless DETECTED).
+    data: "np.ndarray | None"
+    #: Bit positions corrected, if any (1 or 2 entries).
+    corrected_bits: "tuple[int, ...]" = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not Outcome.DETECTED
+
+
+def _as_bits(value, length: int) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.uint8)
+    if arr.shape != (length,):
+        raise ValueError(f"expected {length} bits, got shape {arr.shape}")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bits must be 0 or 1")
+    return arr
+
+
+def encode(data) -> np.ndarray:
+    """Encode a 64-bit data word into a 72-bit codeword (systematic)."""
+    bits = _as_bits(data, DATA_BITS)
+    check = (H[:, :DATA_BITS] @ bits) % 2
+    return np.concatenate([bits, check.astype(np.uint8)])
+
+
+def syndrome(codeword) -> np.ndarray:
+    """The 8-bit syndrome of a 72-bit codeword (zero = clean)."""
+    bits = _as_bits(codeword, CODE_BITS)
+    return (H @ bits % 2).astype(np.uint8)
+
+
+def decode(codeword) -> DecodeResult:
+    """Decode a possibly-corrupted codeword.
+
+    * zero syndrome: clean;
+    * syndrome matching one column: single-bit error, corrected;
+    * syndrome matching an adjacent-pair XOR: adjacent double error,
+      both bits corrected (the DAEC property SEC-DED lacks);
+    * anything else: DETECTED (data unusable).
+    """
+    bits = _as_bits(codeword, CODE_BITS).copy()
+    s = syndrome(bits)
+    if not s.any():
+        return DecodeResult(outcome=Outcome.CORRECTED,
+                            data=bits[:DATA_BITS])
+    key = tuple(s)
+    position = _SYNDROME_TO_BIT.get(key)
+    if position is not None:
+        bits[position] ^= 1
+        return DecodeResult(outcome=Outcome.CORRECTED,
+                            data=bits[:DATA_BITS],
+                            corrected_bits=(position,))
+    pair = _SYNDROME_TO_PAIR.get(key)
+    if pair is not None:
+        bits[pair[0]] ^= 1
+        bits[pair[1]] ^= 1
+        return DecodeResult(outcome=Outcome.CORRECTED,
+                            data=bits[:DATA_BITS],
+                            corrected_bits=pair)
+    return DecodeResult(outcome=Outcome.DETECTED, data=None)
+
+
+def decode_batch(
+    codewords,
+    first_table: "np.ndarray | None" = None,
+    second_table: "np.ndarray | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised :func:`decode` over a ``(n, 72)`` batch.
+
+    Returns ``(outcomes, data)`` where ``outcomes[i]`` is 0 for
+    CORRECTED and 1 for DETECTED, and ``data`` is the ``(n, 64)``
+    corrected payload (rows of DETECTED words are zeroed).  The
+    syndrome-indexed action tables are precomputed at import; the
+    optional overrides exist so the differential verifier can prove a
+    tampered table is caught.
+    """
+    first = _BATCH_FIRST if first_table is None else first_table
+    second = _BATCH_SECOND if second_table is None else second_table
+    words = np.atleast_2d(np.asarray(codewords, dtype=np.uint8)).copy()
+    if words.shape[1] != CODE_BITS:
+        raise ValueError(f"expected rows of {CODE_BITS} bits")
+    syn = (words @ H.T % 2).astype(np.int64) @ _POWERS
+    f = first[syn]
+    sec = second[syn]
+    rows = np.arange(len(words))
+    flip = f >= 0
+    words[rows[flip], f[flip]] ^= 1
+    flip2 = sec >= 0
+    words[rows[flip2], sec[flip2]] ^= 1
+    detected = (syn != 0) & (f < 0)
+    data = words[:, :DATA_BITS]
+    data[detected] = 0
+    return detected.astype(np.int8), data
+
+
+def inject(codeword, positions) -> np.ndarray:
+    """Flip the given bit positions of a codeword (fault injection)."""
+    bits = _as_bits(codeword, CODE_BITS).copy()
+    for position in positions:
+        if not 0 <= position < CODE_BITS:
+            raise ValueError(f"bit position {position} out of range")
+        bits[position] ^= 1
+    return bits
+
+
+def miscorrection_possible(positions) -> bool:
+    """Whether flipping ``positions`` aliases to a *correctable-looking*
+    syndrome (the silent-data-corruption escape for error patterns
+    beyond single bits and adjacent pairs)."""
+    s = np.zeros(CHECK_BITS, dtype=np.uint8)
+    for position in positions:
+        s ^= H[:, position]
+    if not s.any():
+        return True  # aliases to "no error"
+    key = tuple(s)
+    return key in _SYNDROME_TO_BIT or key in _SYNDROME_TO_PAIR

@@ -1,0 +1,111 @@
+"""Budget-driven ECC selection: cheapest scheme meeting a FIT ceiling.
+
+The paper hard-codes protection (SEC-DED on the stacked tier, ChipKill
+on DDR).  With the full scheme ladder and the cost models of
+:mod:`repro.faults.cost`, a tier's ECC can instead be *derived* from a
+reliability budget: :class:`EccSelector` evaluates the analytic
+uncorrected FIT of every registered scheme on a concrete
+:class:`~repro.config.MemoryConfig` and picks the cheapest one whose
+FIT fits under the ceiling.  If no scheme meets the budget the
+strongest is returned (best effort — the caller can inspect
+:meth:`EccSelector.meets_budget` to tell the two cases apart).
+
+Because per-component uncorrected FIT mass strictly decreases along
+:data:`~repro.faults.ecc.SCHEME_LADDER` while cost strictly increases,
+"cheapest meeting the budget" equals "weakest meeting the budget" —
+which makes selection monotone in the budget: tightening the ceiling
+can only move the choice up the ladder, loosening it only down.  The
+property-test suite asserts exactly that.
+
+``sim/system.py`` threads this through ``prepare_workload`` /
+``build_system_from_budget`` so an experiment can say "give every tier
+at most X FIT per page" instead of naming schemes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig, SystemConfig
+from repro.faults.cost import EccCost, cost_of
+from repro.faults.ecc import SCHEME_LADDER
+
+
+@dataclass(frozen=True)
+class SchemeEvaluation:
+    """One scheme's score on one memory tier."""
+
+    scheme: str
+    fit_per_page: float
+    cost: EccCost
+
+    def meets(self, budget_fit_per_page: float) -> bool:
+        return self.fit_per_page <= budget_fit_per_page
+
+
+@dataclass(frozen=True)
+class EccSelector:
+    """Pick the cheapest ECC scheme meeting a per-page FIT budget.
+
+    ``budget_fit_per_page`` is the ceiling on analytic uncorrected FIT
+    attributable to one 4 KB page of the tier (the same quantity
+    :func:`repro.faults.faultsim.uncorrected_fit_per_page` reports and
+    the SER model consumes).
+    """
+
+    budget_fit_per_page: float
+
+    def __post_init__(self) -> None:
+        if self.budget_fit_per_page < 0:
+            raise ValueError("FIT budget must be non-negative")
+
+    def evaluate(self, memory: MemoryConfig) -> "tuple[SchemeEvaluation, ...]":
+        """Score every registered scheme on ``memory``, ladder order."""
+        from repro.faults.faultsim import uncorrected_fit_per_page
+
+        out = []
+        for name in SCHEME_LADDER:
+            candidate = dataclasses.replace(memory, ecc=name)
+            out.append(SchemeEvaluation(
+                scheme=name,
+                fit_per_page=uncorrected_fit_per_page(candidate,
+                                                      analytic=True),
+                cost=cost_of(name),
+            ))
+        return tuple(out)
+
+    def select(self, memory: MemoryConfig) -> str:
+        """Cheapest scheme meeting the budget; strongest if none does."""
+        evaluations = self.evaluate(memory)
+        feasible = [e for e in evaluations
+                    if e.meets(self.budget_fit_per_page)]
+        if not feasible:
+            return evaluations[-1].scheme
+        return min(feasible, key=lambda e: e.cost.total).scheme
+
+    def meets_budget(self, memory: MemoryConfig) -> bool:
+        """Whether *any* scheme keeps ``memory`` under the budget."""
+        return any(e.meets(self.budget_fit_per_page)
+                   for e in self.evaluate(memory))
+
+    def apply(self, memory: MemoryConfig) -> MemoryConfig:
+        """``memory`` with its ECC replaced by the selected scheme."""
+        return dataclasses.replace(memory, ecc=self.select(memory))
+
+
+def select_system_ecc(
+    config: SystemConfig,
+    fast_budget_fit_per_page: float,
+    slow_budget_fit_per_page: "float | None" = None,
+) -> SystemConfig:
+    """Re-derive both tiers' ECC from per-page FIT budgets.
+
+    ``slow_budget_fit_per_page`` defaults to the fast budget so a
+    single ceiling can govern the whole system.
+    """
+    if slow_budget_fit_per_page is None:
+        slow_budget_fit_per_page = fast_budget_fit_per_page
+    fast = EccSelector(fast_budget_fit_per_page).apply(config.fast_memory)
+    slow = EccSelector(slow_budget_fit_per_page).apply(config.slow_memory)
+    return dataclasses.replace(config, fast_memory=fast, slow_memory=slow)

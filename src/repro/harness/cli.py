@@ -122,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--gates", default="fuzz,invariants,replication", metavar="LIST",
         help="comma-separated subset of gates to run "
-             "(fuzz, invariants, replication)")
+             "(fuzz, invariants, replication, ecc)")
     verify.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
         help="where shrunken divergence artifacts are dumped "
@@ -488,7 +488,7 @@ def _cmd_verify(args) -> int:
         return 1 if not result.passed else 0
 
     gates = tuple(g.strip() for g in args.gates.split(",") if g.strip())
-    unknown = set(gates) - {"fuzz", "invariants", "replication"}
+    unknown = set(gates) - {"fuzz", "invariants", "replication", "ecc"}
     if unknown:
         print(f"unknown gate(s): {', '.join(sorted(unknown))}",
               file=sys.stderr)

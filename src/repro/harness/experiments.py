@@ -812,6 +812,140 @@ def workload_frontier(
 
 
 # ---------------------------------------------------------------------------
+# Extension: the ECC design-space Pareto frontier
+# ---------------------------------------------------------------------------
+
+def _pareto_front(points: "list[tuple[float, float]]") -> "set[int]":
+    """Indices of (ser, cost) points not weakly dominated.
+
+    Point ``p`` is dominated when another point is no worse on both
+    axes and strictly better on at least one.
+    """
+    front = set()
+    for i, (s, c) in enumerate(points):
+        dominated = any(
+            (s2 <= s and c2 <= c) and (s2 < s or c2 < c)
+            for j, (s2, c2) in enumerate(points) if j != i
+        )
+        if not dominated:
+            front.add(i)
+    return front
+
+
+def ecc_pareto(
+    workloads=("mcf", "mix1"),
+    fractions=(0.1, 0.4),
+    fast_schemes=None,
+    slow_schemes=("secded", "chipkill"),
+    cache=None,
+    accesses_per_core=DEFAULT_ACCESSES,
+    scale=DEFAULT_SCALE,
+    seed=None,
+) -> FigureResult:
+    """Extension: reliability vs protection cost across the scheme ladder.
+
+    Sweeps ECC scheme x tier assignments over the capacity ladder: for
+    every (capacity fraction, fast-tier scheme, slow-tier scheme)
+    point the performance-focused placement is replayed (one replay
+    per capacity under the ``multirun`` knob — ECC is fault-model-only
+    and dedupes away) and scored on absolute SER (FIT x AVF under that
+    assignment's per-page FIT rates) against the assignment's
+    protection cost (the :mod:`repro.faults.cost` scalar, summed over
+    both tiers).  Rows on the per-capacity Pareto front — no other
+    assignment at that capacity has both lower SER and lower cost —
+    are flagged; IPC varies only with capacity, giving the third axis
+    across fronts.
+
+    Hand-checkable claim: every front contains the cheapest assignment
+    (fast tier unprotected — nothing has lower cost) and the lowest-SER
+    assignment, and no flagged row is dominated.
+
+    Reproduce with::
+
+        repro-hma run ecc-pareto --seed 0
+    """
+    import dataclasses
+
+    from repro.faults.cost import cost_of
+    from repro.faults.ecc import SCHEME_LADDER
+    from repro.harness.sweeps import _config_with_fast_pages
+
+    if fast_schemes is None:
+        fast_schemes = SCHEME_LADDER
+    cache = _cache(cache, accesses_per_core, scale, seed)
+    multirun = bool(knob_value("multirun"))
+    policy = PerformanceFocusedPlacement()
+
+    assignments = [(fraction, fast_ecc, slow_ecc)
+                   for fraction in fractions
+                   for fast_ecc in fast_schemes
+                   for slow_ecc in slow_schemes]
+    # Aggregate SER/IPC across workloads per assignment (gmean, like
+    # the capacity sweep folds its per-workload quartets).
+    sers = [[] for _ in assignments]
+    ipcs = [[] for _ in assignments]
+    for wl in workloads:
+        prep = cache.get(wl)
+        configs = []
+        for fraction, fast_ecc, slow_ecc in assignments:
+            pages = max(1, int(prep.workload_trace.footprint_pages * fraction))
+            config = _config_with_fast_pages(prep.config, pages)
+            configs.append(dataclasses.replace(
+                config,
+                fast_memory=dataclasses.replace(config.fast_memory,
+                                                ecc=fast_ecc),
+                slow_memory=dataclasses.replace(config.slow_memory,
+                                                ecc=slow_ecc),
+            ))
+        models = SerModel.for_systems(configs, seed=cache.seed)
+        if multirun:
+            specs = [StaticSpec(policy, config=config, ser_model=model)
+                     for config, model in zip(configs, models)]
+            results = evaluate_static_multi(prep, specs)
+        else:
+            results = [
+                evaluate_static(
+                    dataclasses.replace(prep, config=config,
+                                        ser_model=model),
+                    policy)
+                for config, model in zip(configs, models)
+            ]
+        for i, res in enumerate(results):
+            sers[i].append(max(res.ser, 1e-30))
+            ipcs[i].append(res.ipc_vs_ddr)
+
+    agg_ser = [gmean(values) for values in sers]
+    agg_ipc = [gmean(values) for values in ipcs]
+    costs = [cost_of(fast_ecc).total + cost_of(slow_ecc).total
+             for _, fast_ecc, slow_ecc in assignments]
+
+    rows = []
+    summary: "dict[str, float]" = {"points": float(len(assignments))}
+    for fraction in fractions:
+        idx = [i for i, a in enumerate(assignments) if a[0] == fraction]
+        front_local = _pareto_front([(agg_ser[i], costs[i]) for i in idx])
+        front = {idx[k] for k in front_local}
+        summary[f"front_size_{fraction:.2f}"] = float(len(front))
+        summary[f"front_best_ser_{fraction:.2f}"] = min(
+            agg_ser[i] for i in front)
+        for i in idx:
+            _, fast_ecc, slow_ecc = assignments[i]
+            rows.append([
+                f"{fraction:.2f}", fast_ecc, slow_ecc,
+                agg_ipc[i], agg_ser[i], costs[i],
+                "front" if i in front else "",
+            ])
+    return FigureResult(
+        figure="ECC Pareto",
+        description="Scheme x tier assignments: SER vs protection cost",
+        headers=["capacity frac", "fast ECC", "slow ECC", "IPC vs DDR",
+                 "SER", "cost", "pareto"],
+        rows=rows,
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Figures 16-17: program annotations
 # ---------------------------------------------------------------------------
 
@@ -1017,6 +1151,7 @@ EXPERIMENTS = {
     "table3": table3_summary,
     "hwcost": hw_cost,
     "workload-frontier": workload_frontier,
+    "ecc-pareto": ecc_pareto,
     "sweep-capacity": _sweep("capacity_sweep"),
     "sweep-fit": _sweep("fit_multiplier_sweep"),
     "sweep-mlp": _sweep("mlp_sensitivity"),

@@ -82,12 +82,23 @@ def prepare_workload(
     accesses_per_core: int = 20_000,
     seed: "int | None" = None,
     ser_model: "SerModel | None" = None,
+    ecc_budget: "float | None" = None,
 ) -> PreparedWorkload:
-    """Generate, profile, and baseline one workload."""
+    """Generate, profile, and baseline one workload.
+
+    ``ecc_budget`` (uncorrected FIT per page) re-derives both tiers'
+    ECC via :func:`repro.faults.selector.select_system_ecc` before the
+    SER model is built, so a system can be specified by a reliability
+    ceiling instead of hard-coded schemes.
+    """
     if isinstance(workload, str):
         workload = resolve_workload(workload)
     if config is None:
         config = scaled_config(scale)
+    if ecc_budget is not None:
+        from repro.faults.selector import select_system_ecc
+
+        config = select_system_ecc(config, ecc_budget)
     wt = workload.generate(
         scale=scale, accesses_per_core=accesses_per_core, seed=seed
     )
@@ -252,19 +263,21 @@ def _select_fast_pages(policy, stats, capacity_pages, memo):
 def _replay_dedup_key(config: SystemConfig, fast_pages):
     """Hashable identity of one static replay, or ``None``.
 
-    The fault-model-only ``fit_multiplier`` fields are neutralised so
-    sweeps that vary nothing else (the FIT sweep) collapse to a single
-    replay; every other config field may affect timing and stays in the
-    key.  Returns ``None`` (no deduplication) for exotic configs that
-    do not tuplify.
+    The fault-model-only fields — ``fit_multiplier`` and ``ecc`` — are
+    neutralised so sweeps that vary nothing else (the FIT sweep, the
+    ECC-Pareto scheme sweep) collapse to a single replay; every other
+    config field may affect timing and stays in the key.  Returns
+    ``None`` (no deduplication) for exotic configs that do not tuplify.
     """
     try:
         neutral = dataclasses.replace(
             config,
             fast_memory=dataclasses.replace(config.fast_memory,
-                                            fit_multiplier=1.0),
+                                            fit_multiplier=1.0,
+                                            ecc="none"),
             slow_memory=dataclasses.replace(config.slow_memory,
-                                            fit_multiplier=1.0),
+                                            fit_multiplier=1.0,
+                                            ecc="none"),
         )
         cfg_key = dataclasses.astuple(neutral)
         hash(cfg_key)

@@ -57,6 +57,11 @@ def run_verify(
         results.extend(differential.run_fuzz(
             num_cases=cases, seed=seed, artifact_dir=artifact_dir,
             progress=progress))
+    elif "ecc" in gates:
+        # The ecc family alone (it already rides the full fuzz gate).
+        results.extend(differential.run_fuzz(
+            num_cases=cases, seed=seed, artifact_dir=artifact_dir,
+            checks={"ecc": differential.check_ecc}, progress=progress))
     bundle = None
     if "invariants" in gates or "replication" in gates:
         from repro.verify.bundle import EvalBundle

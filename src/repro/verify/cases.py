@@ -57,7 +57,7 @@ class DiffCase:
     placed_fraction: float  # of HBM capacity pre-filled by the placement
     use_core_windows: bool
     fault_trials: int
-    fault_ecc: str  # "secded" | "chipkill" | "none"
+    fault_ecc: str  # any repro.faults.ecc.SCHEME_LADDER name
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -88,7 +88,8 @@ def random_case(rng: np.random.Generator, case_id: int) -> DiffCase:
         placed_fraction=float(rng.uniform(0.0, 1.0)),
         use_core_windows=bool(rng.integers(0, 2)),
         fault_trials=int(rng.integers(100, 1500)),
-        fault_ecc=("secded", "chipkill", "none")[int(rng.integers(0, 3))],
+        fault_ecc=("secded", "chipkill", "none", "secdaec",
+                   "bch")[int(rng.integers(0, 5))],
     )
 
 

@@ -27,6 +27,11 @@ randomized :class:`~repro.verify.cases.DiffCase` scenarios:
   (:func:`~repro.sim.engine.replay_multi`): a ragged config batch of
   static placements plus a migration spec must match per-point
   :func:`~repro.sim.engine.replay` digests spec by spec.
+* ``ecc``              — the ECC design space: LUT compilation
+  (:func:`~repro.faults.ecc.build_ecc_luts`) vs scalar classification
+  on random geometries, vectorised ``decode_batch`` vs scalar decode
+  for every real codec, and an injected syndrome-table off-by-one as
+  the built-in negative.
 
 A check returns ``None`` on agreement or a human-readable mismatch
 description.  The fuzz driver shrinks failures greedily and dumps a
@@ -467,6 +472,142 @@ def check_frontier(case: DiffCase) -> "str | None":
     return None
 
 
+def check_ecc(case: DiffCase) -> "str | None":
+    """LUT-compiled vs direct-codec ECC decoding across all schemes.
+
+    Three gates per case:
+
+    1. *LUT compilation*: :func:`~repro.faults.ecc.build_ecc_luts` on a
+       random chip geometry must reproduce the scalar
+       ``classify_single`` / ``pair_uncorrectable`` entries of every
+       registered scheme exactly.
+    2. *Batch vs scalar decode*: for every real codec (Hsiao SEC-DED,
+       SEC-DAEC, BCH, ChipKill RS) a batch of random codewords with
+       random injected fault patterns must decode identically through
+       the vectorised syndrome-LUT path and the scalar reference.
+    3. *Injected off-by-one (negative)*: shifting one entry of the
+       SEC-DAEC syndrome action table must change the decoded payload —
+       proving the digest comparison actually covers the corrected
+       data and a tampered table cannot hide.
+    """
+    from repro.faults import bch, hamming, secdaec
+    from repro.faults.ecc import (
+        SCHEME_LADDER,
+        ChipGeometry,
+        Outcome,
+        build_ecc_luts,
+        make_scheme,
+    )
+    from repro.faults.reed_solomon import ChipKillCode
+
+    rng = np.random.default_rng((case.seed, case.case_id))
+
+    # 1. LUT compilation vs the scalar classification, random geometry.
+    geo = ChipGeometry(
+        banks=int(2 ** rng.integers(0, 4)),
+        rows=int(2 ** rng.integers(5, 16)),
+        cols=int(2 ** rng.integers(5, 11)),
+    )
+    for name in SCHEME_LADDER:
+        scheme = make_scheme(name)
+        luts = build_ecc_luts(scheme, geo)
+        for i, comp in enumerate(luts.components):
+            outcome = scheme.classify_single(comp)
+            lut_outcome = (
+                Outcome.CORRECTED if luts.single_corrected[i]
+                else Outcome.DETECTED if luts.single_detected[i]
+                else Outcome.UNCORRECTED)
+            if outcome is not lut_outcome:
+                return (f"{name}: single[{comp.name}] lut={lut_outcome} "
+                        f"scalar={outcome}")
+            for j, other in enumerate(luts.components):
+                for same in (0, 1):
+                    direct = scheme.pair_uncorrectable(
+                        comp, other, bool(same), geo)
+                    if float(luts.pair_uncorrectable[i, j, same]) != direct:
+                        return (f"{name}: pair[{comp.name}, {other.name}, "
+                                f"same={same}] lut="
+                                f"{luts.pair_uncorrectable[i, j, same]} "
+                                f"scalar={direct}")
+
+    # 2. Batch vs scalar decode, per codec, random fault patterns.
+    import hashlib
+
+    n = int(max(8, min(case.accesses, 64)))
+
+    def payload_sha(arr) -> str:
+        return hashlib.sha256(
+            np.asarray(arr, dtype=np.uint8).tobytes()).hexdigest()[:16]
+
+    def bit_codec_digests(mod, max_errors):
+        words, out, data = [], [], []
+        for _ in range(n):
+            cw = mod.encode(rng.integers(0, 2, mod.DATA_BITS))
+            k = int(rng.integers(0, max_errors + 1))
+            if k:
+                pos = rng.choice(mod.CODE_BITS, size=k, replace=False)
+                cw = mod.inject(cw, [int(p) for p in pos])
+            words.append(cw)
+            r = mod.decode(cw)
+            out.append(1 if r.outcome is Outcome.DETECTED else 0)
+            data.append(r.data if r.data is not None
+                        else np.zeros(mod.DATA_BITS, dtype=np.uint8))
+        batch_out, batch_data = mod.decode_batch(np.array(words))
+        scalar = {"out": tuple(out), "data": payload_sha(np.array(data))}
+        batch = {"out": tuple(int(x) for x in batch_out),
+                 "data": payload_sha(batch_data)}
+        return scalar, batch
+
+    for label, mod, max_errors in (("secded", hamming, 3),
+                                   ("secdaec", secdaec, 3),
+                                   ("bch", bch, 3)):
+        scalar, batch = bit_codec_digests(mod, max_errors)
+        diff = _first_diff({"scalar": scalar, "batch": batch})
+        if diff:
+            return f"{label}: {diff}"
+
+    code = ChipKillCode()
+    words, out, data = [], [], []
+    for _ in range(n):
+        cw = code.encode(rng.integers(0, 256, code.data_symbols))
+        k = int(rng.integers(0, 3))
+        if k:
+            pos = rng.choice(code.code_symbols, size=k, replace=False)
+            cw = code.inject(cw, {int(p): int(rng.integers(1, 256))
+                                  for p in pos})
+        words.append(cw)
+        r = code.decode(cw)
+        out.append(1 if r.outcome is Outcome.DETECTED else 0)
+        data.append(r.data if r.data is not None
+                    else np.zeros(code.data_symbols, dtype=np.uint8))
+    batch_out, batch_data = code.decode_batch(np.array(words))
+    diff = _first_diff({
+        "scalar": {"out": tuple(out), "data": payload_sha(np.array(data))},
+        "batch": {"out": tuple(int(x) for x in batch_out),
+                  "data": payload_sha(batch_data)},
+    })
+    if diff:
+        return f"chipkill: {diff}"
+
+    # 3. Negative: an off-by-one in the SEC-DAEC action table must be
+    # visible in the decoded payload.  The error lands inside the data
+    # region (not the last data bit) so the wrongly-flipped neighbour
+    # bit is a data bit too.
+    position = int(rng.integers(0, secdaec.DATA_BITS - 1))
+    cw = secdaec.inject(
+        secdaec.encode(rng.integers(0, 2, secdaec.DATA_BITS)), [position])
+    honest = secdaec.decode(cw).data
+    tampered = secdaec._BATCH_FIRST.copy()
+    key = int(secdaec.H[:, position].astype(np.int64) @ secdaec._POWERS)
+    tampered[key] = position + 1
+    _, tampered_data = secdaec.decode_batch(cw[None, :],
+                                            first_table=tampered)
+    if np.array_equal(honest, tampered_data[0]):
+        return (f"secdaec: injected action-table off-by-one at bit "
+                f"{position} not detected (payload unchanged)")
+    return None
+
+
 def check_multirun(case: DiffCase) -> "str | None":
     """Config-batched ``replay_multi`` vs per-point ``replay``.
 
@@ -526,6 +667,7 @@ CHECKS = {
     "serve": check_serve,
     "multirun": check_multirun,
     "frontier": check_frontier,
+    "ecc": check_ecc,
 }
 
 

@@ -1,0 +1,72 @@
+"""The ECC cost models: structure, ordering, and ladder consistency."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import hbm_config
+from repro.faults.cost import EccCost, all_costs, cost_of
+from repro.faults.ecc import SCHEME_LADDER
+from repro.faults.faultsim import uncorrected_fit_per_page
+
+
+class TestEccCost:
+    def test_every_ladder_scheme_has_a_cost(self):
+        costs = all_costs()
+        assert tuple(costs) == SCHEME_LADDER
+        for cost in costs.values():
+            assert cost.data_bits > 0
+            assert cost.check_bits >= 0
+            assert cost.decoder_gates >= 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown ECC scheme"):
+            cost_of("hamming-extended")
+
+    def test_storage_overheads_match_codec_shapes(self):
+        assert cost_of("none").storage_overhead == 0.0
+        assert cost_of("secded").storage_overhead == 8 / 64
+        assert cost_of("secdaec").storage_overhead == 8 / 64
+        assert cost_of("bch").storage_overhead == 14 / 113
+        assert cost_of("chipkill").storage_overhead == 16 / 128
+
+    def test_invalid_components_rejected(self):
+        with pytest.raises(ValueError):
+            EccCost(scheme="x", data_bits=0, check_bits=1, decoder_gates=1)
+        with pytest.raises(ValueError):
+            EccCost(scheme="x", data_bits=64, check_bits=-1,
+                    decoder_gates=1)
+
+    def test_energy_normalised_per_64_data_bits(self):
+        # Same gate count at twice the data bits must halve the
+        # per-64-bit energy proxy.
+        narrow = EccCost(scheme="a", data_bits=64, check_bits=8,
+                         decoder_gates=1000)
+        wide = EccCost(scheme="b", data_bits=128, check_bits=8,
+                       decoder_gates=1000)
+        assert wide.decode_energy_pj == pytest.approx(
+            narrow.decode_energy_pj / 2)
+
+
+class TestLadderOrdering:
+    """The selector's correctness rests on these two monotone orders."""
+
+    def test_total_cost_strictly_increases_with_strength(self):
+        totals = [cost_of(name).total for name in SCHEME_LADDER]
+        assert all(a < b for a, b in zip(totals, totals[1:])), totals
+
+    def test_analytic_fit_strictly_decreases_with_strength(self):
+        fits = [
+            uncorrected_fit_per_page(
+                dataclasses.replace(hbm_config(), ecc=name), analytic=True)
+            for name in SCHEME_LADDER
+        ]
+        assert all(a > b for a, b in zip(fits, fits[1:])), fits
+
+    def test_decoder_gates_grow_up_to_bit_granular_codes(self):
+        # Bit-granular decoders grow monotonically with correction
+        # power; chipkill's symbol datapath is priced separately but
+        # must exceed all of them in total.
+        gates = [cost_of(n).decoder_gates
+                 for n in ("none", "secded", "secdaec", "bch")]
+        assert all(a < b for a, b in zip(gates, gates[1:])), gates

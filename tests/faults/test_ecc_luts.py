@@ -11,7 +11,7 @@ from repro.faults.ecc import (
 )
 from repro.faults.fit import FaultComponent
 
-SCHEMES = ("none", "secded", "chipkill")
+SCHEMES = ("none", "secded", "secdaec", "bch", "chipkill")
 GEOMETRIES = (ChipGeometry(), ChipGeometry(banks=4, rows=256, cols=64))
 
 

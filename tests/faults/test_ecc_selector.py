@@ -1,0 +1,150 @@
+"""Property tests for the budget-driven ECC selector.
+
+Two families: (1) hypothesis suites asserting monotonicity — a
+tighter FIT budget never selects a weaker (cheaper) scheme and a
+looser one never selects a strictly dominated scheme — and (2) a
+bit-identity check that a system whose ECC came from a budget runs the
+FaultSimulator to the exact tallies of the same scheme named
+explicitly.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ddr3_config, default_config, hbm_config
+from repro.faults.cost import cost_of
+from repro.faults.ecc import SCHEME_LADDER
+from repro.faults.faultsim import FaultSimulator, uncorrected_fit_per_page
+from repro.faults.selector import EccSelector, select_system_ecc
+
+MEMORIES = {"hbm": hbm_config(), "ddr": ddr3_config()}
+
+budgets = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                    allow_infinity=False)
+memory_names = st.sampled_from(sorted(MEMORIES))
+
+
+def ladder_index(scheme):
+    return SCHEME_LADDER.index(scheme)
+
+
+class TestSelectorMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(lo=budgets, hi=budgets, name=memory_names)
+    def test_tightening_never_weakens_the_code(self, lo, hi, name):
+        lo, hi = min(lo, hi), max(lo, hi)
+        memory = MEMORIES[name]
+        tight = EccSelector(lo).select(memory)
+        loose = EccSelector(hi).select(memory)
+        assert ladder_index(tight) >= ladder_index(loose)
+
+    @settings(max_examples=40, deadline=None)
+    @given(budget=budgets, name=memory_names)
+    def test_selection_is_never_strictly_dominated(self, budget, name):
+        # No other feasible scheme may be at-or-under the pick on both
+        # FIT and cost while strictly better on one.
+        memory = MEMORIES[name]
+        selector = EccSelector(budget)
+        evals = {e.scheme: e for e in selector.evaluate(memory)}
+        pick = evals[selector.select(memory)]
+        feasible = [e for e in evals.values() if e.meets(budget)]
+        for other in feasible:
+            if other.scheme == pick.scheme:
+                continue
+            dominates = (other.cost.total <= pick.cost.total
+                         and other.fit_per_page <= pick.fit_per_page
+                         and (other.cost.total < pick.cost.total
+                              or other.fit_per_page < pick.fit_per_page))
+            assert not dominates, (pick.scheme, other.scheme)
+
+    @settings(max_examples=40, deadline=None)
+    @given(budget=budgets, name=memory_names)
+    def test_cheapest_feasible_equals_weakest_feasible(self, budget, name):
+        # The ladder's opposing monotone orders collapse the two
+        # selection rules into one; this is the load-bearing identity.
+        memory = MEMORIES[name]
+        evals = EccSelector(budget).evaluate(memory)
+        feasible = [e for e in evals if e.meets(budget)]
+        if not feasible:
+            return
+        weakest = min(feasible, key=lambda e: ladder_index(e.scheme))
+        cheapest = min(feasible, key=lambda e: e.cost.total)
+        assert weakest.scheme == cheapest.scheme
+
+
+class TestSelectorBehaviour:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EccSelector(-1e-9)
+
+    def test_unmeetable_budget_falls_back_to_strongest(self):
+        memory = hbm_config()
+        selector = EccSelector(0.0)
+        assert not selector.meets_budget(memory)
+        assert selector.select(memory) == SCHEME_LADDER[-1]
+
+    def test_infinite_budget_selects_free_scheme(self):
+        selector = EccSelector(1e9)
+        assert selector.select(hbm_config()) == "none"
+        assert selector.meets_budget(hbm_config())
+
+    def test_apply_replaces_only_the_ecc_field(self):
+        memory = hbm_config()
+        derived = EccSelector(1e9).apply(memory)
+        assert derived.ecc == "none"
+        assert dataclasses.replace(derived, ecc=memory.ecc) == memory
+
+    def test_evaluations_follow_ladder_order(self):
+        evals = EccSelector(1.0).evaluate(hbm_config())
+        assert tuple(e.scheme for e in evals) == SCHEME_LADDER
+        for e in evals:
+            assert e.cost == cost_of(e.scheme)
+
+    def test_budget_boundary_is_inclusive(self):
+        memory = hbm_config()
+        fit = uncorrected_fit_per_page(
+            dataclasses.replace(memory, ecc="secded"), analytic=True)
+        assert EccSelector(fit).select(memory) == "secded"
+
+    def test_select_system_ecc_covers_both_tiers(self):
+        config = select_system_ecc(default_config(), 1e9)
+        assert config.fast_memory.ecc == "none"
+        assert config.slow_memory.ecc == "none"
+
+    def test_select_system_ecc_split_budgets(self):
+        config = select_system_ecc(default_config(), 0.0,
+                                   slow_budget_fit_per_page=1e9)
+        assert config.fast_memory.ecc == SCHEME_LADDER[-1]
+        assert config.slow_memory.ecc == "none"
+
+
+class TestBudgetVsExplicitBitIdentity:
+    """A budget-derived scheme must be indistinguishable downstream."""
+
+    @pytest.mark.parametrize("budget", (1e9, 4e-4, 0.0))
+    def test_faultsim_tallies_identical(self, budget):
+        memory = hbm_config()
+        scheme = EccSelector(budget).select(memory)
+        derived = EccSelector(budget).apply(memory)
+        explicit = dataclasses.replace(memory, ecc=scheme)
+        assert derived == explicit
+        a = FaultSimulator(derived, seed=7).run(trials=2000)
+        b = FaultSimulator(explicit, seed=7).run(trials=2000)
+        assert a == b
+
+    def test_prepare_workload_budget_path(self):
+        from repro.config import scaled_config
+        from repro.sim.system import prepare_workload
+
+        small = dict(accesses_per_core=400, scale=1 / 4096, seed=3)
+        budgeted = prepare_workload("astar", ecc_budget=1e9, **small)
+        assert budgeted.config.fast_memory.ecc == "none"
+        assert budgeted.config.slow_memory.ecc == "none"
+        explicit_config = select_system_ecc(scaled_config(1 / 4096), 1e9)
+        explicit = prepare_workload("astar", config=explicit_config, **small)
+        assert budgeted.config == explicit.config
+        assert (budgeted.workload_trace.trace.address ==
+                explicit.workload_trace.trace.address).all()

@@ -91,7 +91,7 @@ class TestFigureSmoke:
 class TestRegistry:
     def test_expected_experiments_present(self):
         expected = {"table1", "table2", "table3", "hwcost",
-                    "workload-frontier",
+                    "workload-frontier", "ecc-pareto",
                     "sweep-capacity", "sweep-fit", "sweep-mlp"} | {
             f"fig{n:02d}" for n in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                     12, 13, 14, 15, 16, 17)

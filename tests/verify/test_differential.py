@@ -145,6 +145,58 @@ class TestFrontierFamily:
         assert "non-deterministic" in finding
 
 
+class TestEccFamily:
+    """The ECC check family: LUT compilation, batch-vs-scalar decode
+    digests, and the injected syndrome-table off-by-one negative."""
+
+    def test_registered(self):
+        assert "ecc" in CHECKS
+
+    @pytest.mark.parametrize("case_id", [0, 1, 2])
+    def test_clean_case_passes(self, case_id):
+        case = replace(_some_case(6), case_id=case_id)
+        assert differential.check_ecc(case) is None
+
+    def test_new_schemes_in_case_rotation(self):
+        from repro.verify.cases import random_case as rc
+
+        drawn = {rc(np.random.default_rng(s), 0).fault_ecc
+                 for s in range(64)}
+        assert {"secdaec", "bch"} <= drawn
+
+    def test_tampered_action_table_is_caught(self, monkeypatch, tmp_path):
+        # Plant a global off-by-one: every corrective entry of the
+        # SEC-DAEC syndrome action table points one bit too far.  The
+        # batch-vs-scalar digest gate must diverge, shrink, and dump.
+        from repro.faults import secdaec
+
+        tampered = secdaec._BATCH_FIRST.copy()
+        live = tampered >= 0
+        tampered[live] = (tampered[live] + 1) % secdaec.CODE_BITS
+        monkeypatch.setattr(secdaec, "_BATCH_FIRST", tampered)
+        results = run_fuzz(num_cases=4, seed=0,
+                           artifact_dir=str(tmp_path),
+                           checks={"ecc": differential.check_ecc})
+        failed = [r for r in results if not r.passed]
+        assert failed, "tampered action table was not caught"
+        artifacts = sorted(glob.glob(str(tmp_path / "divergence-*.json")))
+        assert artifacts, "no repro artifact dumped"
+        case, check_name, _ = load_artifact(artifacts[0])
+        assert check_name == "ecc"
+        # Artifact reproduces while the tamper is live and reports
+        # fixed once the honest table is restored.
+        assert not replay_artifact(artifacts[0]).passed
+        monkeypatch.undo()
+        assert replay_artifact(artifacts[0]).passed
+
+    def test_verify_gate_runs_ecc_family_alone(self):
+        from repro.verify import run_verify
+
+        report = run_verify(cases=2, seed=0, gates=("ecc",))
+        assert report.passed
+        assert all(r.name.startswith("ecc") for r in report.results)
+
+
 class TestMutationSmoke:
     """A planted bug must be caught, shrunk, and dumped."""
 

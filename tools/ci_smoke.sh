@@ -81,6 +81,9 @@ python tools/serve_chaos_smoke.py
 echo "== workload frontier smoke =="
 python tools/frontier_smoke.py
 
+echo "== ecc design-space smoke =="
+python tools/ecc_smoke.py
+
 echo "== replay kernel smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_REPLAY_JSON="$workdir/BENCH_replay.json" \
@@ -106,6 +109,11 @@ echo "== workload generator smoke benchmark =="
 REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
 REPRO_BENCH_WORKLOADS_JSON="$workdir/BENCH_workloads.json" \
 python -m pytest benchmarks/bench_workloads.py -q -s -p no:cacheprovider
+
+echo "== ecc codec smoke benchmark =="
+REPRO_BENCH_ACCESSES="${REPRO_SMOKE_ACCESSES:-4000}" \
+REPRO_BENCH_ECC_JSON="$workdir/BENCH_ecc.json" \
+python -m pytest benchmarks/bench_ecc.py -q -s -p no:cacheprovider
 
 echo "== telemetry smoke =="
 obsdir="$workdir/obs"
